@@ -1,0 +1,72 @@
+// Ablation study of the MALB design choices (beyond the paper's own merging
+// ablation):
+//   * fast reallocation (balance equations) on/off;
+//   * queue-pressure load extension on/off;
+//   * update-filtering mode: dynamic (our extension) vs freeze (paper) —
+//     the paper's Section 4.2.3 freeze versus its stated future work;
+//   * Gatekeeper admission limit sweep.
+#include "bench/bench_common.h"
+#include "src/workload/tpcw.h"
+
+namespace tashkent {
+namespace {
+
+void Run() {
+  const Workload w = BuildTpcw(kTpcwMediumEbs);
+  const ClusterConfig base = MakeClusterConfig(512 * kMiB);
+  const int clients = CalibratedClients(w, kTpcwOrdering, base);
+
+  PrintHeader("Ablation: MALB design choices",
+              "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix");
+
+  const auto reference = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, base, clients);
+  PrintTpsRow("MALB-SC (reference)", 76, reference.tps, reference.mean_response_s);
+
+  {
+    ClusterConfig c = base;
+    c.malb.enable_fast_realloc = false;
+    const auto r = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, c, clients);
+    PrintTpsRow("  fast reallocation off", 0, r.tps, r.mean_response_s);
+  }
+  {
+    ClusterConfig c = base;
+    c.malb.queue_pressure_weight = 0.0;
+    const auto r = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, c, clients);
+    PrintTpsRow("  queue-pressure off", 0, r.tps, r.mean_response_s);
+  }
+  {
+    ClusterConfig c = base;
+    c.malb.enable_merging = false;
+    const auto r = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, c, clients);
+    PrintTpsRow("  merging off (paper 70)", 70, r.tps, r.mean_response_s);
+  }
+  {
+    ClusterConfig c = bench::WithFiltering(base);
+    const auto r = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, c, clients,
+                                    Seconds(400.0));
+    PrintTpsRow("  +filtering (dynamic mode)", 113, r.tps, r.mean_response_s);
+  }
+  {
+    ClusterConfig c = bench::WithFiltering(base);
+    c.malb.filtering_mode = FilteringMode::kFreezeWhenStable;
+    const auto r = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, c, clients,
+                                    Seconds(400.0));
+    PrintTpsRow("  +filtering (freeze mode)", 113, r.tps, r.mean_response_s);
+  }
+
+  std::printf("\nGatekeeper admission limit sweep (MALB-SC):\n");
+  for (int mpl : {2, 4, 8, 16, 32}) {
+    ClusterConfig c = base;
+    c.proxy.max_in_flight = mpl;
+    const auto r = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, c, clients);
+    std::printf("  MPL %2d: %7.1f tps  (rt %.2f s)\n", mpl, r.tps, r.mean_response_s);
+  }
+}
+
+}  // namespace
+}  // namespace tashkent
+
+int main() {
+  tashkent::Run();
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Shared helpers for the per-figure/table bench binaries.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/cluster/experiment.h"
+#include "src/cluster/report.h"
+
+namespace tashkent {
+namespace bench {
+
+// Runs one policy on a configuration with the calibrated client count.
+inline ExperimentResult RunPolicy(const Workload& w, const std::string& mix, Policy policy,
+                                  ClusterConfig config, int clients,
+                                  SimDuration warmup = Seconds(240.0),
+                                  SimDuration measure = Seconds(240.0)) {
+  ExperimentSpec spec;
+  spec.workload = &w;
+  spec.mix = mix;
+  spec.policy = policy;
+  spec.config = config;
+  spec.clients_per_replica = clients;
+  spec.warmup = warmup;
+  spec.measure = measure;
+  return RunExperiment(spec);
+}
+
+// Enables update filtering on a config (dynamic-allocation variant; see
+// DESIGN.md for the deviation note).
+inline ClusterConfig WithFiltering(ClusterConfig config) {
+  config.malb.update_filtering = true;
+  config.malb.stable_ticks_for_filtering = 10;
+  return config;
+}
+
+}  // namespace bench
+}  // namespace tashkent
+
+#endif  // BENCH_BENCH_COMMON_H_

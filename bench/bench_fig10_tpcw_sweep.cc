@@ -1,0 +1,82 @@
+// Figure 10: the full TPC-W configuration sweep — 3 database sizes x 3 mixes
+// x 3 memory sizes x 3 methods (81 experiments).
+// Each chart of the figure is one (DB, mix) cell with RAM on the x-axis and
+// bars for LeastConnections / MALB-SC / MALB-SC+UpdateFiltering.
+//
+// Paper values (tps), series-major per chart (RAM 256/512/1024 MB):
+//   LargeDB-Ordering:  LC 17/24/39   MALB 19/42/110  UF 21/56/147
+//   LargeDB-Shopping:  LC 10/22/51   MALB 15/35/60   UF 15/36/61
+//   LargeDB-Browsing:  LC  5/16/27   MALB  7/19/27   UF  7/19/27
+//   MidDB-Ordering:    LC 20/37/114  MALB 29/76/169  UF 30/113/194
+//   MidDB-Shopping:    LC 16/54/93   MALB 26/76/93   UF 26/79/93
+//   MidDB-Browsing:    LC 11/37/51   MALB 19/45/51   UF 19/46/51
+//   SmallDB-Ordering:  LC 101/212/247 MALB 130/211/257 UF 156/217/257
+//   SmallDB-Shopping:  LC 267/339/341 MALB 278/340/343 UF 311/342/343
+//   SmallDB-Browsing:  LC 295/299/295 MALB 300/299/305 UF 300/299/305
+#include <array>
+
+#include "bench/bench_common.h"
+#include "src/workload/tpcw.h"
+
+namespace tashkent {
+namespace {
+
+struct Cell {
+  const char* db_name;
+  int ebs;
+  const char* mix;
+  // Paper tps for LC / MALB-SC / UF at 256, 512, 1024 MB.
+  std::array<double, 3> paper_lc;
+  std::array<double, 3> paper_malb;
+  std::array<double, 3> paper_uf;
+};
+
+constexpr std::array<Bytes, 3> kRams = {256 * kMiB, 512 * kMiB, 1024 * kMiB};
+
+const Cell kCells[] = {
+    {"LargeDB", kTpcwLargeEbs, kTpcwOrdering, {17, 24, 39}, {19, 42, 110}, {21, 56, 147}},
+    {"LargeDB", kTpcwLargeEbs, kTpcwShopping, {10, 22, 51}, {15, 35, 60}, {15, 36, 61}},
+    {"LargeDB", kTpcwLargeEbs, kTpcwBrowsing, {5, 16, 27}, {7, 19, 27}, {7, 19, 27}},
+    {"MidDB", kTpcwMediumEbs, kTpcwOrdering, {20, 37, 114}, {29, 76, 169}, {30, 113, 194}},
+    {"MidDB", kTpcwMediumEbs, kTpcwShopping, {16, 54, 93}, {26, 76, 93}, {26, 79, 93}},
+    {"MidDB", kTpcwMediumEbs, kTpcwBrowsing, {11, 37, 51}, {19, 45, 51}, {19, 46, 51}},
+    {"SmallDB", kTpcwSmallEbs, kTpcwOrdering, {101, 212, 247}, {130, 211, 257}, {156, 217, 257}},
+    {"SmallDB", kTpcwSmallEbs, kTpcwShopping, {267, 339, 341}, {278, 340, 343}, {311, 342, 343}},
+    {"SmallDB", kTpcwSmallEbs, kTpcwBrowsing, {295, 299, 295}, {300, 299, 305}, {300, 299, 305}},
+};
+
+void Run() {
+  std::printf("== Figure 10: TPC-W throughput sweep (81 experiments) ==\n");
+  std::printf("   per cell: rows are RAM sizes; columns LC / MALB-SC / MALB-SC+UF;\n");
+  std::printf("   'paper' columns give the published tps for shape comparison.\n");
+
+  for (const Cell& cell : kCells) {
+    const Workload w = BuildTpcw(cell.ebs);
+    std::printf("\n-- %s-%s (DB %.1f GB) --\n", cell.db_name, cell.mix,
+                BytesToMiB(w.schema.TotalBytes()) / 1024.0);
+    std::printf("%9s | %21s | %21s | %21s\n", "RAM", "LC paper/meas", "MALB paper/meas",
+                "UF paper/meas");
+    for (int i = 0; i < 3; ++i) {
+      const ClusterConfig config = MakeClusterConfig(kRams[i]);
+      const int clients = CalibratedClients(w, cell.mix, config);
+      const auto lc = bench::RunPolicy(w, cell.mix, Policy::kLeastConnections, config, clients,
+                                       Seconds(200.0), Seconds(200.0));
+      const auto malb = bench::RunPolicy(w, cell.mix, Policy::kMalbSC, config, clients,
+                                         Seconds(200.0), Seconds(200.0));
+      const auto uf = bench::RunPolicy(w, cell.mix, Policy::kMalbSC,
+                                       bench::WithFiltering(config), clients, Seconds(300.0),
+                                       Seconds(200.0));
+      std::printf("%6lld MB | %8.0f / %10.1f | %8.0f / %10.1f | %8.0f / %10.1f\n",
+                  static_cast<long long>(kRams[i] / kMiB), cell.paper_lc[i], lc.tps,
+                  cell.paper_malb[i], malb.tps, cell.paper_uf[i], uf.tps);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tashkent
+
+int main() {
+  tashkent::Run();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 3: TPC-W comparison of load-balancing methods.
+// MidDB 1.8 GB, RAM 512 MB, 16 replicas, ordering mix.
+// Paper: Single 3, LeastConnections 37 (2.2 s), LARD 50 (1.4 s),
+//        MALB-SC 76 (0.81 s) tps.
+#include <cstdio>
+
+#include "src/cluster/experiment.h"
+#include "src/cluster/report.h"
+#include "src/workload/tpcw.h"
+
+namespace tashkent {
+namespace {
+
+void Run() {
+  const Workload w = BuildTpcw(kTpcwMediumEbs);
+  const ClusterConfig config = MakeClusterConfig(512 * kMiB);
+
+  const int clients = CalibratedClients(w, kTpcwOrdering, config);
+  std::printf("calibrated clients/replica: %d\n", clients);
+
+  const ExperimentResult single =
+      RunStandalone(w, kTpcwOrdering, config, clients, Seconds(240.0), Seconds(240.0));
+
+  ExperimentSpec spec;
+  spec.workload = &w;
+  spec.mix = kTpcwOrdering;
+  spec.config = config;
+  spec.clients_per_replica = clients;
+
+  spec.policy = Policy::kLeastConnections;
+  const ExperimentResult lc = RunExperiment(spec);
+  spec.policy = Policy::kLard;
+  const ExperimentResult lard = RunExperiment(spec);
+  spec.policy = Policy::kMalbSC;
+  const ExperimentResult malb = RunExperiment(spec);
+
+  PrintHeader("Figure 3: TPC-W comparison of methods",
+              "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix");
+  PrintTpsRow("Single", 3, single.tps, single.mean_response_s);
+  PrintTpsRow("LeastConnections", 37, lc.tps, lc.mean_response_s);
+  PrintTpsRow("LARD", 50, lard.tps, lard.mean_response_s);
+  PrintTpsRow("MALB-SC", 76, malb.tps, malb.mean_response_s);
+  PrintRatio("MALB-SC / LeastConnections", 76.0 / 37.0, malb.tps / lc.tps);
+  PrintRatio("MALB-SC / LARD", 76.0 / 50.0, malb.tps / lard.tps);
+  PrintRatio("LARD / LeastConnections", 50.0 / 37.0, lard.tps / lc.tps);
+  PrintRatio("MALB-SC / Single (super-linear > 16)", 25.0, malb.tps / single.tps);
+
+  std::printf("\nMALB-SC groupings (cf. Table 2):\n");
+  PrintGroups(malb.groups);
+
+  std::printf("\ndisk I/O per txn per replica (cf. Table 1):\n");
+  PrintIoRow("LeastConnections", 12, 72, lc.write_kb_per_txn, lc.read_kb_per_txn);
+  PrintIoRow("LARD", 12, 57, lard.write_kb_per_txn, lard.read_kb_per_txn);
+  PrintIoRow("MALB-SC", 12, 20, malb.write_kb_per_txn, malb.read_kb_per_txn);
+}
+
+}  // namespace
+}  // namespace tashkent
+
+int main() {
+  tashkent::Run();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 4: RUBiS comparison of load-balancing methods.
+// DB 2.2 GB, RAM 512 MB, 16 replicas, bidding mix.
+// Paper: Single 3, LeastConnections 31, LARD 34, MALB-SC 43 tps
+//        (MALB-SC +39% over LC, +26% over LARD).
+#include "bench/bench_common.h"
+#include "src/workload/rubis.h"
+
+namespace tashkent {
+namespace {
+
+void Run() {
+  const Workload w = BuildRubis();
+  const ClusterConfig config = MakeClusterConfig(512 * kMiB);
+  const int clients = CalibratedClients(w, kRubisBidding, config);
+
+  const ExperimentResult single = RunStandalone(w, kRubisBidding, config, clients);
+  const auto lc = bench::RunPolicy(w, kRubisBidding, Policy::kLeastConnections, config, clients);
+  const auto lard = bench::RunPolicy(w, kRubisBidding, Policy::kLard, config, clients);
+  const auto malb = bench::RunPolicy(w, kRubisBidding, Policy::kMalbSC, config, clients);
+
+  PrintHeader("Figure 4: RUBiS comparison of methods",
+              "DB 2.2GB, RAM 512MB, 16 replicas, bidding mix");
+  PrintTpsRow("Single", 3, single.tps, single.mean_response_s);
+  PrintTpsRow("LeastConnections", 31, lc.tps, lc.mean_response_s);
+  PrintTpsRow("LARD", 34, lard.tps, lard.mean_response_s);
+  PrintTpsRow("MALB-SC", 43, malb.tps, malb.mean_response_s);
+  PrintRatio("MALB-SC / LeastConnections", 43.0 / 31.0, malb.tps / lc.tps);
+  PrintRatio("MALB-SC / LARD", 43.0 / 34.0, malb.tps / lard.tps);
+
+  std::printf("\nMALB-SC groupings (cf. Table 4):\n");
+  PrintGroups(malb.groups);
+}
+
+}  // namespace
+}  // namespace tashkent
+
+int main() {
+  tashkent::Run();
+  return 0;
+}

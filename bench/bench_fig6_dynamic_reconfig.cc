@@ -1,0 +1,88 @@
+// Figure 6: dynamic reconfiguration under a workload mix change.
+// TPC-W switches shopping -> browsing -> shopping every 2000 s.
+// Paper: MALB-SC tracks ~76 tps under shopping and ~45 tps under browsing;
+// a static shopping configuration forced to run browsing achieves only
+// 19 tps — worse than LeastConnections' 37 — so dynamic allocation is
+// necessary.
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "src/workload/tpcw.h"
+
+namespace tashkent {
+namespace {
+
+constexpr SimDuration kPhase = Seconds(2000.0);
+
+double PhaseMean(const std::vector<double>& buckets, SimDuration width, double from_s,
+                 double to_s) {
+  // Means over [from+skip, to): skip the first 300 s of each phase so the
+  // reconfiguration transient does not dilute the steady-state number.
+  const double skip = 300.0;
+  double total = 0.0;
+  int n = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const double t = static_cast<double>(i) * ToSeconds(width);
+    if (t >= from_s + skip && t < to_s) {
+      total += buckets[i];
+      ++n;
+    }
+  }
+  return n > 0 ? total / (static_cast<double>(n) * ToSeconds(width)) : 0.0;
+}
+
+void Run() {
+  const Workload w = BuildTpcw(kTpcwMediumEbs);
+  ClusterConfig config = MakeClusterConfig(512 * kMiB);
+  const int clients = CalibratedClients(w, kTpcwShopping, config);
+  config.clients_per_replica = clients;
+
+  // --- Dynamic MALB-SC through the mix switches ---------------------------
+  Cluster dynamic(&w, kTpcwShopping, Policy::kMalbSC, config);
+  dynamic.Advance(kPhase);
+  dynamic.SwitchMix(kTpcwBrowsing);
+  dynamic.Advance(kPhase);
+  dynamic.SwitchMix(kTpcwShopping);
+  ExperimentResult timeline = dynamic.Measure(kPhase);
+
+  const double shopping1 = PhaseMean(timeline.timeline, timeline.timeline_bucket, 0, 2000);
+  const double browsing = PhaseMean(timeline.timeline, timeline.timeline_bucket, 2000, 4000);
+  const double shopping2 = PhaseMean(timeline.timeline, timeline.timeline_bucket, 4000, 6000);
+
+  // --- Static shopping configuration forced to run browsing ---------------
+  Cluster frozen(&w, kTpcwShopping, Policy::kMalbSC, config);
+  frozen.Advance(Seconds(1500.0));  // converge on shopping
+  frozen.FreezeAllocation();
+  frozen.SwitchMix(kTpcwBrowsing);
+  frozen.Advance(Seconds(300.0));
+  const ExperimentResult static_browsing = frozen.Measure(Seconds(1200.0));
+
+  // --- LeastConnections reference under browsing --------------------------
+  Cluster lc(&w, kTpcwBrowsing, Policy::kLeastConnections, config);
+  const ExperimentResult lc_browsing = lc.Run(Seconds(400.0), Seconds(1200.0));
+
+  PrintHeader("Figure 6: dynamic reconfiguration (shopping -> browsing -> shopping)",
+              "MidDB 1.8GB, RAM 512MB, 16 replicas; 2000 s per phase");
+  PrintTpsRow("MALB-SC shopping (phase 1)", 76, shopping1, 0);
+  PrintTpsRow("MALB-SC browsing (phase 2)", 45, browsing, 0);
+  PrintTpsRow("MALB-SC shopping (phase 3)", 76, shopping2, 0);
+  PrintTpsRow("static shopping cfg, browsing", 19, static_browsing.tps,
+              static_browsing.mean_response_s);
+  PrintTpsRow("LeastConnections, browsing", 37, lc_browsing.tps, lc_browsing.mean_response_s);
+  PrintRatio("static / dynamic browsing (paper 0.42)", 19.0 / 45.0,
+             browsing > 0 ? static_browsing.tps / browsing : 0.0);
+
+  std::printf("\nthroughput timeline (30 s buckets, tps):\n");
+  for (size_t i = 0; i < timeline.timeline.size(); i += 4) {
+    std::printf("  t=%5.0fs  %6.1f tps\n", static_cast<double>(i) * 30.0,
+                timeline.timeline[i] / 30.0);
+  }
+}
+
+}  // namespace
+}  // namespace tashkent
+
+int main() {
+  tashkent::Run();
+  return 0;
+}

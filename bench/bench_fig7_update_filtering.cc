@@ -1,0 +1,41 @@
+// Figure 7: TPC-W throughput with MALB-SC + update filtering.
+// MidDB 1.8 GB, RAM 512 MB, 16 replicas, ordering mix.
+// Paper: Single 3, LeastConnections 37, LARD 50, MALB-SC 76,
+//        MALB-SC+UpdateFiltering 113 tps (0.349 s response).
+#include "bench/bench_common.h"
+#include "src/workload/tpcw.h"
+
+namespace tashkent {
+namespace {
+
+void Run() {
+  const Workload w = BuildTpcw(kTpcwMediumEbs);
+  const ClusterConfig config = MakeClusterConfig(512 * kMiB);
+  const int clients = CalibratedClients(w, kTpcwOrdering, config);
+
+  const ExperimentResult single = RunStandalone(w, kTpcwOrdering, config, clients);
+  const auto lc = bench::RunPolicy(w, kTpcwOrdering, Policy::kLeastConnections, config, clients);
+  const auto lard = bench::RunPolicy(w, kTpcwOrdering, Policy::kLard, config, clients);
+  const auto malb = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, config, clients);
+  const auto uf = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC,
+                                   bench::WithFiltering(config), clients, Seconds(400.0));
+
+  PrintHeader("Figure 7: TPC-W throughput of MALB-SC + UpdateFiltering",
+              "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix");
+  PrintTpsRow("Single", 3, single.tps, single.mean_response_s);
+  PrintTpsRow("LeastConnections", 37, lc.tps, lc.mean_response_s);
+  PrintTpsRow("LARD", 50, lard.tps, lard.mean_response_s);
+  PrintTpsRow("MALB-SC", 76, malb.tps, malb.mean_response_s);
+  PrintTpsRow("MALB-SC+UpdateFiltering", 113, uf.tps, uf.mean_response_s);
+  PrintRatio("UF / MALB-SC", 113.0 / 76.0, uf.tps / malb.tps);
+  PrintRatio("UF / LeastConnections", 113.0 / 37.0, uf.tps / lc.tps);
+  PrintRatio("UF / Single", 37.0, uf.tps / single.tps);
+}
+
+}  // namespace
+}  // namespace tashkent
+
+int main() {
+  tashkent::Run();
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 8: RUBiS bidding mix across replica memory sizes.
+// DB 2.2 GB, RAM 256/512/1024 MB, 16 replicas.
+// Paper (tps): LeastConnections 18/31/42, MALB-SC 23/43/44,
+//              MALB-SC+UpdateFiltering 24/44/44.
+// MALB helps below 1 GB; at 1 GB the working sets fit and LeastConnections
+// catches up. Filtering adds little at the bidding mix's 15% update rate.
+#include "bench/bench_common.h"
+#include "src/workload/rubis.h"
+
+namespace tashkent {
+namespace {
+
+void Run() {
+  const Workload w = BuildRubis();
+  const double paper_lc[3] = {18, 31, 42};
+  const double paper_malb[3] = {23, 43, 44};
+  const double paper_uf[3] = {24, 44, 44};
+  const Bytes rams[3] = {256 * kMiB, 512 * kMiB, 1024 * kMiB};
+
+  PrintHeader("Figure 8: RUBiS bidding mix with update filtering",
+              "DB 2.2GB, RAM 256/512/1024 MB, 16 replicas");
+  for (int i = 0; i < 3; ++i) {
+    const ClusterConfig config = MakeClusterConfig(rams[i]);
+    const int clients = CalibratedClients(w, kRubisBidding, config);
+    const auto lc =
+        bench::RunPolicy(w, kRubisBidding, Policy::kLeastConnections, config, clients);
+    const auto malb = bench::RunPolicy(w, kRubisBidding, Policy::kMalbSC, config, clients);
+    const auto uf = bench::RunPolicy(w, kRubisBidding, Policy::kMalbSC,
+                                     bench::WithFiltering(config), clients, Seconds(400.0));
+    std::printf("RAM %4lld MB:\n", static_cast<long long>(rams[i] / kMiB));
+    PrintTpsRow("  LeastConnections", paper_lc[i], lc.tps, lc.mean_response_s);
+    PrintTpsRow("  MALB-SC", paper_malb[i], malb.tps, malb.mean_response_s);
+    PrintTpsRow("  MALB-SC+UpdateFiltering", paper_uf[i], uf.tps, uf.mean_response_s);
+  }
+}
+
+}  // namespace
+}  // namespace tashkent
+
+int main() {
+  tashkent::Run();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 9: the database-size vs memory-size space.
+// Qualitative region map: when the working sets exceed memory everywhere,
+// partitioning cannot help; when the database fits in memory, it is not
+// needed; in between, partitioning and filtering improve performance.
+// This bench derives the map empirically from MALB-SC vs LeastConnections
+// runs over the (DB, RAM) grid on the ordering mix, classifying each cell by
+// the measured speedup.
+#include "bench/bench_common.h"
+#include "src/workload/tpcw.h"
+
+namespace tashkent {
+namespace {
+
+const char* Classify(double speedup) {
+  if (speedup >= 1.25) {
+    return "PARTITIONING-HELPS";
+  }
+  if (speedup >= 1.05) {
+    return "modest-gain";
+  }
+  return "no-gain";
+}
+
+void Run() {
+  std::printf("== Figure 9: database size vs memory size space ==\n");
+  std::printf("   cell = MALB-SC speedup over LeastConnections (ordering mix)\n\n");
+  const int dbs[3] = {kTpcwSmallEbs, kTpcwMediumEbs, kTpcwLargeEbs};
+  const char* db_names[3] = {"SmallDB 0.7GB", "MidDB  1.8GB", "LargeDB 2.9GB"};
+  const Bytes rams[3] = {256 * kMiB, 512 * kMiB, 1024 * kMiB};
+
+  std::printf("%-15s", "");
+  for (Bytes ram : rams) {
+    std::printf(" %20lld MB", static_cast<long long>(ram / kMiB));
+  }
+  std::printf("\n");
+
+  for (int d = 0; d < 3; ++d) {
+    const Workload w = BuildTpcw(dbs[d]);
+    std::printf("%-15s", db_names[d]);
+    for (int m = 0; m < 3; ++m) {
+      const ClusterConfig config = MakeClusterConfig(rams[m]);
+      const int clients = CalibratedClients(w, kTpcwOrdering, config);
+      const auto lc = bench::RunPolicy(w, kTpcwOrdering, Policy::kLeastConnections, config,
+                                       clients, Seconds(200.0), Seconds(200.0));
+      const auto malb = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, config, clients,
+                                         Seconds(200.0), Seconds(200.0));
+      const double speedup = lc.tps > 0 ? malb.tps / lc.tps : 0.0;
+      std::printf(" %6.2fx %-16s", speedup, Classify(speedup));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nExpected shape (paper): the diagonal band where working sets of groups fit\n"
+              "memory but their union does not shows the largest gains; tiny-DB/large-RAM\n"
+              "and huge-DB/tiny-RAM corners show little benefit.\n");
+}
+
+}  // namespace
+}  // namespace tashkent
+
+int main() {
+  tashkent::Run();
+  return 0;
+}

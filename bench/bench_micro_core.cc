@@ -1,0 +1,119 @@
+// Micro-benchmarks (google-benchmark) for the core building blocks: bin
+// packing, GSI certification, buffer-pool operations, and the event queue.
+// These quantify the overhead of the algorithms themselves, independent of
+// any simulated hardware.
+#include <benchmark/benchmark.h>
+
+#include "src/certifier/certifier.h"
+#include "src/common/rng.h"
+#include "src/core/bin_packing.h"
+#include "src/sim/simulator.h"
+#include "src/storage/buffer_pool.h"
+#include "src/workload/rubis.h"
+#include "src/workload/tpcw.h"
+
+namespace tashkent {
+namespace {
+
+void BM_PackTpcw(benchmark::State& state) {
+  const Workload w = BuildTpcw(kTpcwMediumEbs);
+  const auto ws = BuildWorkingSets(w.registry, w.schema);
+  const Pages capacity = BytesToPages(442 * kMiB);
+  const auto method = static_cast<EstimationMethod>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PackTransactionGroups(ws, capacity, method));
+  }
+}
+BENCHMARK(BM_PackTpcw)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_PackSynthetic(benchmark::State& state) {
+  // n types over 64 relations: packing scales with types x groups x relations.
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  std::vector<TypeWorkingSet> ws;
+  for (int t = 0; t < n; ++t) {
+    TypeWorkingSet s;
+    s.type = static_cast<TxnTypeId>(t);
+    for (int j = 0; j < 5; ++j) {
+      ExplainEntry e;
+      e.relation = static_cast<RelationId>(rng.NextBelow(64));
+      e.pages = 1 + static_cast<Pages>(rng.NextBelow(40000));
+      e.scanned = rng.NextBool(0.3);
+      s.relations.push_back(e);
+    }
+    ws.push_back(std::move(s));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PackTransactionGroups(ws, BytesToPages(442 * kMiB), EstimationMethod::kSizeContent));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_PackSynthetic)->Range(8, 512)->Complexity();
+
+void BM_CertifierCertify(benchmark::State& state) {
+  Certifier certifier;
+  Rng rng(11);
+  Version applied = 0;
+  for (auto _ : state) {
+    Writeset ws;
+    ws.snapshot_version = applied;
+    for (int i = 0; i < 4; ++i) {
+      ws.items.push_back(WritesetItem{static_cast<RelationId>(rng.NextBelow(16)),
+                                      rng.NextBelow(1 << 20)});
+    }
+    ws.table_pages = {{0, 2}};
+    const auto r = certifier.Certify(std::move(ws), 0, applied);
+    applied = certifier.head_version();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CertifierCertify);
+
+void BM_BufferPoolRandom(benchmark::State& state) {
+  BufferPool pool(512 * kMiB, 32);
+  RelationMeta rel;
+  rel.id = 1;
+  rel.pages = 200000;
+  Rng rng(3);
+  const AccessSkew skew;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.TouchRandom(rel, 16, rng, skew));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_BufferPoolRandom);
+
+void BM_BufferPoolScan(benchmark::State& state) {
+  BufferPool pool(512 * kMiB, 32);
+  RelationMeta rel;
+  rel.id = 1;
+  rel.pages = static_cast<Pages>(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.TouchScanWindow(rel, rel.pages / 4, rng, AccessSkew{}));
+  }
+  state.SetBytesProcessed(state.iterations() * PagesToBytes(rel.pages / 4));
+}
+BENCHMARK(BM_BufferPoolScan)->Arg(8192)->Arg(65536);
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    Rng rng(5);
+    int fired = 0;
+    for (int i = 0; i < 10000; ++i) {
+      sim.ScheduleAt(static_cast<SimTime>(rng.NextBelow(1000000)), [&fired]() { ++fired; });
+    }
+    sim.RunAll();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueue);
+
+}  // namespace
+}  // namespace tashkent
+
+BENCHMARK_MAIN();

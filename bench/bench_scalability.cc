@@ -1,0 +1,42 @@
+// Scalability: cluster throughput vs replica count (the paper's super-linear
+// speedup claim). With MALB the cluster's aggregate memory acts as one large
+// partitioned cache, so speedup over a standalone database can exceed the
+// replica count (the paper reports 25x at 16 replicas for MALB-SC and 37x
+// with update filtering on the ordering mix).
+#include "bench/bench_common.h"
+#include "src/workload/tpcw.h"
+
+namespace tashkent {
+namespace {
+
+void Run() {
+  const Workload w = BuildTpcw(kTpcwMediumEbs);
+  const ClusterConfig base = MakeClusterConfig(512 * kMiB);
+  const int clients = CalibratedClients(w, kTpcwOrdering, base);
+  const ExperimentResult single = RunStandalone(w, kTpcwOrdering, base, clients);
+
+  std::printf("== Scalability: TPC-W ordering, MidDB 1.8GB, RAM 512MB ==\n");
+  std::printf("standalone database: %.1f tps\n\n", single.tps);
+  std::printf("%9s %18s %18s %12s %12s\n", "replicas", "LeastConn (tps)", "MALB-SC (tps)",
+              "LC speedup", "MALB speedup");
+  for (size_t replicas : {2, 4, 8, 16}) {
+    ClusterConfig config = base;
+    config.replicas = replicas;
+    const auto lc =
+        bench::RunPolicy(w, kTpcwOrdering, Policy::kLeastConnections, config, clients);
+    const auto malb = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, config, clients);
+    std::printf("%9zu %18.1f %18.1f %11.1fx %11.1fx%s\n", replicas, lc.tps, malb.tps,
+                lc.tps / single.tps, malb.tps / single.tps,
+                malb.tps / single.tps > static_cast<double>(replicas) ? "  <- super-linear"
+                                                                      : "");
+  }
+  std::printf("\npaper at 16 replicas: LC 12x, MALB-SC 25x, MALB-SC+filtering 37x\n");
+}
+
+}  // namespace
+}  // namespace tashkent
+
+int main() {
+  tashkent::Run();
+  return 0;
+}

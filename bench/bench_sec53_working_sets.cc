@@ -1,0 +1,109 @@
+// Section 5.3 experiments:
+//   1. Working-set estimates vs experimental measurement. The paper measures
+//      working sets "by dedicating transaction types to a single machine and
+//      adjusting the amount of free memory until the amount of disk I/O
+//      spiked". BestSeller: estimates 608/610 MB vs measured 600-650 MB;
+//      OrderDisplay: SCAP 1 MB vs SC 1600 MB vs measured 400-450 MB.
+//   2. Merging ablation: disabling the merging of under-utilized groups drops
+//      MALB-S from 73 to 66 tps and MALB-SC from 76 to 70 tps.
+#include "bench/bench_common.h"
+#include "src/core/working_set.h"
+#include "src/workload/tpcw.h"
+
+namespace tashkent {
+namespace {
+
+// Measures one type's working set: run it alone on a single replica at a
+// given memory size, report disk read KB per transaction. The knee of the
+// resulting curve is the working-set size.
+double DiskIoAt(const Workload& w, TxnTypeId type, Bytes memory) {
+  ClusterConfig config = MakeClusterConfig(memory, 1);
+  config.replica.reserved = 0;  // measure raw capacity
+  Simulator sim;
+  Certifier certifier;
+  Replica replica(&sim, &w.schema, 0, config.replica, Rng(1234));
+  Proxy proxy(&sim, &replica, &certifier);
+  replica.StartDaemons();
+  proxy.StartDaemons();
+
+  const TxnType& t = w.registry.Get(type);
+  int completed = 0;
+  // Closed loop of 4 clients running only this type.
+  std::function<void()> submit = [&]() {
+    proxy.SubmitTransaction(t, [&](bool) {
+      ++completed;
+      sim.ScheduleAfter(Millis(100), submit);
+    });
+  };
+  for (int c = 0; c < 4; ++c) {
+    sim.ScheduleAfter(Millis(c * 25), submit);
+  }
+  sim.RunUntil(Seconds(150.0));
+  replica.ResetStats();
+  const int before = completed;
+  sim.RunUntil(Seconds(600.0));
+  const int measured = completed - before;
+  if (measured == 0) {
+    return 1e9;
+  }
+  return static_cast<double>(replica.stats().disk_read_bytes) / measured / 1024.0;
+}
+
+// Finds the memory size where disk I/O spikes: the smallest memory whose
+// steady-state I/O stays near the fully-cached level.
+double MeasureWorkingSetMb(const Workload& w, const char* name) {
+  const TxnTypeId type = w.registry.Find(name);
+  const double cached = DiskIoAt(w, type, 2048 * kMiB);
+  double knee = 2048;
+  for (Bytes mem = 1920 * kMiB; mem >= 128 * kMiB; mem -= 128 * kMiB) {
+    const double io = DiskIoAt(w, type, mem);
+    if (io > 2.0 * cached + 8.0) {
+      break;  // I/O spiked: the previous memory size was the working set
+    }
+    knee = BytesToMiB(mem);
+  }
+  return knee;
+}
+
+void Run() {
+  const Workload w = BuildTpcw(kTpcwMediumEbs);
+  const auto ws = BuildWorkingSets(w.registry, w.schema);
+
+  PrintHeader("Section 5.3: working-set estimates vs measurement", "MidDB 1.8GB");
+  std::printf("%-14s %14s %14s %18s\n", "type", "SCAP est (MB)", "SC est (MB)",
+              "measured knee (MB)");
+  for (const char* name : {"BestSeller", "OrderDisplay"}) {
+    const TxnTypeId id = w.registry.Find(name);
+    const auto& t = ws[id];
+    const double scap = BytesToMiB(PagesToBytes(t.EstimatePages(EstimationMethod::kSizeContentAccess)));
+    const double sc = BytesToMiB(PagesToBytes(t.EstimatePages(EstimationMethod::kSizeContent)));
+    const double measured = MeasureWorkingSetMb(w, name);
+    std::printf("%-14s %14.0f %14.0f %18.0f\n", name, scap, sc, measured);
+  }
+  std::printf("paper: BestSeller 610 / 608 / 600-650; OrderDisplay 1 / 1600 / 400-450\n");
+
+  // --- Merging ablation ----------------------------------------------------
+  const ClusterConfig config = MakeClusterConfig(512 * kMiB);
+  const int clients = CalibratedClients(w, kTpcwOrdering, config);
+  ClusterConfig no_merge = config;
+  no_merge.malb.enable_merging = false;
+
+  const auto sc_on = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, config, clients);
+  const auto sc_off = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, no_merge, clients);
+  const auto s_on = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbS, config, clients);
+  const auto s_off = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbS, no_merge, clients);
+
+  std::printf("\nmerging ablation (paper: MALB-S 73 -> 66 tps, MALB-SC 76 -> 70 tps):\n");
+  PrintTpsRow("MALB-S,  merging on", 73, s_on.tps, s_on.mean_response_s);
+  PrintTpsRow("MALB-S,  merging off", 66, s_off.tps, s_off.mean_response_s);
+  PrintTpsRow("MALB-SC, merging on", 76, sc_on.tps, sc_on.mean_response_s);
+  PrintTpsRow("MALB-SC, merging off", 70, sc_off.tps, sc_off.mean_response_s);
+}
+
+}  // namespace
+}  // namespace tashkent
+
+int main() {
+  tashkent::Run();
+  return 0;
+}

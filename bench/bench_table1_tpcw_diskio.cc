@@ -1,0 +1,35 @@
+// Table 1: TPC-W average disk I/O per transaction (per replica).
+// Paper: write 12 KB for all methods; reads 72 / 57 / 20 KB
+// (LeastConnections / LARD / MALB-SC); read fraction 1.00 / 0.79 / 0.28.
+#include "bench/bench_common.h"
+#include "src/workload/tpcw.h"
+
+namespace tashkent {
+namespace {
+
+void Run() {
+  const Workload w = BuildTpcw(kTpcwMediumEbs);
+  const ClusterConfig config = MakeClusterConfig(512 * kMiB);
+  const int clients = CalibratedClients(w, kTpcwOrdering, config);
+
+  const auto lc = bench::RunPolicy(w, kTpcwOrdering, Policy::kLeastConnections, config, clients);
+  const auto lard = bench::RunPolicy(w, kTpcwOrdering, Policy::kLard, config, clients);
+  const auto malb = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, config, clients);
+
+  PrintHeader("Table 1: TPC-W average disk I/O per transaction",
+              "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix");
+  PrintIoRow("LeastConnections", 12, 72, lc.write_kb_per_txn, lc.read_kb_per_txn);
+  PrintIoRow("LARD", 12, 57, lard.write_kb_per_txn, lard.read_kb_per_txn);
+  PrintIoRow("MALB-SC", 12, 20, malb.write_kb_per_txn, malb.read_kb_per_txn);
+  std::printf("\nread fraction relative to LeastConnections:\n");
+  PrintRatio("LARD / LC (paper 0.79)", 0.79, lard.read_kb_per_txn / lc.read_kb_per_txn);
+  PrintRatio("MALB-SC / LC (paper 0.28)", 0.28, malb.read_kb_per_txn / lc.read_kb_per_txn);
+}
+
+}  // namespace
+}  // namespace tashkent
+
+int main() {
+  tashkent::Run();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Table 2: TPC-W MALB-SC transaction groupings and replica allocation.
+// Paper: [BestSeller] 2, [AdminRespo] 4, [BuyConfirm] 7,
+//        [BuyRequest, ShopinCart] 1,
+//        [ExecSearch, OrderDispl, OrderInqur, ProducDet] 1,
+//        [HomeAction, NewProduct, SearchRequ, AdmiRqust] 1.
+#include "bench/bench_common.h"
+#include "src/core/bin_packing.h"
+#include "src/workload/tpcw.h"
+
+namespace tashkent {
+namespace {
+
+void Run() {
+  const Workload w = BuildTpcw(kTpcwMediumEbs);
+  const ClusterConfig config = MakeClusterConfig(512 * kMiB);
+
+  // Static packing (what the balancer computes before any load exists).
+  const auto ws = BuildWorkingSets(w.registry, w.schema);
+  const Pages capacity = BytesToPages(config.replica.memory - config.replica.reserved);
+  const auto packing = PackTransactionGroups(ws, capacity, EstimationMethod::kSizeContent);
+
+  PrintHeader("Table 2: TPC-W MALB-SC groupings", "MidDB 1.8GB, capacity 442MB, 16 replicas");
+  std::printf("static packing (%zu groups; paper: 6):\n", packing.groups.size());
+  for (const auto& g : packing.groups) {
+    std::printf("  [");
+    for (size_t i = 0; i < g.types.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "", w.registry.Get(g.types[i]).name.c_str());
+    }
+    std::printf("]  est=%.0f MB%s\n", BytesToMiB(PagesToBytes(g.estimate_pages)),
+                g.overflow ? " (overflow)" : "");
+  }
+
+  // Dynamic allocation after a converged run (paper's replica counts:
+  // BestSeller 2, AdminResponse 4, BuyConfirm 7, others 1 each).
+  const int clients = CalibratedClients(w, kTpcwOrdering, config);
+  const auto run = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, config, clients,
+                                    Seconds(400.0), Seconds(200.0));
+  std::printf("\nreplica allocation after convergence (ordering mix):\n");
+  PrintGroups(run.groups);
+}
+
+}  // namespace
+}  // namespace tashkent
+
+int main() {
+  tashkent::Run();
+  return 0;
+}

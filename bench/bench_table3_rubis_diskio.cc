@@ -1,0 +1,35 @@
+// Table 3: RUBiS average disk I/O per transaction (per replica).
+// Paper: writes 11 KB all methods; reads 162 / 149 / 111 KB
+// (LeastConnections / LARD / MALB-SC); read fraction 1.00 / 0.92 / 0.69.
+#include "bench/bench_common.h"
+#include "src/workload/rubis.h"
+
+namespace tashkent {
+namespace {
+
+void Run() {
+  const Workload w = BuildRubis();
+  const ClusterConfig config = MakeClusterConfig(512 * kMiB);
+  const int clients = CalibratedClients(w, kRubisBidding, config);
+
+  const auto lc = bench::RunPolicy(w, kRubisBidding, Policy::kLeastConnections, config, clients);
+  const auto lard = bench::RunPolicy(w, kRubisBidding, Policy::kLard, config, clients);
+  const auto malb = bench::RunPolicy(w, kRubisBidding, Policy::kMalbSC, config, clients);
+
+  PrintHeader("Table 3: RUBiS average disk I/O per transaction",
+              "DB 2.2GB, RAM 512MB, 16 replicas, bidding mix");
+  PrintIoRow("LeastConnections", 11, 162, lc.write_kb_per_txn, lc.read_kb_per_txn);
+  PrintIoRow("LARD", 11, 149, lard.write_kb_per_txn, lard.read_kb_per_txn);
+  PrintIoRow("MALB-SC", 11, 111, malb.write_kb_per_txn, malb.read_kb_per_txn);
+  std::printf("\nread fraction relative to LeastConnections:\n");
+  PrintRatio("LARD / LC (paper 0.92)", 0.92, lard.read_kb_per_txn / lc.read_kb_per_txn);
+  PrintRatio("MALB-SC / LC (paper 0.69)", 0.69, malb.read_kb_per_txn / lc.read_kb_per_txn);
+}
+
+}  // namespace
+}  // namespace tashkent
+
+int main() {
+  tashkent::Run();
+  return 0;
+}

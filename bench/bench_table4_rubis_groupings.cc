@@ -1,0 +1,46 @@
+// Table 4: RUBiS MALB-SC transaction groupings and replica allocation.
+// Paper: [AboutMe] 9,
+//        [PutBid, StoreComment, ViewBidHistory, ViewUserInfo] 4,
+//        [Auth, BrowseCategories, BrowseRegions, BuyNow, PutComment,
+//         RegisterUser, SearchItemsByRegion, StoreBuyNow] 1,
+//        [RegisterItem, SearchItemsByCategory, StoreBid, viewItem] 2.
+#include "bench/bench_common.h"
+#include "src/core/bin_packing.h"
+#include "src/workload/rubis.h"
+
+namespace tashkent {
+namespace {
+
+void Run() {
+  const Workload w = BuildRubis();
+  const ClusterConfig config = MakeClusterConfig(512 * kMiB);
+
+  const auto ws = BuildWorkingSets(w.registry, w.schema);
+  const Pages capacity = BytesToPages(config.replica.memory - config.replica.reserved);
+  const auto packing = PackTransactionGroups(ws, capacity, EstimationMethod::kSizeContent);
+
+  PrintHeader("Table 4: RUBiS MALB-SC groupings", "DB 2.2GB, capacity 442MB, 16 replicas");
+  std::printf("static packing (%zu groups; paper: 4):\n", packing.groups.size());
+  for (const auto& g : packing.groups) {
+    std::printf("  [");
+    for (size_t i = 0; i < g.types.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "", w.registry.Get(g.types[i]).name.c_str());
+    }
+    std::printf("]  est=%.0f MB%s\n", BytesToMiB(PagesToBytes(g.estimate_pages)),
+                g.overflow ? " (overflow)" : "");
+  }
+
+  const int clients = CalibratedClients(w, kRubisBidding, config);
+  const auto run = bench::RunPolicy(w, kRubisBidding, Policy::kMalbSC, config, clients,
+                                    Seconds(400.0), Seconds(200.0));
+  std::printf("\nreplica allocation after convergence (bidding mix):\n");
+  PrintGroups(run.groups);
+}
+
+}  // namespace
+}  // namespace tashkent
+
+int main() {
+  tashkent::Run();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: build a small replicated cluster, compare two load-balancing
+// policies, and inspect MALB's transaction groups.
+//
+//   $ ./build/examples/quickstart
+//
+// This walks the three layers of the library:
+//   1. Workload — schema + transaction types + mixes (here: TPC-W);
+//   2. Core     — working-set estimation and bin packing (pure algorithms);
+//   3. Cluster  — a simulated 8-replica Tashkent+ deployment.
+#include <cstdio>
+
+#include "src/cluster/cluster.h"
+#include "src/core/bin_packing.h"
+#include "src/core/working_set.h"
+#include "src/workload/tpcw.h"
+
+int main() {
+  using namespace tashkent;
+
+  // 1. A TPC-W database at 300 EBS (1.8 GB) with its three mixes.
+  const Workload workload = BuildTpcw(kTpcwMediumEbs);
+  std::printf("workload: %s, %zu transaction types, %.1f GB\n", workload.name.c_str(),
+              workload.registry.size(),
+              BytesToMiB(workload.schema.TotalBytes()) / 1024.0);
+
+  // 2. What would MALB-SC do with 512 MB replicas? Estimate working sets from
+  //    the plans and pack them into groups that fit the available memory.
+  const auto working_sets = BuildWorkingSets(workload.registry, workload.schema);
+  const Pages capacity = BytesToPages(512 * kMiB - 70 * kMiB);
+  const PackingResult packing =
+      PackTransactionGroups(working_sets, capacity, EstimationMethod::kSizeContent);
+  std::printf("\nMALB-SC transaction groups (capacity %.0f MB):\n",
+              BytesToMiB(PagesToBytes(capacity)));
+  for (const auto& group : packing.groups) {
+    std::printf("  %.0f MB%s: ", BytesToMiB(PagesToBytes(group.estimate_pages)),
+                group.overflow ? " (overflow)" : "");
+    for (TxnTypeId t : group.types) {
+      std::printf("%s ", workload.registry.Get(t).name.c_str());
+    }
+    std::printf("\n");
+  }
+
+  // 3. Run the ordering mix on an 8-replica cluster with two policies.
+  ClusterConfig config;
+  config.replicas = 8;
+  config.clients_per_replica = 6;
+
+  std::printf("\nrunning 8-replica cluster, ordering mix (50%% updates)...\n");
+  Cluster lc(&workload, kTpcwOrdering, Policy::kLeastConnections, config);
+  const ExperimentResult lc_result = lc.Run(Seconds(120.0), Seconds(120.0));
+
+  Cluster malb(&workload, kTpcwOrdering, Policy::kMalbSC, config);
+  const ExperimentResult malb_result = malb.Run(Seconds(120.0), Seconds(120.0));
+
+  std::printf("  LeastConnections: %6.1f tps, %.2f s mean response, %.0f KB read/txn\n",
+              lc_result.tps, lc_result.mean_response_s, lc_result.read_kb_per_txn);
+  std::printf("  MALB-SC:          %6.1f tps, %.2f s mean response, %.0f KB read/txn\n",
+              malb_result.tps, malb_result.mean_response_s, malb_result.read_kb_per_txn);
+  std::printf("  speedup: %.2fx\n", malb_result.tps / lc_result.tps);
+  return 0;
+}

@@ -1,0 +1,522 @@
+#include "src/balancer/malb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace tashkent {
+
+MalbBalancer::MalbBalancer(BalancerContext context, MalbConfig config)
+    : LoadBalancer(std::move(context)), config_(config) {
+  if (context_.proxies.empty()) {
+    throw std::invalid_argument("MALB requires at least one replica");
+  }
+  const ReplicaConfig& rc = context_.proxies.front()->replica().config();
+  capacity_pages_ = BytesToPages(rc.memory - rc.reserved);
+}
+
+std::string MalbBalancer::name() const {
+  std::string n = EstimationMethodName(config_.method);
+  if (config_.update_filtering) {
+    n += "+UpdateFiltering";
+  }
+  return n;
+}
+
+void MalbBalancer::Start() {
+  BuildGroups();
+  InitialAllocation();
+  if (!config_.freeze_allocation) {
+    context_.sim->SchedulePeriodic(context_.sim->Now() + config_.allocation_period,
+                                   config_.allocation_period, [this]() { AllocationTick(); });
+    context_.sim->SchedulePeriodic(context_.sim->Now() + config_.regroup_period,
+                                   config_.regroup_period, [this]() { RegroupTick(); });
+  }
+}
+
+void MalbBalancer::BuildGroups() {
+  working_sets_ = BuildWorkingSets(*context_.registry, *context_.schema);
+  packing_ = PackTransactionGroups(working_sets_, capacity_pages_, config_.method);
+  packing_signature_ = PackingSignature(packing_);
+  groups_.clear();
+  groups_.resize(packing_.groups.size());
+  for (size_t g = 0; g < packing_.groups.size(); ++g) {
+    groups_[g].packed = {g};
+  }
+  RebuildTypeMap();
+}
+
+void MalbBalancer::RebuildTypeMap() {
+  group_of_type_.assign(context_.registry->size(), 0);
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    for (size_t p : groups_[g].packed) {
+      for (TxnTypeId t : packing_.groups[p].types) {
+        group_of_type_[t] = g;
+      }
+    }
+  }
+}
+
+void MalbBalancer::InitialAllocation() {
+  // No load information yet: spread replicas evenly, larger estimates first.
+  std::vector<size_t> order(groups_.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return packing_.groups[groups_[a].packed[0]].estimate_pages >
+           packing_.groups[groups_[b].packed[0]].estimate_pages;
+  });
+  for (auto& g : groups_) {
+    g.replicas.clear();
+  }
+  const size_t n_replicas = context_.proxies.size();
+  if (groups_.empty()) {
+    return;
+  }
+  size_t next = 0;
+  for (size_t r = 0; r < n_replicas; ++r) {
+    groups_[order[next]].replicas.push_back(r);
+    next = (next + 1) % order.size();
+  }
+}
+
+size_t MalbBalancer::Route(const TxnType& type) {
+  const RuntimeGroup& group = groups_[group_of_type_[type.id]];
+  const std::vector<size_t>& candidates =
+      group.replicas.empty() ? groups_.front().replicas : group.replicas;
+  if (candidates.empty()) {
+    return 0;
+  }
+  size_t best = candidates[0];
+  size_t best_out = SIZE_MAX;
+  for (size_t candidate : candidates) {
+    if (!context_.proxies[candidate]->available()) {
+      continue;
+    }
+    const size_t out = context_.proxies[candidate]->outstanding();
+    if (out < best_out) {
+      best = candidate;
+      best_out = out;
+    }
+  }
+  if (best_out == SIZE_MAX) {
+    // The whole group crashed: fall back to any available replica.
+    for (size_t r = 0; r < context_.proxies.size(); ++r) {
+      if (context_.proxies[r]->available()) {
+        return r;
+      }
+    }
+    return best;
+  }
+  // Spill valve: if the whole group is drowning and someone else is idle,
+  // sacrifice locality for parallelism rather than queueing behind the group.
+  // Never spill once filtering is active: other replicas may hold stale
+  // copies of this type's tables.
+  if (config_.spill_factor > 0 && !filtering_installed_) {
+    const double limit =
+        config_.spill_factor * static_cast<double>(context_.proxies[best]->max_in_flight());
+    if (static_cast<double>(best_out) >= limit) {
+      size_t idle = best;
+      size_t idle_out = best_out;
+      for (size_t r = 0; r < context_.proxies.size(); ++r) {
+        if (!context_.proxies[r]->available()) {
+          continue;
+        }
+        const size_t out = context_.proxies[r]->outstanding();
+        if (out < idle_out) {
+          idle = r;
+          idle_out = out;
+        }
+      }
+      if (idle_out <= 1) {
+        return idle;
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<GroupLoad> MalbBalancer::SnapshotLoads() const {
+  std::vector<GroupLoad> loads(groups_.size());
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    GroupLoad& load = loads[g];
+    load.replicas = static_cast<int>(groups_[g].replicas.size());
+    if (groups_[g].replicas.empty()) {
+      continue;
+    }
+    double cpu = 0.0;
+    double disk = 0.0;
+    double pressure = 0.0;
+    for (size_t r : groups_[g].replicas) {
+      const Proxy* proxy = context_.proxies[r];
+      cpu += proxy->replica().smoothed_cpu();
+      disk += proxy->replica().smoothed_disk();
+      const double mpl = static_cast<double>(proxy->max_in_flight());
+      const double backlog = static_cast<double>(proxy->outstanding()) - mpl;
+      if (backlog > 0) {
+        pressure += backlog / mpl;
+      }
+    }
+    const double n = static_cast<double>(groups_[g].replicas.size());
+    load.cpu = cpu / n;
+    load.disk = disk / n;
+    // Queue-pressure extension: fold saturation overflow into the bottleneck
+    // measure so fully-saturated groups still compare by demand.
+    const double extra = config_.queue_pressure_weight * pressure / n;
+    if (extra > 0) {
+      if (load.cpu >= load.disk) {
+        load.cpu += extra;
+      } else {
+        load.disk += extra;
+      }
+    }
+  }
+  return loads;
+}
+
+void MalbBalancer::AllocationTick() {
+  if (config_.freeze_allocation) {
+    return;
+  }
+  // Availability first: drop crashed replicas from their groups and adopt
+  // restarted ones into the thinnest group; this runs even when filtering
+  // froze the allocation, since redundancy trumps stability (Section 3).
+  const bool membership_changed = PruneAndAdoptReplicas();
+  if (membership_changed && filtering_installed_) {
+    InstallSubscriptions();
+  }
+  if (filtering_installed_ && config_.filtering_mode == FilteringMode::kFreezeWhenStable) {
+    return;  // Section 4.2.3: dynamics disabled under filtering
+  }
+  const std::vector<GroupLoad> loads = SnapshotLoads();
+  bool moved = membership_changed;
+
+  // Undoing a merge takes priority over stealing replicas: if a merged
+  // replica became the hottest spot, the memory contention it created must
+  // stop first.
+  if (TrySplitMostLoaded(loads)) {
+    moved = true;
+  } else if (config_.enable_fast_realloc &&
+             ShouldFastReallocate(loads, static_cast<int>(context_.proxies.size()),
+                                  config_.alloc)) {
+    ApplyFastTargets(ComputeFastTargets(loads, static_cast<int>(context_.proxies.size())));
+    moved = true;
+  } else if (auto move = PickRebalanceMove(loads, config_.alloc)) {
+    MoveReplica(move->from, move->to);
+    moved = true;
+  } else if (config_.enable_merging && TryMerge(loads)) {
+    moved = true;
+  }
+
+  if (filtering_installed_ && moved) {
+    // Dynamic mode: the assignment changed, so the table subscriptions must
+    // follow it (replicas joining a group pick its tables up cold).
+    InstallSubscriptions();
+  } else {
+    MaybeInstallFiltering(moved, loads);
+  }
+}
+
+bool MalbBalancer::PruneAndAdoptReplicas() {
+  bool changed = false;
+  std::vector<bool> assigned(context_.proxies.size(), false);
+  for (auto& g : groups_) {
+    for (size_t i = 0; i < g.replicas.size();) {
+      if (!context_.proxies[g.replicas[i]]->available()) {
+        g.replicas[i] = g.replicas.back();
+        g.replicas.pop_back();
+        changed = true;
+      } else {
+        assigned[g.replicas[i]] = true;
+        ++i;
+      }
+    }
+  }
+  for (size_t r = 0; r < context_.proxies.size(); ++r) {
+    if (assigned[r] || !context_.proxies[r]->available()) {
+      continue;
+    }
+    // A restarted (or never-assigned) replica joins the thinnest group.
+    size_t thinnest = 0;
+    for (size_t g = 1; g < groups_.size(); ++g) {
+      if (groups_[g].replicas.size() < groups_[thinnest].replicas.size()) {
+        thinnest = g;
+      }
+    }
+    groups_[thinnest].replicas.push_back(r);
+    changed = true;
+  }
+  return changed;
+}
+
+bool MalbBalancer::TrySplitMostLoaded(const std::vector<GroupLoad>& loads) {
+  size_t most = 0;
+  for (size_t i = 1; i < loads.size(); ++i) {
+    if (loads[i].Load() > loads[most].Load()) {
+      most = i;
+    }
+  }
+  if (loads.empty() || !groups_[most].merged()) {
+    return false;
+  }
+  // Find a donor replica for the second half of the split.
+  size_t donor = groups_.size();
+  double min_future = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < groups_.size(); ++i) {
+    if (i == most) {
+      continue;
+    }
+    const double future = loads[i].FutureLoadIfRemoved();
+    if (future < min_future) {
+      min_future = future;
+      donor = i;
+    }
+  }
+  if (donor == groups_.size() || !std::isfinite(min_future)) {
+    return false;
+  }
+
+  // Split: the merged group's packed halves become two runtime groups; the
+  // first keeps the existing replicas, the second takes one from the donor.
+  RuntimeGroup& merged = groups_[most];
+  RuntimeGroup second;
+  second.packed.assign(merged.packed.begin() + 1, merged.packed.end());
+  merged.packed.resize(1);
+  const size_t stolen = PickDonorReplica(groups_[donor]);
+  second.replicas.push_back(stolen);
+  groups_.push_back(std::move(second));
+  RebuildTypeMap();
+  return true;
+}
+
+bool MalbBalancer::TryMerge(const std::vector<GroupLoad>& loads) {
+  auto pick = PickMergeCandidates(loads, config_.alloc);
+  if (!pick) {
+    return false;
+  }
+  auto [a, b] = *pick;
+  // Merge b into a: both packed groups share a's single replica, b's replica
+  // is freed for the most loaded group.
+  size_t most = 0;
+  for (size_t i = 1; i < loads.size(); ++i) {
+    if (loads[i].Load() > loads[most].Load()) {
+      most = i;
+    }
+  }
+  if (most == a || most == b) {
+    return false;  // nothing would gain from the reclaimed replica
+  }
+  RuntimeGroup& ga = groups_[a];
+  RuntimeGroup& gb = groups_[b];
+  ga.packed.insert(ga.packed.end(), gb.packed.begin(), gb.packed.end());
+  groups_[most].replicas.push_back(gb.replicas.front());
+  groups_.erase(groups_.begin() + static_cast<std::ptrdiff_t>(b));
+  RebuildTypeMap();
+  return true;
+}
+
+size_t MalbBalancer::PickDonorReplica(RuntimeGroup& donor) {
+  // Take the replica with the fewest outstanding transactions; in-flight work
+  // drains where it is, new work routes to the new group immediately.
+  size_t best_idx = 0;
+  size_t best_out = context_.proxies[donor.replicas[0]]->outstanding();
+  for (size_t i = 1; i < donor.replicas.size(); ++i) {
+    const size_t out = context_.proxies[donor.replicas[i]]->outstanding();
+    if (out < best_out) {
+      best_idx = i;
+      best_out = out;
+    }
+  }
+  const size_t replica = donor.replicas[best_idx];
+  donor.replicas.erase(donor.replicas.begin() + static_cast<std::ptrdiff_t>(best_idx));
+  return replica;
+}
+
+void MalbBalancer::MoveReplica(size_t from_group, size_t to_group) {
+  if (groups_[from_group].replicas.size() <= 1) {
+    return;  // never strand a group
+  }
+  const size_t replica = PickDonorReplica(groups_[from_group]);
+  groups_[to_group].replicas.push_back(replica);
+}
+
+void MalbBalancer::ApplyFastTargets(const std::vector<int>& targets) {
+  // Collect surplus replicas from groups above target, hand them to groups
+  // below target, largest deficit first.
+  std::vector<size_t> pool;
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    while (static_cast<int>(groups_[g].replicas.size()) > targets[g] &&
+           groups_[g].replicas.size() > 1) {
+      pool.push_back(PickDonorReplica(groups_[g]));
+    }
+  }
+  while (!pool.empty()) {
+    size_t needy = groups_.size();
+    int worst_deficit = 0;
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      const int deficit = targets[g] - static_cast<int>(groups_[g].replicas.size());
+      if (deficit > worst_deficit) {
+        worst_deficit = deficit;
+        needy = g;
+      }
+    }
+    if (needy == groups_.size()) {
+      // Targets met; return leftovers to the first group (should not happen
+      // when targets sum to the replica count).
+      groups_.front().replicas.push_back(pool.back());
+      pool.pop_back();
+      continue;
+    }
+    groups_[needy].replicas.push_back(pool.back());
+    pool.pop_back();
+  }
+}
+
+void MalbBalancer::RegroupTick() {
+  if (filtering_installed_ || config_.freeze_allocation) {
+    return;
+  }
+  // Re-read catalog sizes; if packing changes (table growth/shrinkage moved a
+  // type across a bin boundary), rebuild groups and start over with an even
+  // allocation.
+  std::vector<TypeWorkingSet> fresh = BuildWorkingSets(*context_.registry, *context_.schema);
+  PackingResult repacked = PackTransactionGroups(fresh, capacity_pages_, config_.method);
+  if (PackingSignature(repacked) == packing_signature_) {
+    return;
+  }
+  working_sets_ = std::move(fresh);
+  packing_ = std::move(repacked);
+  packing_signature_ = PackingSignature(packing_);
+  groups_.clear();
+  groups_.resize(packing_.groups.size());
+  for (size_t g = 0; g < packing_.groups.size(); ++g) {
+    groups_[g].packed = {g};
+  }
+  RebuildTypeMap();
+  InitialAllocation();
+  stable_ticks_ = 0;
+}
+
+uint64_t MalbBalancer::PackingSignature(const PackingResult& packing) const {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const auto& g : packing.groups) {
+    mix(0x9e3779b9);
+    for (TxnTypeId t : g.types) {
+      mix(t + 1);
+    }
+  }
+  return h;
+}
+
+std::unordered_set<RelationId> MalbBalancer::GroupTables(const RuntimeGroup& group) const {
+  // Subscription = every relation referenced by any member type (not just the
+  // packed/scanned ones): the replica must apply updates for all tables its
+  // transactions read.
+  std::unordered_set<RelationId> tables;
+  for (size_t p : group.packed) {
+    for (TxnTypeId t : packing_.groups[p].types) {
+      for (const auto& e : working_sets_[t].relations) {
+        tables.insert(e.relation);
+      }
+    }
+  }
+  return tables;
+}
+
+void MalbBalancer::MaybeInstallFiltering(bool moved, const std::vector<GroupLoad>& loads) {
+  if (!config_.update_filtering || filtering_installed_) {
+    return;
+  }
+  // Filtering freezes the allocation, so it must only engage once the
+  // allocation has truly converged: no moves this tick AND every group within
+  // one replica of its balance-equation target. A transient lull with a badly
+  // skewed allocation must not freeze the system into it.
+  bool converged = !moved;
+  if (converged) {
+    const std::vector<int> targets =
+        ComputeFastTargets(loads, static_cast<int>(context_.proxies.size()));
+    for (size_t g = 0; g < groups_.size() && g < targets.size(); ++g) {
+      if (std::abs(targets[g] - static_cast<int>(groups_[g].replicas.size())) > 1) {
+        converged = false;
+        break;
+      }
+    }
+  }
+  stable_ticks_ = converged ? stable_ticks_ + 1 : 0;
+  if (stable_ticks_ < config_.stable_ticks_for_filtering) {
+    return;
+  }
+
+  filtering_installed_ = true;
+  InstallSubscriptions();
+}
+
+void MalbBalancer::InstallSubscriptions() {
+  std::vector<std::vector<ReplicaId>> group_replicas;
+  std::vector<std::unordered_set<RelationId>> group_tables;
+  for (const auto& g : groups_) {
+    std::vector<ReplicaId> ids;
+    for (size_t r : g.replicas) {
+      ids.push_back(context_.proxies[r]->replica_id());
+    }
+    group_replicas.push_back(std::move(ids));
+    group_tables.push_back(GroupTables(g));
+  }
+  const auto standbys = PlanStandbys(group_replicas, group_tables, config_.min_copies);
+
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    for (size_t r : groups_[g].replicas) {
+      Proxy* proxy = context_.proxies[r];
+      std::unordered_set<RelationId> subscription = group_tables[g];
+      // A replica can serve several merged groups; GroupTables already merged
+      // them. Add standby duties.
+      auto it = standbys.find(proxy->replica_id());
+      if (it != standbys.end()) {
+        subscription.insert(it->second.begin(), it->second.end());
+      }
+      // Drop only what changed: relations leaving the subscription free their
+      // cache space; relations entering it are stale (their updates were
+      // filtered) and must be reread from a clean slate. Unchanged tables keep
+      // their cache — rebuilds must not wipe warm replicas.
+      const auto& old_sub = proxy->subscription();
+      for (const auto& rel : context_.schema->relations()) {
+        const bool now_in = subscription.find(rel.id) != subscription.end();
+        const bool was_in = !old_sub.has_value() ||
+                            old_sub->find(rel.id) != old_sub->end();
+        if (now_in != was_in) {
+          proxy->replica().DropRelation(rel.id);
+        }
+      }
+      proxy->SetSubscription(std::move(subscription));
+    }
+  }
+}
+
+std::vector<std::vector<TxnTypeId>> MalbBalancer::GroupTypeIds() const {
+  std::vector<std::vector<TxnTypeId>> out;
+  for (const auto& g : groups_) {
+    std::vector<TxnTypeId> types;
+    for (size_t p : g.packed) {
+      types.insert(types.end(), packing_.groups[p].types.begin(), packing_.groups[p].types.end());
+    }
+    std::sort(types.begin(), types.end());
+    out.push_back(std::move(types));
+  }
+  return out;
+}
+
+std::vector<int> MalbBalancer::GroupReplicaCounts() const {
+  std::vector<int> out;
+  for (const auto& g : groups_) {
+    out.push_back(static_cast<int>(g.replicas.size()));
+  }
+  return out;
+}
+
+}  // namespace tashkent

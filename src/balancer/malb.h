@@ -1,0 +1,153 @@
+// Memory-aware load balancing: the MALB-S / MALB-SC / MALB-SCAP dispatcher.
+//
+// On Start() the balancer builds working sets from plan + catalog facts
+// (src/core/working_set.h), packs them into transaction groups
+// (src/core/bin_packing.h) against the replica memory available after the
+// 70 MB system reservation, and spreads replicas over the groups. A periodic
+// allocation tick then:
+//   1. refreshes per-group loads from the replica monitors (smoothed CPU and
+//      disk utilizations, MAX as the bottleneck measure);
+//   2. if a *merged* group has become the most loaded, splits it first —
+//      memory contention from merging must be undone before stealing replicas
+//      (Section 2.4, "Merging Low Utilization Transaction Groups");
+//   3. otherwise runs fast reallocation (balance equations) when the workload
+//      shifted dramatically, or a single hysteresis-gated move;
+//   4. merges two drastically under-utilized single-replica groups to reclaim
+//      a replica.
+// A slower periodic re-grouping tick re-reads catalog sizes and re-packs when
+// table growth changes the packing.
+//
+// Update filtering (Section 3): once the allocation has been stable for a few
+// ticks, dynamics freeze and each proxy receives the table subscription for
+// its group(s), plus standby subscriptions so every type and table keeps
+// `min_copies` up-to-date replicas.
+//
+// Engineering note (extension over the paper, see DESIGN.md): utilizations
+// saturate at 100% under closed-loop overload, hiding demand differences
+// between two saturated groups. The balancer therefore adds a queue-pressure
+// term (outstanding transactions beyond the gatekeeper limit, normalized) to
+// the group load before comparing. The ablation bench toggles this off.
+#ifndef SRC_BALANCER_MALB_H_
+#define SRC_BALANCER_MALB_H_
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/balancer/balancer.h"
+#include "src/core/allocation.h"
+#include "src/core/availability.h"
+#include "src/core/bin_packing.h"
+#include "src/core/working_set.h"
+
+namespace tashkent {
+
+// How update filtering interacts with dynamic replica allocation.
+enum class FilteringMode {
+  // Section 4.2.3: dynamic allocation is disabled once filtering engages; the
+  // allocation freezes at the stable configuration.
+  kFreezeWhenStable,
+  // The paper's stated future work: allocation keeps adapting and the proxy
+  // subscriptions are rebuilt after every move. A replica joining a group
+  // subscribes to its tables and catches up with a cold cache.
+  kDynamic,
+};
+
+struct MalbConfig {
+  EstimationMethod method = EstimationMethod::kSizeContent;
+  AllocationConfig alloc;
+  // Allocation tick period; the paper's monitors feed continuously, decisions
+  // happen at this cadence.
+  SimDuration allocation_period = Seconds(5.0);
+  // Catalog re-read / re-pack period.
+  SimDuration regroup_period = Seconds(60.0);
+  bool enable_merging = true;
+  bool enable_fast_realloc = true;
+  // Freeze dynamic allocation entirely (used for the Figure 6 static-config
+  // baseline).
+  bool freeze_allocation = false;
+  // Update filtering (Section 3).
+  bool update_filtering = false;
+  FilteringMode filtering_mode = FilteringMode::kDynamic;
+  int stable_ticks_for_filtering = 3;
+  int min_copies = 2;  // availability target under filtering
+  // Weight of the queue-pressure extension; 0 disables it.
+  double queue_pressure_weight = 1.0;
+  // Spill safety valve: when every replica of a group is severely backlogged
+  // (outstanding >= spill_factor x the gatekeeper limit) and an idle replica
+  // exists elsewhere, dispatch there instead. This keeps MALB "at least as
+  // good as LeastConnections" (Section 5.6) when memory is plentiful and
+  // partitioning restricts parallelism; 0 disables spilling.
+  double spill_factor = 2.0;
+};
+
+class MalbBalancer : public LoadBalancer {
+ public:
+  MalbBalancer(BalancerContext context, MalbConfig config = {});
+
+  void Start() override;
+  size_t Route(const TxnType& type) override;
+  std::string name() const override;
+
+  // A runtime group: one or more packed groups sharing a replica allocation
+  // (more than one only after merging).
+  struct RuntimeGroup {
+    std::vector<size_t> packed;      // indices into packing().groups
+    std::vector<size_t> replicas;    // proxy indices serving this group
+    bool merged() const { return packed.size() > 1; }
+  };
+
+  const PackingResult& packing() const { return packing_; }
+  const std::vector<RuntimeGroup>& runtime_groups() const { return groups_; }
+  bool filtering_installed() const { return filtering_installed_; }
+
+  // Group sizes/types for reporting (Tables 2 and 4).
+  std::vector<std::vector<TxnTypeId>> GroupTypeIds() const;
+  std::vector<int> GroupReplicaCounts() const;
+
+  // Current load snapshot, exposed for tests and benches.
+  std::vector<GroupLoad> SnapshotLoads() const;
+
+  // Forces one allocation tick immediately (tests).
+  void TickForTest() { AllocationTick(); }
+
+  // Permanently freezes the current allocation (Figure 6 static baseline).
+  // A truly static configuration also forgoes the spill valve — no dynamic
+  // reaction of any kind.
+  void Freeze() {
+    config_.freeze_allocation = true;
+    config_.spill_factor = 0.0;
+  }
+
+ private:
+  void BuildGroups();
+  void InitialAllocation();
+  void AllocationTick();
+  void RegroupTick();
+  void RebuildTypeMap();
+  void MoveReplica(size_t from_group, size_t to_group);
+  bool PruneAndAdoptReplicas();
+  size_t PickDonorReplica(RuntimeGroup& donor);
+  void ApplyFastTargets(const std::vector<int>& targets);
+  bool TrySplitMostLoaded(const std::vector<GroupLoad>& loads);
+  bool TryMerge(const std::vector<GroupLoad>& loads);
+  void MaybeInstallFiltering(bool moved, const std::vector<GroupLoad>& loads);
+  void InstallSubscriptions();
+  std::unordered_set<RelationId> GroupTables(const RuntimeGroup& group) const;
+  uint64_t PackingSignature(const PackingResult& packing) const;
+
+  MalbConfig config_;
+  Pages capacity_pages_ = 0;
+  std::vector<TypeWorkingSet> working_sets_;
+  PackingResult packing_;
+  std::vector<RuntimeGroup> groups_;
+  std::vector<size_t> group_of_type_;  // TxnTypeId -> runtime group index
+  int stable_ticks_ = 0;
+  bool filtering_installed_ = false;
+  uint64_t packing_signature_ = 0;
+};
+
+}  // namespace tashkent
+
+#endif  // SRC_BALANCER_MALB_H_

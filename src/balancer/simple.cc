@@ -1,0 +1,38 @@
+#include "src/balancer/simple.h"
+
+namespace tashkent {
+
+size_t RoundRobinBalancer::Route(const TxnType& type) {
+  (void)type;
+  const size_t n = context_.proxies.size();
+  for (size_t attempt = 0; attempt < n; ++attempt) {
+    const size_t pick = next_;
+    next_ = (next_ + 1) % n;
+    if (context_.proxies[pick]->available()) {
+      return pick;
+    }
+  }
+  return next_;  // nothing available: let the submission fail fast
+}
+
+size_t LeastConnectionsBalancer::Route(const TxnType& type) {
+  (void)type;
+  const size_t n = context_.proxies.size();
+  size_t best = rotate_ % n;
+  size_t best_outstanding = SIZE_MAX;
+  for (size_t off = 0; off < n; ++off) {
+    const size_t i = (rotate_ + off) % n;
+    if (!context_.proxies[i]->available()) {
+      continue;
+    }
+    const size_t out = context_.proxies[i]->outstanding();
+    if (out < best_outstanding) {
+      best = i;
+      best_outstanding = out;
+    }
+  }
+  rotate_ = (rotate_ + 1) % n;
+  return best;
+}
+
+}  // namespace tashkent

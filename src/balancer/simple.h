@@ -1,0 +1,37 @@
+// Baseline policies: RoundRobin and LeastConnections (Section 4.3).
+//
+// LeastConnections uses the number of outstanding requests at each replica as
+// its load measure — "a form of weighted round robin" with no transaction-type
+// information at all.
+#ifndef SRC_BALANCER_SIMPLE_H_
+#define SRC_BALANCER_SIMPLE_H_
+
+#include "src/balancer/balancer.h"
+
+namespace tashkent {
+
+class RoundRobinBalancer : public LoadBalancer {
+ public:
+  using LoadBalancer::LoadBalancer;
+
+  size_t Route(const TxnType& type) override;
+  std::string name() const override { return "RoundRobin"; }
+
+ private:
+  size_t next_ = 0;
+};
+
+class LeastConnectionsBalancer : public LoadBalancer {
+ public:
+  using LoadBalancer::LoadBalancer;
+
+  size_t Route(const TxnType& type) override;
+  std::string name() const override { return "LeastConnections"; }
+
+ private:
+  size_t rotate_ = 0;  // breaks ties fairly
+};
+
+}  // namespace tashkent
+
+#endif  // SRC_BALANCER_SIMPLE_H_

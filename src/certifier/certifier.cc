@@ -1,0 +1,66 @@
+#include "src/certifier/certifier.h"
+
+namespace tashkent {
+
+CertifyResult Certifier::Certify(Writeset ws, ReplicaId replica, Version applied_version) {
+  NoteReplicaVersion(replica, applied_version);
+  CertifyResult result;
+  result.remote = CollectSince(applied_version);
+
+  if (checker_.Check(ws)) {
+    ws.commit_version = next_version_++;
+    checker_.Record(ws);
+    result.committed = true;
+    result.commit_version = ws.commit_version;
+    ++certified_;
+    log_.push_back(std::move(ws));
+  } else {
+    ++aborted_;
+  }
+  MaybeProdLaggards();
+  return result;
+}
+
+std::vector<const Writeset*> Certifier::Pull(ReplicaId replica, Version applied_version) {
+  NoteReplicaVersion(replica, applied_version);
+  if (replica < prod_outstanding_.size()) {
+    prod_outstanding_[replica] = false;
+  }
+  return CollectSince(applied_version);
+}
+
+std::vector<const Writeset*> Certifier::CollectSince(Version applied_version) const {
+  std::vector<const Writeset*> out;
+  // The log is append-only with commit versions 1..head; index = version - 1.
+  const Version head = head_version();
+  for (Version v = applied_version + 1; v <= head; ++v) {
+    out.push_back(&log_[v - 1]);
+  }
+  return out;
+}
+
+void Certifier::NoteReplicaVersion(ReplicaId replica, Version applied_version) {
+  if (replica >= replica_version_.size()) {
+    replica_version_.resize(replica + 1, 0);
+    prod_outstanding_.resize(replica + 1, false);
+  }
+  if (replica_version_[replica] < applied_version) {
+    replica_version_[replica] = applied_version;
+  }
+}
+
+void Certifier::MaybeProdLaggards() {
+  if (!prod_cb_) {
+    return;
+  }
+  const Version head = head_version();
+  for (ReplicaId r = 0; r < replica_version_.size(); ++r) {
+    if (!prod_outstanding_[r] && head > replica_version_[r] &&
+        head - replica_version_[r] > config_.prod_threshold) {
+      prod_outstanding_[r] = true;
+      prod_cb_(r);
+    }
+  }
+}
+
+}  // namespace tashkent

@@ -1,0 +1,96 @@
+// The certifier: global commit order, durability, and update propagation.
+//
+// Tashkent's certifier [EDP06] receives writesets from replica proxies,
+// detects write-write conflicts, appends successful writesets to a persistent
+// log (uniting durability with ordering, so replicas never fsync), and
+// responds with both the verdict and any remote writesets the replica has not
+// yet applied — propagation piggybacks on certification. Two auxiliary
+// triggers keep idle or lagging replicas current: proxies pull every 500 ms,
+// and the certifier prods replicas more than 25 commits behind.
+//
+// The certifier here is a passive component: the cluster wiring imposes
+// network latency and invokes it; replication of the certifier itself
+// (leader + 2 backups in the paper) is modeled by the configured latency.
+#ifndef SRC_CERTIFIER_CERTIFIER_H_
+#define SRC_CERTIFIER_CERTIFIER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/gsi/certification.h"
+#include "src/gsi/writeset.h"
+
+namespace tashkent {
+
+struct CertifierConfig {
+  // One-way proxy->certifier network latency (LAN).
+  SimDuration network_one_way = Micros(120);
+  // Certifier processing (conflict test + log append + group commit share).
+  SimDuration certify_cost = Micros(200);
+  // Replicas lagging by more than this many commits get prodded.
+  uint64_t prod_threshold = 25;
+  // Idle proxies pull updates at this period.
+  SimDuration pull_period = Millis(500);
+};
+
+struct CertifyResult {
+  bool committed = false;
+  Version commit_version = 0;
+  // Remote writesets (commit_version > the replica's reported applied
+  // version, excluding its own writeset) that the replica must apply before
+  // committing locally. Pointers into the certifier log, which is append-only.
+  std::vector<const Writeset*> remote;
+};
+
+class Certifier {
+ public:
+  explicit Certifier(CertifierConfig config = {}) : config_(config) {}
+
+  Certifier(const Certifier&) = delete;
+  Certifier& operator=(const Certifier&) = delete;
+
+  // Certifies `ws` from a replica whose last applied version is
+  // `applied_version`. On success the writeset is appended to the log with the
+  // next commit version. Either way, pending remote writesets are returned.
+  CertifyResult Certify(Writeset ws, ReplicaId replica, Version applied_version);
+
+  // A pull request (periodic, or in response to a prod): returns writesets the
+  // replica has not applied yet.
+  std::vector<const Writeset*> Pull(ReplicaId replica, Version applied_version);
+
+  // Registers the prod callback: invoked with the replica id when it falls
+  // more than prod_threshold commits behind the log head.
+  void SetProdCallback(std::function<void(ReplicaId)> cb) { prod_cb_ = std::move(cb); }
+
+  Version head_version() const { return next_version_ - 1; }
+  const std::deque<Writeset>& log() const { return log_; }
+  const CertifierConfig& config() const { return config_; }
+
+  uint64_t certified_count() const { return certified_; }
+  uint64_t aborted_count() const { return aborted_; }
+
+  // Compacts conflict-checker state; callable once all replicas passed
+  // `floor`.
+  void PruneBelow(Version floor) { checker_.PruneBelow(floor); }
+
+ private:
+  std::vector<const Writeset*> CollectSince(Version applied_version) const;
+  void NoteReplicaVersion(ReplicaId replica, Version applied_version);
+  void MaybeProdLaggards();
+
+  CertifierConfig config_;
+  ConflictChecker checker_;
+  std::deque<Writeset> log_;
+  Version next_version_ = 1;
+  uint64_t certified_ = 0;
+  uint64_t aborted_ = 0;
+  std::vector<Version> replica_version_;  // last reported applied version
+  std::vector<bool> prod_outstanding_;
+  std::function<void(ReplicaId)> prod_cb_;
+};
+
+}  // namespace tashkent
+
+#endif  // SRC_CERTIFIER_CERTIFIER_H_

@@ -1,0 +1,68 @@
+#include "src/cluster/calibration.h"
+
+#include <array>
+
+namespace tashkent {
+
+namespace {
+
+double StandaloneTps(const Workload& workload, const std::string& mix_name,
+                     ClusterConfig config, int clients, SimDuration warmup, SimDuration measure,
+                     double* response_s) {
+  config.replicas = 1;
+  config.clients_per_replica = clients;
+  Cluster cluster(&workload, mix_name, Policy::kLeastConnections, config);
+  const ExperimentResult r = cluster.Run(warmup, measure);
+  if (response_s != nullptr) {
+    *response_s = r.mean_response_s;
+  }
+  return r.tps;
+}
+
+}  // namespace
+
+CalibrationResult CalibrateClientsPerReplica(const Workload& workload,
+                                             const std::string& mix_name, ClusterConfig config,
+                                             SimDuration warmup, SimDuration measure) {
+  // Geometric sweep; the closed-loop plateau is flat once the bottleneck
+  // saturates, so stop after throughput stops improving.
+  static constexpr std::array<int, 12> kSweep = {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64};
+
+  CalibrationResult out;
+  std::array<double, kSweep.size()> tps{};
+  double peak = 0.0;
+  size_t last = 0;
+  for (size_t i = 0; i < kSweep.size(); ++i) {
+    tps[i] = StandaloneTps(workload, mix_name, config, kSweep[i], warmup, measure, nullptr);
+    peak = std::max(peak, tps[i]);
+    last = i;
+    if (i >= 2 && tps[i] < 1.03 * tps[i - 1] && tps[i - 1] < 1.03 * tps[i - 2]) {
+      break;  // two consecutive non-improvements: saturated
+    }
+  }
+  out.single_peak_tps = peak;
+
+  for (size_t i = 0; i <= last; ++i) {
+    if (tps[i] >= 0.85 * peak) {
+      out.clients_per_replica = kSweep[i];
+      out.single_85_tps = tps[i];
+      break;
+    }
+  }
+  // Re-measure response time at the chosen population.
+  double resp = 0.0;
+  StandaloneTps(workload, mix_name, config, out.clients_per_replica, warmup, measure, &resp);
+  out.single_response_s = resp;
+  return out;
+}
+
+ExperimentResult RunStandalone(const Workload& workload, const std::string& mix_name,
+                               ClusterConfig config, int clients, SimDuration warmup,
+                               SimDuration measure) {
+  config.replicas = 1;
+  config.clients_per_replica = clients;
+  Cluster cluster(&workload, mix_name, Policy::kLeastConnections, config);
+  return cluster.Run(warmup, measure);
+}
+
+}  // namespace tashkent

@@ -1,0 +1,195 @@
+#include "src/cluster/cluster.h"
+
+#include <utility>
+
+namespace tashkent {
+
+const char* PolicyName(Policy p) {
+  switch (p) {
+    case Policy::kRoundRobin:
+      return "RoundRobin";
+    case Policy::kLeastConnections:
+      return "LeastConnections";
+    case Policy::kLard:
+      return "LARD";
+    case Policy::kMalbS:
+      return "MALB-S";
+    case Policy::kMalbSC:
+      return "MALB-SC";
+    case Policy::kMalbSCAP:
+      return "MALB-SCAP";
+  }
+  return "?";
+}
+
+Cluster::Cluster(const Workload* workload, std::string mix_name, Policy policy,
+                 ClusterConfig config)
+    : workload_(workload),
+      policy_(policy),
+      config_(config),
+      certifier_(config.certifier),
+      timeline_(config.timeline_bucket) {
+  Rng root(config_.seed);
+
+  for (size_t r = 0; r < config_.replicas; ++r) {
+    replicas_.push_back(std::make_unique<Replica>(&sim_, &workload->schema,
+                                                  static_cast<ReplicaId>(r), config_.replica,
+                                                  root.Fork()));
+    proxies_.push_back(
+        std::make_unique<Proxy>(&sim_, replicas_.back().get(), &certifier_, config_.proxy));
+  }
+  certifier_.SetProdCallback([this](ReplicaId r) {
+    if (r < proxies_.size()) {
+      proxies_[r]->OnProd();
+    }
+  });
+
+  BalancerContext ctx;
+  ctx.sim = &sim_;
+  ctx.registry = &workload->registry;
+  ctx.schema = &workload->schema;
+  for (auto& p : proxies_) {
+    ctx.proxies.push_back(p.get());
+  }
+
+  switch (policy_) {
+    case Policy::kRoundRobin:
+      balancer_ = std::make_unique<RoundRobinBalancer>(std::move(ctx));
+      break;
+    case Policy::kLeastConnections:
+      balancer_ = std::make_unique<LeastConnectionsBalancer>(std::move(ctx));
+      break;
+    case Policy::kLard:
+      balancer_ = std::make_unique<LardBalancer>(std::move(ctx), config_.lard);
+      break;
+    case Policy::kMalbS:
+    case Policy::kMalbSC:
+    case Policy::kMalbSCAP: {
+      MalbConfig mc = config_.malb;
+      mc.method = policy_ == Policy::kMalbS     ? EstimationMethod::kSize
+                  : policy_ == Policy::kMalbSC  ? EstimationMethod::kSizeContent
+                                                : EstimationMethod::kSizeContentAccess;
+      auto malb = std::make_unique<MalbBalancer>(std::move(ctx), mc);
+      malb_ = malb.get();
+      balancer_ = std::move(malb);
+      break;
+    }
+  }
+
+  const size_t n_clients = static_cast<size_t>(config_.clients_per_replica) * config_.replicas;
+  clients_ = std::make_unique<ClientPool>(&sim_, workload_, &workload_->MixByName(mix_name),
+                                          n_clients, config_.mean_think, root.Fork());
+  clients_->SetDispatch([this](const TxnType& type, std::function<void(bool)> done) {
+    const size_t idx = balancer_->Route(type);
+    proxies_[idx]->SubmitTransaction(type, [this, idx, &type,
+                                            done = std::move(done)](bool committed) {
+      balancer_->OnComplete(idx, type);
+      done(committed);
+    });
+  });
+  clients_->SetOnCommit([this](const TxnType& type, SimDuration response) {
+    (void)type;
+    ++committed_;
+    response_s_.Add(ToSeconds(response));
+    timeline_.Record(sim_.Now(), 1.0);
+  });
+  clients_->SetOnAbort([this](const TxnType& type) {
+    (void)type;
+    ++aborted_;
+  });
+}
+
+void Cluster::Advance(SimDuration d) {
+  if (!started_) {
+    started_ = true;
+    for (auto& r : replicas_) {
+      r->StartDaemons();
+    }
+    for (auto& p : proxies_) {
+      p->StartDaemons();
+    }
+    balancer_->Start();
+    clients_->Start();
+  }
+  sim_.RunUntil(sim_.Now() + d);
+}
+
+void Cluster::SwitchMix(const std::string& mix_name) {
+  clients_->SetMix(&workload_->MixByName(mix_name));
+}
+
+void Cluster::FreezeAllocation() {
+  // Stops MALB reallocation ticks from changing anything further.
+  if (malb_ != nullptr) {
+    malb_->Freeze();
+  }
+}
+
+void Cluster::CrashReplica(size_t index) { proxies_.at(index)->Crash(); }
+
+void Cluster::RestartReplica(size_t index) { proxies_.at(index)->Restart(); }
+
+void Cluster::ResetMetrics() {
+  committed_ = 0;
+  aborted_ = 0;
+  response_s_.Reset();
+  for (auto& r : replicas_) {
+    r->ResetStats();
+  }
+  for (auto& p : proxies_) {
+    p->ResetStats();
+  }
+}
+
+ExperimentResult Cluster::Measure(SimDuration measure) {
+  ResetMetrics();
+  Advance(measure);
+  return Collect(measure);
+}
+
+ExperimentResult Cluster::Run(SimDuration warmup, SimDuration measure) {
+  Advance(warmup);
+  return Measure(measure);
+}
+
+ExperimentResult Cluster::Collect(SimDuration measure_window) const {
+  ExperimentResult out;
+  out.committed = committed_;
+  out.aborted = aborted_;
+  out.tps = static_cast<double>(committed_) / ToSeconds(measure_window);
+  // PercentileTracker sorts in place; const_cast is confined to reporting.
+  auto& tracker = const_cast<PercentileTracker&>(response_s_);
+  out.mean_response_s = tracker.Mean();
+  out.p95_response_s = tracker.Percentile(0.95);
+
+  Bytes reads = 0;
+  Bytes writes = 0;
+  for (const auto& r : replicas_) {
+    reads += r->stats().disk_read_bytes + r->stats().apply_read_bytes;
+    writes += r->stats().disk_write_bytes;
+  }
+  if (committed_ > 0) {
+    const double denom =
+        static_cast<double>(committed_) * static_cast<double>(replicas_.size());
+    out.read_kb_per_txn = static_cast<double>(reads) / denom / 1024.0;
+    out.write_kb_per_txn = static_cast<double>(writes) / denom / 1024.0;
+  }
+
+  if (malb_ != nullptr) {
+    const auto ids = malb_->GroupTypeIds();
+    const auto counts = malb_->GroupReplicaCounts();
+    for (size_t g = 0; g < ids.size(); ++g) {
+      GroupReport gr;
+      for (TxnTypeId t : ids[g]) {
+        gr.types.push_back(workload_->registry.Get(t).name);
+      }
+      gr.replicas = counts[g];
+      out.groups.push_back(std::move(gr));
+    }
+  }
+  out.timeline = timeline_.buckets();
+  out.timeline_bucket = timeline_.bucket_width();
+  return out;
+}
+
+}  // namespace tashkent

@@ -1,0 +1,132 @@
+// Cluster wiring: replicas + proxies + certifier + balancer + clients.
+//
+// One Cluster is one experiment instance: it owns the simulator and every
+// component, runs warmup + measurement windows, and produces the metrics the
+// paper reports — throughput (tps), response time, and per-replica disk
+// read/write KB per transaction (Tables 1/3/5), plus MALB groupings
+// (Tables 2/4) and a throughput timeline (Figure 6).
+#ifndef SRC_CLUSTER_CLUSTER_H_
+#define SRC_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/balancer/balancer.h"
+#include "src/balancer/lard.h"
+#include "src/balancer/malb.h"
+#include "src/balancer/simple.h"
+#include "src/certifier/certifier.h"
+#include "src/common/stats.h"
+#include "src/proxy/proxy.h"
+#include "src/replica/replica.h"
+#include "src/workload/client.h"
+#include "src/workload/workload.h"
+
+namespace tashkent {
+
+enum class Policy {
+  kRoundRobin,
+  kLeastConnections,
+  kLard,
+  kMalbS,
+  kMalbSC,
+  kMalbSCAP,
+};
+
+const char* PolicyName(Policy p);
+
+struct ClusterConfig {
+  size_t replicas = 16;
+  ReplicaConfig replica;
+  CertifierConfig certifier;
+  ProxyConfig proxy;
+  LardConfig lard;
+  MalbConfig malb;  // method is set from Policy
+  // Clients per replica; 0 means the caller must calibrate (see
+  // calibration.h) — the Cluster constructor requires a concrete value.
+  int clients_per_replica = 6;
+  SimDuration mean_think = Millis(500);
+  uint64_t seed = 42;
+  // Width of the throughput timeline buckets (Figure 6 uses 30 s).
+  SimDuration timeline_bucket = Seconds(30.0);
+};
+
+struct GroupReport {
+  std::vector<std::string> types;
+  int replicas = 0;
+};
+
+struct ExperimentResult {
+  double tps = 0.0;
+  double mean_response_s = 0.0;
+  double p95_response_s = 0.0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  // Per-replica average disk traffic per committed transaction (KB).
+  double read_kb_per_txn = 0.0;
+  double write_kb_per_txn = 0.0;
+  // MALB groupings at the end of the run (empty for other policies).
+  std::vector<GroupReport> groups;
+  // Committed transactions per timeline bucket over the whole run (including
+  // warmup), for Figure 6.
+  std::vector<double> timeline;
+  SimDuration timeline_bucket = Seconds(30.0);
+};
+
+class Cluster {
+ public:
+  Cluster(const Workload* workload, std::string mix_name, Policy policy, ClusterConfig config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // Runs warmup (metrics discarded) then measurement; returns the result.
+  ExperimentResult Run(SimDuration warmup, SimDuration measure);
+
+  // --- Hooks used by multi-phase experiments (Figure 6) -------------------
+  // Advances simulated time without collecting metrics.
+  void Advance(SimDuration d);
+  // Switches the client mix immediately.
+  void SwitchMix(const std::string& mix_name);
+  // Freezes MALB allocation in its current state (static-configuration
+  // baseline). No-op for non-MALB policies.
+  void FreezeAllocation();
+  // Failure injection: fail-stop a replica / bring it back with a cold cache
+  // (it catches up from the certifier log).
+  void CrashReplica(size_t index);
+  void RestartReplica(size_t index);
+  // Resets measurement counters and measures one window.
+  ExperimentResult Measure(SimDuration measure);
+
+  Simulator& sim() { return sim_; }
+  MalbBalancer* malb() { return malb_; }
+  const std::vector<std::unique_ptr<Replica>>& replicas() const { return replicas_; }
+  ClientPool& clients() { return *clients_; }
+
+ private:
+  void ResetMetrics();
+  ExperimentResult Collect(SimDuration measure_window) const;
+
+  const Workload* workload_;
+  Policy policy_;
+  ClusterConfig config_;
+  Simulator sim_;
+  Certifier certifier_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<std::unique_ptr<Proxy>> proxies_;
+  std::unique_ptr<LoadBalancer> balancer_;
+  MalbBalancer* malb_ = nullptr;  // non-owning view when policy is MALB
+  std::unique_ptr<ClientPool> clients_;
+
+  // Measurement state.
+  uint64_t committed_ = 0;
+  uint64_t aborted_ = 0;
+  PercentileTracker response_s_;
+  TimeSeries timeline_;
+  bool started_ = false;
+};
+
+}  // namespace tashkent
+
+#endif  // SRC_CLUSTER_CLUSTER_H_

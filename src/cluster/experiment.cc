@@ -1,0 +1,40 @@
+#include "src/cluster/experiment.h"
+
+#include <map>
+#include <sstream>
+
+namespace tashkent {
+
+ClusterConfig MakeClusterConfig(Bytes ram, size_t replicas, uint64_t seed) {
+  ClusterConfig c;
+  c.replicas = replicas;
+  c.replica.memory = ram;
+  c.seed = seed;
+  return c;
+}
+
+int CalibratedClients(const Workload& workload, const std::string& mix,
+                      const ClusterConfig& config) {
+  static std::map<std::string, int> cache;
+  std::ostringstream key;
+  key << workload.name << '/' << mix << '/' << workload.schema.TotalBytes() << '/'
+      << config.replica.memory;
+  auto it = cache.find(key.str());
+  if (it != cache.end()) {
+    return it->second;
+  }
+  const CalibrationResult cal = CalibrateClientsPerReplica(workload, mix, config);
+  cache.emplace(key.str(), cal.clients_per_replica);
+  return cal.clients_per_replica;
+}
+
+ExperimentResult RunExperiment(const ExperimentSpec& spec) {
+  ClusterConfig config = spec.config;
+  config.clients_per_replica = spec.clients_per_replica > 0
+                                   ? spec.clients_per_replica
+                                   : CalibratedClients(*spec.workload, spec.mix, config);
+  Cluster cluster(spec.workload, spec.mix, spec.policy, config);
+  return cluster.Run(spec.warmup, spec.measure);
+}
+
+}  // namespace tashkent

@@ -1,0 +1,42 @@
+// High-level experiment driver shared by the benches and examples.
+//
+// An ExperimentSpec names a workload configuration (benchmark, mix, DB scale,
+// RAM) and a policy; Run() builds the cluster, auto-calibrates the client
+// population unless pinned, runs warmup + measurement, and returns the
+// metrics. RunComparison() runs several policies on the same configuration —
+// the building block for every bar chart in the paper.
+#ifndef SRC_CLUSTER_EXPERIMENT_H_
+#define SRC_CLUSTER_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/calibration.h"
+#include "src/cluster/cluster.h"
+
+namespace tashkent {
+
+struct ExperimentSpec {
+  const Workload* workload = nullptr;
+  std::string mix;
+  Policy policy = Policy::kLeastConnections;
+  ClusterConfig config;
+  // 0 = calibrate per the paper's 85%-of-standalone-peak methodology.
+  int clients_per_replica = 0;
+  SimDuration warmup = Seconds(240.0);
+  SimDuration measure = Seconds(240.0);
+};
+
+ExperimentResult RunExperiment(const ExperimentSpec& spec);
+
+// Shared calibration: returns clients/replica for the configuration (cached
+// per process by workload name + mix + RAM + DB size).
+int CalibratedClients(const Workload& workload, const std::string& mix,
+                      const ClusterConfig& config);
+
+// Builds the standard replica config for a given RAM size.
+ClusterConfig MakeClusterConfig(Bytes ram, size_t replicas = 16, uint64_t seed = 42);
+
+}  // namespace tashkent
+
+#endif  // SRC_CLUSTER_EXPERIMENT_H_

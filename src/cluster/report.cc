@@ -1,0 +1,47 @@
+#include "src/cluster/report.h"
+
+#include <cstdio>
+
+namespace tashkent {
+
+void PrintHeader(const std::string& title, const std::string& setup) {
+  std::printf("\n== %s ==\n", title.c_str());
+  if (!setup.empty()) {
+    std::printf("   %s\n", setup.c_str());
+  }
+  std::printf("%-28s %12s %12s %12s\n", "method", "paper(tps)", "measured", "resp(s)");
+}
+
+void PrintTpsRow(const std::string& label, double paper_tps, double measured_tps,
+                 double measured_rt_s) {
+  std::printf("%-28s %12.1f %12.1f %12.2f\n", label.c_str(), paper_tps, measured_tps,
+              measured_rt_s);
+}
+
+void PrintIoRow(const std::string& label, double paper_write_kb, double paper_read_kb,
+                double write_kb, double read_kb) {
+  std::printf("%-28s  paper(W/R) %5.1f/%6.1f KB   measured %5.1f/%6.1f KB\n", label.c_str(),
+              paper_write_kb, paper_read_kb, write_kb, read_kb);
+}
+
+void PrintGroups(const std::vector<GroupReport>& groups) {
+  std::printf("%-70s %s\n", "transaction group", "replicas");
+  for (const auto& g : groups) {
+    std::string types = "[";
+    for (size_t i = 0; i < g.types.size(); ++i) {
+      if (i > 0) {
+        types += ", ";
+      }
+      types += g.types[i];
+    }
+    types += "]";
+    std::printf("%-70s %8d\n", types.c_str(), g.replicas);
+  }
+}
+
+void PrintRatio(const std::string& label, double paper_ratio, double measured_ratio) {
+  std::printf("   ratio %-36s paper %5.2fx   measured %5.2fx\n", label.c_str(), paper_ratio,
+              measured_ratio);
+}
+
+}  // namespace tashkent

@@ -1,0 +1,32 @@
+// Console table helpers for the bench binaries: paper value next to measured
+// value, with the ratio shapes the reproduction is judged on.
+#ifndef SRC_CLUSTER_REPORT_H_
+#define SRC_CLUSTER_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+
+namespace tashkent {
+
+// Prints a header like "== Figure 3: ... ==".
+void PrintHeader(const std::string& title, const std::string& setup);
+
+// One row of a paper-vs-measured throughput table.
+void PrintTpsRow(const std::string& label, double paper_tps, double measured_tps,
+                 double measured_rt_s);
+
+// One row of a disk I/O table (Tables 1/3/5).
+void PrintIoRow(const std::string& label, double paper_write_kb, double paper_read_kb,
+                double write_kb, double read_kb);
+
+// Prints a grouping table (Tables 2/4).
+void PrintGroups(const std::vector<GroupReport>& groups);
+
+// Prints a ratio line, e.g. "MALB-SC / LeastConnections".
+void PrintRatio(const std::string& label, double paper_ratio, double measured_ratio);
+
+}  // namespace tashkent
+
+#endif  // SRC_CLUSTER_REPORT_H_

@@ -1,0 +1,102 @@
+#include "src/common/stats.h"
+
+#include <cmath>
+
+namespace tashkent {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  if (count_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+double RunningStat::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::Reset() {
+  count_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  sum_ = 0.0;
+}
+
+double UtilizationIntegrator::Sample(SimTime now) {
+  const SimDuration window = now - last_sample_;
+  double util = 0.0;
+  if (window > 0) {
+    util = static_cast<double>(busy_accum_) / static_cast<double>(window);
+  }
+  busy_accum_ = 0;
+  last_sample_ = now;
+  return std::clamp(util, 0.0, 1.0);
+}
+
+double PercentileTracker::Percentile(double q) {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double PercentileTracker::Mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double s = 0.0;
+  for (double x : samples_) {
+    s += x;
+  }
+  return s / static_cast<double>(samples_.size());
+}
+
+void TimeSeries::Record(SimTime t, double value) {
+  if (t < 0) {
+    return;
+  }
+  const size_t idx = static_cast<size_t>(t / width_);
+  if (idx >= buckets_.size()) {
+    buckets_.resize(idx + 1, 0.0);
+  }
+  buckets_[idx] += value;
+}
+
+std::vector<double> TimeSeries::MovingAverage(size_t window) const {
+  std::vector<double> out(buckets_.size(), 0.0);
+  if (window == 0 || buckets_.empty()) {
+    return out;
+  }
+  const size_t half = window / 2;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const size_t lo = i >= half ? i - half : 0;
+    const size_t hi = std::min(i + half, buckets_.size() - 1);
+    double sum = 0.0;
+    for (size_t j = lo; j <= hi; ++j) {
+      sum += buckets_[j];
+    }
+    out[i] = sum / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+}  // namespace tashkent

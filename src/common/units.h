@@ -1,0 +1,53 @@
+// Units and fixed-point simulated time used throughout Tashkent+.
+//
+// Simulated time is an integer count of microseconds so that event ordering is
+// exact and runs are bit-reproducible; floating point is used only for derived
+// quantities (utilizations, rates).
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace tashkent {
+
+// Simulated time in microseconds since the start of the run.
+using SimTime = int64_t;
+
+// A span of simulated time in microseconds.
+using SimDuration = int64_t;
+
+inline constexpr SimDuration kMicrosecond = 1;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+// Constructors for readable literals at call sites.
+constexpr SimDuration Micros(int64_t n) { return n * kMicrosecond; }
+constexpr SimDuration Millis(int64_t n) { return n * kMillisecond; }
+constexpr SimDuration Seconds(double n) {
+  return static_cast<SimDuration>(n * static_cast<double>(kSecond));
+}
+
+// Converts a duration back to floating-point seconds (for reporting only).
+constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+// Storage sizes. PostgreSQL 8.0 uses 8 KB pages; the paper reports all relation
+// sizes in 8 KB pages (pg_class.relpages).
+using Bytes = int64_t;
+using Pages = int64_t;
+
+inline constexpr Bytes kPageSizeBytes = 8 * 1024;
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+constexpr Bytes PagesToBytes(Pages p) { return p * kPageSizeBytes; }
+constexpr Pages BytesToPages(Bytes b) { return (b + kPageSizeBytes - 1) / kPageSizeBytes; }
+
+constexpr double BytesToMiB(Bytes b) { return static_cast<double>(b) / static_cast<double>(kMiB); }
+constexpr Bytes MiB(double m) { return static_cast<Bytes>(m * static_cast<double>(kMiB)); }
+
+}  // namespace tashkent
+
+#endif  // SRC_COMMON_UNITS_H_

@@ -1,0 +1,111 @@
+#include "src/core/availability.h"
+
+#include <algorithm>
+
+namespace tashkent {
+
+namespace {
+
+bool SubscribesToAll(const std::unordered_set<RelationId>& subscription,
+                     const std::unordered_set<RelationId>& tables) {
+  for (RelationId t : tables) {
+    if (subscription.find(t) == subscription.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+AvailabilityReport CheckAvailability(
+    const std::vector<std::vector<ReplicaId>>& group_replicas,
+    const std::vector<std::unordered_set<RelationId>>& group_tables,
+    const std::unordered_map<ReplicaId, std::unordered_set<RelationId>>& subscriptions,
+    int min_copies) {
+  AvailabilityReport report;
+
+  // Type availability: a type is runnable on a replica iff that replica
+  // subscribes to every table its group references. Types share their group's
+  // fate, so the check is per group; the caller maps groups back to types.
+  for (size_t g = 0; g < group_tables.size(); ++g) {
+    int runnable = 0;
+    for (const auto& [replica, subscription] : subscriptions) {
+      if (SubscribesToAll(subscription, group_tables[g])) {
+        ++runnable;
+      }
+    }
+    if (runnable < min_copies) {
+      report.ok = false;
+      // Group index is reported through the table list below; the balancer
+      // owns the group->type mapping, so record a sentinel per group here.
+      report.under_replicated_types.push_back(static_cast<TxnTypeId>(g));
+    }
+  }
+
+  // Table availability: every table referenced by any group must be applied on
+  // at least min_copies replicas.
+  std::unordered_set<RelationId> all_tables;
+  for (const auto& tables : group_tables) {
+    all_tables.insert(tables.begin(), tables.end());
+  }
+  for (RelationId t : all_tables) {
+    int copies = 0;
+    for (const auto& [replica, subscription] : subscriptions) {
+      if (subscription.find(t) != subscription.end()) {
+        ++copies;
+      }
+    }
+    if (copies < min_copies) {
+      report.ok = false;
+      report.under_replicated_tables.push_back(t);
+    }
+  }
+  std::sort(report.under_replicated_tables.begin(), report.under_replicated_tables.end());
+  (void)group_replicas;
+  return report;
+}
+
+std::unordered_map<ReplicaId, std::unordered_set<RelationId>> PlanStandbys(
+    const std::vector<std::vector<ReplicaId>>& group_replicas,
+    const std::vector<std::unordered_set<RelationId>>& group_tables, int min_copies) {
+  std::unordered_map<ReplicaId, std::unordered_set<RelationId>> extra;
+
+  // Current subscription volume per replica (tables from its own group plus
+  // any standby duties assigned so far) -- used to spread standby load.
+  std::unordered_map<ReplicaId, size_t> volume;
+  std::vector<ReplicaId> all_replicas;
+  for (size_t g = 0; g < group_replicas.size(); ++g) {
+    for (ReplicaId r : group_replicas[g]) {
+      volume[r] += group_tables[g].size();
+      all_replicas.push_back(r);
+    }
+  }
+  std::sort(all_replicas.begin(), all_replicas.end());
+
+  for (size_t g = 0; g < group_replicas.size(); ++g) {
+    const int deficit = min_copies - static_cast<int>(group_replicas[g].size());
+    if (deficit <= 0) {
+      continue;
+    }
+    // Candidates: replicas not already serving this group, least-loaded by
+    // subscription volume first; replica id breaks ties deterministically.
+    std::vector<ReplicaId> candidates;
+    for (ReplicaId r : all_replicas) {
+      if (std::find(group_replicas[g].begin(), group_replicas[g].end(), r) ==
+          group_replicas[g].end()) {
+        candidates.push_back(r);
+      }
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&volume](ReplicaId a, ReplicaId b) { return volume[a] < volume[b]; });
+    for (int i = 0; i < deficit && i < static_cast<int>(candidates.size()); ++i) {
+      const ReplicaId r = candidates[static_cast<size_t>(i)];
+      extra[r].insert(group_tables[g].begin(), group_tables[g].end());
+      volume[r] += group_tables[g].size();
+    }
+  }
+  return extra;
+}
+
+}  // namespace tashkent

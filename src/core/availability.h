@@ -1,0 +1,52 @@
+// Availability constraints under update filtering (Section 3).
+//
+// With update filtering a replica stops applying writesets for tables its
+// transaction group does not use, so those tables go stale there. To keep a
+// target redundancy level the balancer must guarantee:
+//   1. transaction-type availability — every type can run on at least
+//      `min_copies` replicas with up-to-date state, and
+//   2. table availability — at least `min_copies` replicas keep every table
+//      current (implied by 1, verified explicitly here).
+// CheckAvailability() validates a (group -> replicas, replica -> subscribed
+// tables) assignment; PlanStandbys() picks extra subscriber replicas for
+// groups whose serving replica count is below the target.
+#ifndef SRC_CORE_AVAILABILITY_H_
+#define SRC_CORE_AVAILABILITY_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/bin_packing.h"
+#include "src/gsi/writeset.h"
+
+namespace tashkent {
+
+struct AvailabilityReport {
+  bool ok = true;
+  // Types runnable on fewer than min_copies subscribed replicas.
+  std::vector<TxnTypeId> under_replicated_types;
+  // Tables kept current on fewer than min_copies replicas.
+  std::vector<RelationId> under_replicated_tables;
+};
+
+// `group_replicas[g]` lists replicas serving group g; `group_tables[g]` lists
+// the tables group g's types reference; `subscriptions[r]` is the table set
+// replica r applies updates for.
+AvailabilityReport CheckAvailability(
+    const std::vector<std::vector<ReplicaId>>& group_replicas,
+    const std::vector<std::unordered_set<RelationId>>& group_tables,
+    const std::unordered_map<ReplicaId, std::unordered_set<RelationId>>& subscriptions,
+    int min_copies);
+
+// For every group with fewer than `min_copies` serving replicas, selects
+// standby replicas (from other groups, least-subscribed first) that must also
+// subscribe to the group's tables. Returns replica -> extra tables to add.
+std::unordered_map<ReplicaId, std::unordered_set<RelationId>> PlanStandbys(
+    const std::vector<std::vector<ReplicaId>>& group_replicas,
+    const std::vector<std::unordered_set<RelationId>>& group_tables, int min_copies);
+
+}  // namespace tashkent
+
+#endif  // SRC_CORE_AVAILABILITY_H_

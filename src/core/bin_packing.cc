@@ -1,0 +1,132 @@
+#include "src/core/bin_packing.h"
+
+#include <algorithm>
+
+namespace tashkent {
+
+namespace {
+
+// The relations a method feeds to the packer for one type.
+std::vector<ExplainEntry> PackedRelations(const TypeWorkingSet& ws, EstimationMethod method) {
+  std::vector<ExplainEntry> out;
+  for (const auto& e : ws.relations) {
+    if (method == EstimationMethod::kSizeContentAccess && !e.scanned) {
+      continue;
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+Pages ResidualPages(const TypeWorkingSet& ws, EstimationMethod method) {
+  // Under SCAP, random accesses contribute "a handful of pages" per
+  // execution; under S/SC the full relations already cover them.
+  return method == EstimationMethod::kSizeContentAccess ? ws.random_pages_per_exec : 0;
+}
+
+struct Candidate {
+  const TypeWorkingSet* ws;
+  std::vector<ExplainEntry> relations;
+  Pages residual;
+  Pages size;
+};
+
+}  // namespace
+
+PackingResult PackTransactionGroups(const std::vector<TypeWorkingSet>& working_sets,
+                                    Pages capacity_pages, EstimationMethod method) {
+  PackingResult result;
+  result.method = method;
+  result.capacity_pages = capacity_pages;
+
+  std::vector<Candidate> items;
+  items.reserve(working_sets.size());
+  for (const auto& ws : working_sets) {
+    Candidate c;
+    c.ws = &ws;
+    c.relations = PackedRelations(ws, method);
+    c.residual = ResidualPages(ws, method);
+    c.size = c.residual;
+    for (const auto& e : c.relations) {
+      c.size += e.pages;
+    }
+    items.push_back(std::move(c));
+  }
+
+  // Decreasing size; ties resolved by type id for determinism.
+  std::sort(items.begin(), items.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.size != b.size) {
+      return a.size > b.size;
+    }
+    return a.ws->type < b.ws->type;
+  });
+
+  auto& groups = result.groups;
+  for (const auto& item : items) {
+    // Evaluate every existing bin.
+    int best = -1;
+    Pages best_overlap = -1;
+    Pages best_resulting_free = 0;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      TransactionGroup& bin = groups[g];
+      Pages overlap = 0;
+      Pages non_overlap = item.residual;
+      if (method == EstimationMethod::kSize) {
+        // Size-only: no overlap credit, the whole item must fit.
+        non_overlap += item.size - item.residual;
+      } else {
+        for (const auto& e : item.relations) {
+          if (bin.packed_relations.find(e.relation) != bin.packed_relations.end()) {
+            overlap += e.pages;
+          } else {
+            non_overlap += e.pages;
+          }
+        }
+      }
+      const Pages free = std::max<Pages>(capacity_pages - bin.estimate_pages, 0);
+      if (non_overlap > free) {
+        continue;  // infeasible
+      }
+      const Pages resulting_free = free - non_overlap;
+      // Size-only packing is classic Best Fit Decreasing: tightest feasible
+      // bin wins. Content-aware packing places by maximal overlap, earliest
+      // bin on ties (strict inequalities keep both deterministic).
+      bool better;
+      if (method == EstimationMethod::kSize) {
+        better = best >= 0 && resulting_free < best_resulting_free;
+      } else {
+        better = best >= 0 && overlap > best_overlap;
+      }
+      if (best < 0 || better) {
+        best = static_cast<int>(g);
+        best_overlap = overlap;
+        best_resulting_free = resulting_free;
+      }
+    }
+
+    if (best < 0) {
+      TransactionGroup bin;
+      bin.overflow = item.size > capacity_pages;
+      groups.push_back(std::move(bin));
+      best = static_cast<int>(groups.size() - 1);
+    }
+
+    TransactionGroup& bin = groups[static_cast<size_t>(best)];
+    bin.types.push_back(item.ws->type);
+    bin.estimate_pages += item.residual;
+    for (const auto& e : item.relations) {
+      auto [it, inserted] = bin.packed_relations.emplace(e.relation, e.pages);
+      if (inserted || method == EstimationMethod::kSize) {
+        bin.estimate_pages += e.pages;
+      }
+    }
+  }
+
+  // Stable presentation: within each group, order types by id.
+  for (auto& g : groups) {
+    std::sort(g.types.begin(), g.types.end());
+  }
+  return result;
+}
+
+}  // namespace tashkent

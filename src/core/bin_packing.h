@@ -1,0 +1,57 @@
+// Overlap-aware Best-Fit-Decreasing bin packing (Section 2.3).
+//
+// Transaction types are packed into groups whose combined working sets fit a
+// replica's available memory. Three method variants share one packer:
+//   * MALB-S: classic BFD on sizes; overlap between working sets is not
+//     credited (packing T1{A,B} with T2{B,C} costs |A|+2|B|+|C|).
+//   * MALB-SC: the non-overlapping component of a type must fit the bin's
+//     free space, and among feasible bins the one with maximal overlap wins
+//     (|A|+|B|+|C| for the example above).
+//   * MALB-SCAP: same packing as SC but the input per type is only its
+//     scanned relations (plus a handful of residual pages).
+// Types whose estimate exceeds capacity are overflow types: each seeds its own
+// bin (Section 2.3, "Overflow Transactions"). Under SC/SCAP a later type whose
+// relations are a subset of an overflow bin's contents may still share it,
+// since it adds no memory demand — this is how the paper's Table 2 ends up
+// with [ExecSearch, OrderDispl, OrderInqur, ProducDet] in one group even
+// though OrderDispl alone over-estimates beyond memory.
+//
+// Tie-breaking is deterministic: feasibility, then maximal overlap, then
+// best fit (minimal resulting free space), then lowest bin index.
+#ifndef SRC_CORE_BIN_PACKING_H_
+#define SRC_CORE_BIN_PACKING_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/working_set.h"
+
+namespace tashkent {
+
+// One packed transaction group.
+struct TransactionGroup {
+  std::vector<TxnTypeId> types;
+  // Relations counted by the packing method (referenced for S/SC, scanned for
+  // SCAP) with their sizes; the union across member types.
+  std::unordered_map<RelationId, Pages> packed_relations;
+  // Estimated combined working set in pages (method-dependent).
+  Pages estimate_pages = 0;
+  // True when seeded by a type whose own estimate exceeds capacity.
+  bool overflow = false;
+};
+
+struct PackingResult {
+  std::vector<TransactionGroup> groups;
+  EstimationMethod method = EstimationMethod::kSizeContent;
+  Pages capacity_pages = 0;
+};
+
+// Packs `working_sets` into groups given the replica memory available to the
+// packer (the paper uses RAM minus 70 MB of system overhead).
+PackingResult PackTransactionGroups(const std::vector<TypeWorkingSet>& working_sets,
+                                    Pages capacity_pages, EstimationMethod method);
+
+}  // namespace tashkent
+
+#endif  // SRC_CORE_BIN_PACKING_H_

@@ -1,0 +1,65 @@
+#include "src/core/working_set.h"
+
+namespace tashkent {
+
+const char* EstimationMethodName(EstimationMethod m) {
+  switch (m) {
+    case EstimationMethod::kSize:
+      return "MALB-S";
+    case EstimationMethod::kSizeContent:
+      return "MALB-SC";
+    case EstimationMethod::kSizeContentAccess:
+      return "MALB-SCAP";
+  }
+  return "?";
+}
+
+Pages TypeWorkingSet::ReferencedPages() const {
+  Pages total = 0;
+  for (const auto& e : relations) {
+    total += e.pages;
+  }
+  return total;
+}
+
+Pages TypeWorkingSet::ScannedPages() const {
+  Pages total = 0;
+  for (const auto& e : relations) {
+    if (e.scanned) {
+      total += e.pages;
+    }
+  }
+  return total;
+}
+
+Pages TypeWorkingSet::EstimatePages(EstimationMethod m) const {
+  if (m == EstimationMethod::kSizeContentAccess) {
+    return ScannedPages() + random_pages_per_exec;
+  }
+  return ReferencedPages();
+}
+
+TypeWorkingSet BuildWorkingSet(const TxnType& type, const Schema& schema) {
+  TypeWorkingSet ws;
+  ws.type = type.id;
+  ws.name = type.name;
+  ws.relations = Explain(type, schema);
+  for (const auto& step : type.plan.steps) {
+    if (step.access == AccessKind::kRandomAccess) {
+      ws.random_pages_per_exec += step.pages_per_exec;
+    }
+  }
+  return ws;
+}
+
+std::vector<TypeWorkingSet> BuildWorkingSets(const TxnTypeRegistry& registry,
+                                             const Schema& schema) {
+  std::vector<TypeWorkingSet> out;
+  out.reserve(registry.size());
+  for (const auto& t : registry.types()) {
+    out.push_back(BuildWorkingSet(t, schema));
+  }
+  return out;
+}
+
+}  // namespace tashkent

@@ -1,0 +1,60 @@
+// Working-set estimation from plan + catalog facts (Section 2.2).
+//
+// The working set of a database transaction is dominated by the tables and
+// indices it references. From the EXPLAIN-equivalent facts we build, per
+// transaction type, the list of referenced relations with sizes and access
+// kinds, then derive the three estimates the paper compares:
+//   * MALB-S / MALB-SC  (upper estimate): every referenced relation counts in
+//     full — S ignores overlap between types when packing, SC credits it;
+//   * MALB-SCAP         (lower estimate): only linearly scanned relations
+//     count ("heavily used"), random accesses are assumed to touch a handful
+//     of pages.
+#ifndef SRC_CORE_WORKING_SET_H_
+#define SRC_CORE_WORKING_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "src/engine/explain.h"
+#include "src/engine/txn_type.h"
+#include "src/storage/schema.h"
+
+namespace tashkent {
+
+// How much plan information the estimator uses (Section 2.3).
+enum class EstimationMethod {
+  kSize = 0,               // MALB-S: working set size only
+  kSizeContent = 1,        // MALB-SC: size + content (overlap-aware)
+  kSizeContentAccess = 2,  // MALB-SCAP: size + content + access pattern
+};
+
+const char* EstimationMethodName(EstimationMethod m);
+
+// Per-type working-set facts, ready for bin packing.
+struct TypeWorkingSet {
+  TxnTypeId type = kInvalidTxnType;
+  std::string name;
+  // Every referenced relation (deduplicated), with catalog size.
+  std::vector<ExplainEntry> relations;
+  // Pages touched per execution by random-access steps; used as the residual
+  // footprint of scan-less types under SCAP ("a handful of pages").
+  Pages random_pages_per_exec = 0;
+
+  // Upper estimate: all referenced relations (MALB-S and MALB-SC input).
+  Pages ReferencedPages() const;
+  // Lower estimate: scanned relations only (MALB-SCAP input).
+  Pages ScannedPages() const;
+  // The estimate the given method feeds to the packer.
+  Pages EstimatePages(EstimationMethod m) const;
+};
+
+// Builds the working set for one type from its plan and the current catalog.
+TypeWorkingSet BuildWorkingSet(const TxnType& type, const Schema& schema);
+
+// Builds working sets for all registered types.
+std::vector<TypeWorkingSet> BuildWorkingSets(const TxnTypeRegistry& registry,
+                                             const Schema& schema);
+
+}  // namespace tashkent
+
+#endif  // SRC_CORE_WORKING_SET_H_

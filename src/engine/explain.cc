@@ -1,0 +1,29 @@
+#include "src/engine/explain.h"
+
+#include <unordered_map>
+
+namespace tashkent {
+
+std::vector<ExplainEntry> Explain(const TxnType& type, const Schema& schema) {
+  std::unordered_map<RelationId, size_t> seen;
+  std::vector<ExplainEntry> out;
+  for (const auto& step : type.plan.steps) {
+    auto it = seen.find(step.relation);
+    if (it == seen.end()) {
+      ExplainEntry e;
+      e.relation = step.relation;
+      e.pages = schema.Get(step.relation).pages;
+      e.scanned = step.access == AccessKind::kSequentialScan;
+      e.written = step.write_pages > 0;
+      seen.emplace(step.relation, out.size());
+      out.push_back(e);
+    } else {
+      ExplainEntry& e = out[it->second];
+      e.scanned = e.scanned || step.access == AccessKind::kSequentialScan;
+      e.written = e.written || step.write_pages > 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace tashkent

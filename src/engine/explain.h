@@ -1,0 +1,33 @@
+// EXPLAIN-equivalent: extracts the relation/access facts a load balancer can
+// learn about a transaction type without executing it.
+//
+// In the paper the balancer sends "EXPLAIN <query>" to PostgreSQL and joins
+// the plan against pg_class.relpages. Our plans are explicit, so Explain()
+// simply projects them onto catalog sizes — but it is the *only* interface the
+// MALB estimator is allowed to use, keeping the information boundary honest:
+// the balancer never sees runtime buffer-pool state, only plan + metadata.
+#ifndef SRC_ENGINE_EXPLAIN_H_
+#define SRC_ENGINE_EXPLAIN_H_
+
+#include <vector>
+
+#include "src/engine/txn_type.h"
+#include "src/storage/schema.h"
+
+namespace tashkent {
+
+// One referenced relation in a plan, as visible to the load balancer.
+struct ExplainEntry {
+  RelationId relation = kInvalidRelation;
+  Pages pages = 0;          // current size from the catalog
+  bool scanned = false;     // linearly scanned (vs. random access)
+  bool written = false;     // the plan dirties pages of this relation
+};
+
+// Relations referenced by the plan, deduplicated (a relation touched by
+// several steps appears once; "scanned" wins over random).
+std::vector<ExplainEntry> Explain(const TxnType& type, const Schema& schema);
+
+}  // namespace tashkent
+
+#endif  // SRC_ENGINE_EXPLAIN_H_

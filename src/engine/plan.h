@@ -1,0 +1,72 @@
+// Query execution plans for parameterized transaction types.
+//
+// The paper assumes applications access the database through a fixed set of
+// parameterized transaction types and derives working sets from PostgreSQL
+// EXPLAIN output. Here each type carries a hand-written plan: an ordered list
+// of steps over relations, each either a full sequential scan or a bounded
+// number of random page accesses, optionally writing. The same plan drives
+// two consumers:
+//   * the runtime (replica executor) — pages touched, misses, CPU time;
+//   * the estimator (src/core/working_set.h) — the EXPLAIN-equivalent facts.
+#ifndef SRC_ENGINE_PLAN_H_
+#define SRC_ENGINE_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/storage/relation.h"
+
+namespace tashkent {
+
+enum class AccessKind : uint8_t {
+  kSequentialScan = 0,  // touches every page of the relation
+  kRandomAccess = 1,    // touches `pages_per_exec` sampled pages
+};
+
+struct PlanStep {
+  RelationId relation = kInvalidRelation;
+  AccessKind access = AccessKind::kRandomAccess;
+  // For kRandomAccess: pages touched per execution. Ignored for scans.
+  int pages_per_exec = 0;
+  // For kSequentialScan: the contiguous window scanned per execution, in
+  // pages (a parameterized slice — e.g. BestSellers reads recent orders, not
+  // the whole table). 0 means the full relation. EXPLAIN still reports the
+  // whole relation as scanned: the planner cannot know the parameter.
+  Pages window_pages = 0;
+  // Pages dirtied by this step per execution (0 for read-only steps). Dirty
+  // pages are drawn from the touched set and contribute to the writeset.
+  int write_pages = 0;
+};
+
+struct ExecutionPlan {
+  std::vector<PlanStep> steps;
+
+  bool HasWrites() const {
+    for (const auto& s : steps) {
+      if (s.write_pages > 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// Convenience constructors used by the workload builders.
+inline PlanStep Scan(RelationId rel) {
+  return PlanStep{rel, AccessKind::kSequentialScan, 0, 0, 0};
+}
+inline PlanStep ScanWindow(RelationId rel, Pages window) {
+  return PlanStep{rel, AccessKind::kSequentialScan, 0, window, 0};
+}
+inline PlanStep Random(RelationId rel, int pages) {
+  return PlanStep{rel, AccessKind::kRandomAccess, pages, 0, 0};
+}
+inline PlanStep Write(RelationId rel, int read_pages, int write_pages) {
+  return PlanStep{rel, AccessKind::kRandomAccess, read_pages, 0, write_pages};
+}
+
+}  // namespace tashkent
+
+#endif  // SRC_ENGINE_PLAN_H_

@@ -1,0 +1,21 @@
+#include "src/engine/txn_type.h"
+
+namespace tashkent {
+
+TxnTypeId TxnTypeRegistry::Add(TxnType type) {
+  const TxnTypeId id = static_cast<TxnTypeId>(types_.size());
+  type.id = id;
+  auto [it, inserted] = by_name_.emplace(type.name, id);
+  if (!inserted) {
+    throw std::invalid_argument("duplicate transaction type: " + type.name);
+  }
+  types_.push_back(std::move(type));
+  return id;
+}
+
+TxnTypeId TxnTypeRegistry::Find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kInvalidTxnType : it->second;
+}
+
+}  // namespace tashkent

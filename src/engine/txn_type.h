@@ -1,0 +1,54 @@
+// Transaction type registry.
+//
+// A TxnType is one parameterized interaction of the benchmark application
+// (e.g. TPC-W "BestSeller", RUBiS "AboutMe"): a name, an execution plan, and
+// fixed CPU costs. The application announces the type when it requests a
+// connection — exactly the interface the paper's load balancer relies on.
+#ifndef SRC_ENGINE_TXN_TYPE_H_
+#define SRC_ENGINE_TXN_TYPE_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/engine/plan.h"
+
+namespace tashkent {
+
+using TxnTypeId = uint32_t;
+inline constexpr TxnTypeId kInvalidTxnType = UINT32_MAX;
+
+struct TxnType {
+  TxnTypeId id = kInvalidTxnType;
+  std::string name;
+  ExecutionPlan plan;
+  // Fixed CPU cost per execution (parsing, planning, result marshaling).
+  SimDuration base_cpu = Millis(3);
+  // Approximate bytes of the writeset this type produces when it commits (the
+  // paper reports ~275 B averages for both benchmarks).
+  Bytes writeset_bytes = 0;
+
+  bool is_update() const { return plan.HasWrites(); }
+};
+
+class TxnTypeRegistry {
+ public:
+  TxnTypeId Add(TxnType type);
+
+  const TxnType& Get(TxnTypeId id) const { return types_.at(id); }
+  TxnTypeId Find(std::string_view name) const;
+  size_t size() const { return types_.size(); }
+  const std::vector<TxnType>& types() const { return types_; }
+
+ private:
+  std::vector<TxnType> types_;
+  std::unordered_map<std::string, TxnTypeId> by_name_;
+};
+
+}  // namespace tashkent
+
+#endif  // SRC_ENGINE_TXN_TYPE_H_

@@ -1,0 +1,34 @@
+#include "src/gsi/certification.h"
+
+namespace tashkent {
+
+bool ConflictChecker::Check(const Writeset& ws) const {
+  for (const auto& item : ws.items) {
+    auto it = last_write_.find(item);
+    if (it != last_write_.end() && it->second > ws.snapshot_version) {
+      return false;  // write-write conflict with an intervening commit
+    }
+  }
+  return true;
+}
+
+void ConflictChecker::Record(const Writeset& ws) {
+  for (const auto& item : ws.items) {
+    auto [it, inserted] = last_write_.try_emplace(item, ws.commit_version);
+    if (!inserted && it->second < ws.commit_version) {
+      it->second = ws.commit_version;
+    }
+  }
+}
+
+void ConflictChecker::PruneBelow(Version floor) {
+  for (auto it = last_write_.begin(); it != last_write_.end();) {
+    if (it->second <= floor) {
+      it = last_write_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace tashkent

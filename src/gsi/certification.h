@@ -1,0 +1,52 @@
+// Write-write conflict detection for Generalized Snapshot Isolation.
+//
+// Under GSI [EPZ05] a transaction reads from a (possibly old) snapshot V and
+// may commit only if no transaction that committed after V wrote a row it also
+// writes. The checker keeps, per written row, the latest committing version,
+// so a certification test is one hash probe per writeset item — this is the
+// "comparing table and field identifiers for matches against writesets from
+// recently committed update transactions" of Section 4.1.
+#ifndef SRC_GSI_CERTIFICATION_H_
+#define SRC_GSI_CERTIFICATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/gsi/writeset.h"
+
+namespace tashkent {
+
+class ConflictChecker {
+ public:
+  // Tests `ws` (which read snapshot ws.snapshot_version) against committed
+  // writes. Returns true when certification succeeds; the caller then assigns
+  // the commit version and calls Record().
+  bool Check(const Writeset& ws) const;
+
+  // Records the rows of a successfully certified writeset at its commit
+  // version.
+  void Record(const Writeset& ws);
+
+  // Forgets rows whose last write is at or below `floor`; safe once every
+  // replica has applied versions <= floor and no active snapshot predates it.
+  void PruneBelow(Version floor);
+
+  size_t tracked_rows() const { return last_write_.size(); }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const WritesetItem& item) const {
+      // SplitMix-style mix of relation and row key.
+      uint64_t x = (static_cast<uint64_t>(item.relation) << 40) ^ item.row_key;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return static_cast<size_t>(x ^ (x >> 31));
+    }
+  };
+
+  std::unordered_map<WritesetItem, Version, KeyHash> last_write_;
+};
+
+}  // namespace tashkent
+
+#endif  // SRC_GSI_CERTIFICATION_H_

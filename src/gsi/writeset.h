@@ -1,0 +1,67 @@
+// Writesets: the unit of update propagation and certification.
+//
+// A writeset is "the core information required to reflect the effects of an
+// update transaction's changes" [KA00]: the logical rows written (for
+// write-write conflict detection under GSI) plus, per table, how many pages
+// the change dirties (for replaying the writeset at remote replicas). The
+// paper measures ~275-byte average writesets in both benchmarks.
+#ifndef SRC_GSI_WRITESET_H_
+#define SRC_GSI_WRITESET_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/engine/txn_type.h"
+#include "src/storage/relation.h"
+
+namespace tashkent {
+
+// Monotonically increasing global commit version assigned by the certifier.
+// Version 0 is the initial (empty) database snapshot.
+using Version = uint64_t;
+
+using ReplicaId = uint32_t;
+inline constexpr ReplicaId kInvalidReplica = UINT32_MAX;
+
+struct WritesetItem {
+  RelationId relation = kInvalidRelation;
+  uint64_t row_key = 0;
+
+  bool operator==(const WritesetItem&) const = default;
+};
+
+struct Writeset {
+  // Assigned by the certifier on successful certification; 0 until then.
+  Version commit_version = 0;
+  // The snapshot the transaction executed against (GSI: possibly older than
+  // the latest committed version).
+  Version snapshot_version = 0;
+  ReplicaId origin = kInvalidReplica;
+  TxnTypeId type = kInvalidTxnType;
+  // Rows written, for conflict detection.
+  std::vector<WritesetItem> items;
+  // Pages dirtied per table, for remote application; second = page count.
+  std::vector<std::pair<RelationId, int>> table_pages;
+  // Wire size of the writeset.
+  Bytes bytes = 0;
+
+  // True if the writeset touches any relation in `tables`. Used by update
+  // filtering: a proxy subscribed to a table set forwards only matching
+  // writesets.
+  template <typename Set>
+  bool TouchesAny(const Set& tables) const {
+    for (const auto& [rel, pages] : table_pages) {
+      if (tables.find(rel) != tables.end()) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace tashkent
+
+#endif  // SRC_GSI_WRITESET_H_

@@ -1,0 +1,25 @@
+#include "src/proxy/gatekeeper.h"
+
+namespace tashkent {
+
+void Gatekeeper::Admit(std::function<void()> work) {
+  if (in_flight_ < max_in_flight_) {
+    ++in_flight_;
+    work();
+  } else {
+    queue_.push_back(std::move(work));
+  }
+}
+
+void Gatekeeper::Release() {
+  if (!queue_.empty()) {
+    // Hand the slot straight to the next queued transaction.
+    std::function<void()> next = std::move(queue_.front());
+    queue_.pop_front();
+    next();
+  } else {
+    --in_flight_;
+  }
+}
+
+}  // namespace tashkent

@@ -1,0 +1,43 @@
+// Gatekeeper admission control [ENTZ04].
+//
+// The proxy limits the number of transactions concurrently inside the
+// database to prevent bursts from overloading it; excess arrivals queue FIFO
+// at the proxy. This is the admission-control component the paper's proxies
+// run in front of every replica.
+#ifndef SRC_PROXY_GATEKEEPER_H_
+#define SRC_PROXY_GATEKEEPER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+
+namespace tashkent {
+
+class Gatekeeper {
+ public:
+  explicit Gatekeeper(int max_in_flight) : max_in_flight_(max_in_flight) {}
+
+  // Runs `work` immediately if a slot is free, otherwise queues it. The
+  // holder must call Release() exactly once when the admitted work finishes.
+  void Admit(std::function<void()> work);
+
+  // Frees a slot and admits the next queued arrival, if any.
+  void Release();
+
+  int in_flight() const { return in_flight_; }
+  size_t queued() const { return queue_.size(); }
+  // Outstanding requests at this replica: executing plus waiting. This is the
+  // "connection count" signal LeastConnections and LARD consume.
+  size_t outstanding() const { return static_cast<size_t>(in_flight_) + queue_.size(); }
+  int max_in_flight() const { return max_in_flight_; }
+
+ private:
+  int max_in_flight_;
+  int in_flight_ = 0;
+  std::deque<std::function<void()>> queue_;
+};
+
+}  // namespace tashkent
+
+#endif  // SRC_PROXY_GATEKEEPER_H_

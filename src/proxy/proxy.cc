@@ -1,0 +1,207 @@
+#include "src/proxy/proxy.h"
+
+#include <utility>
+
+namespace tashkent {
+
+Proxy::Proxy(Simulator* sim, Replica* replica, Certifier* certifier, ProxyConfig config)
+    : sim_(sim),
+      replica_(replica),
+      certifier_(certifier),
+      config_(config),
+      gatekeeper_(config.max_in_flight) {}
+
+void Proxy::SubmitTransaction(const TxnType& type, TxnDone done) {
+  if (!available_) {
+    // The balancer avoids crashed replicas, but racing submissions fail fast
+    // and the client retries elsewhere.
+    done(false);
+    return;
+  }
+  gatekeeper_.Admit([this, &type, done = std::move(done)]() mutable {
+    RunAdmitted(type, std::move(done));
+  });
+}
+
+void Proxy::Crash() {
+  // Fail-stop for new work; in-flight transactions drain (their events are
+  // already scheduled), which models the brief failover window in which
+  // clients time out and retry elsewhere.
+  available_ = false;
+  ++crash_epoch_;
+}
+
+void Proxy::Restart() {
+  if (available_) {
+    return;
+  }
+  available_ = true;
+  // RAM is lost: the cache restarts cold. The durable state is the certifier
+  // log prefix at applied_version_, so catch-up goes through the ordinary
+  // pull path right away; the certifier's prod mechanism keeps nudging until
+  // the replica is current.
+  replica_->pool().Clear();
+  PullUpdates();
+}
+
+void Proxy::RunAdmitted(const TxnType& type, TxnDone done) {
+  replica_->Execute(type, [this, done = std::move(done)](ExecOutcome outcome) mutable {
+    if (!outcome.is_update) {
+      // Read-only transactions run entirely locally against their snapshot.
+      ++stats_.read_only;
+      FinishTransaction(true, done);
+      return;
+    }
+    CertifyAndCommit(std::move(outcome), std::move(done));
+  });
+}
+
+SimDuration Proxy::CertificationRtt() const {
+  const CertifierConfig& cc = certifier_->config();
+  return 2 * cc.network_one_way + cc.certify_cost;
+}
+
+void Proxy::CertifyAndCommit(ExecOutcome outcome, TxnDone done) {
+  // One round trip to the certifier: the request carries the writeset and the
+  // replica's applied version; the response carries the verdict plus remote
+  // writesets committed since.
+  Writeset ws = std::move(outcome.writeset);
+  ws.snapshot_version = applied_version_;
+  sim_->ScheduleAfter(CertificationRtt(), [this, ws = std::move(ws),
+                                           done = std::move(done)]() mutable {
+    last_certifier_contact_ = sim_->Now();
+    CertifyResult result = certifier_->Certify(std::move(ws), replica_->id(), applied_version_);
+    EnqueueRemotes(result.remote);
+    PumpApplier();
+    if (result.committed) {
+      const Version commit_version = result.commit_version;
+      // The local update commits only after every intervening remote writeset
+      // is applied; no fsync (durability lives in the certifier log).
+      WaitApplied(commit_version - 1, [this, commit_version, done = std::move(done)]() {
+        AdvanceApplied(commit_version);
+        FinishTransaction(true, done);
+      });
+    } else {
+      // Certification abort: apply what the response carried, then report.
+      WaitApplied(max_enqueued_, [this, done = std::move(done)]() {
+        FinishTransaction(false, done);
+      });
+    }
+  });
+}
+
+void Proxy::EnqueueRemotes(const std::vector<const Writeset*>& remotes) {
+  for (const Writeset* ws : remotes) {
+    if (ws->commit_version > max_enqueued_) {
+      apply_queue_.push_back(ws);
+      max_enqueued_ = ws->commit_version;
+    }
+  }
+}
+
+void Proxy::PumpApplier() {
+  if (pump_active_ || applying_) {
+    return;
+  }
+  pump_active_ = true;
+  while (!apply_queue_.empty()) {
+    const Writeset* ws = apply_queue_.front();
+    if (ws->commit_version <= applied_version_) {
+      apply_queue_.pop_front();  // already covered (e.g. own commit)
+      continue;
+    }
+    const bool wanted = !subscription_.has_value() || ws->TouchesAny(*subscription_);
+    if (!wanted) {
+      apply_queue_.pop_front();
+      ++stats_.writesets_filtered;
+      AdvanceApplied(ws->commit_version);
+      continue;
+    }
+    apply_queue_.pop_front();
+    const Version version = ws->commit_version;
+    ++stats_.writesets_applied;
+    applying_ = true;
+    replica_->ApplyWriteset(*ws, [this, version]() {
+      applying_ = false;
+      AdvanceApplied(version);
+      PumpApplier();
+    });
+    break;  // resume when the asynchronous apply completes
+  }
+  pump_active_ = false;
+}
+
+void Proxy::WaitApplied(Version target, std::function<void()> fn) {
+  if (applied_version_ >= target) {
+    fn();
+    return;
+  }
+  waiters_.push_back(Waiter{target, std::move(fn)});
+}
+
+void Proxy::AdvanceApplied(Version v) {
+  if (v > applied_version_) {
+    applied_version_ = v;
+  }
+  // Fire satisfied waiters. A waiter may advance the version further (a local
+  // commit) or enqueue more work, so collect-then-run.
+  std::vector<std::function<void()>> ready;
+  for (size_t i = 0; i < waiters_.size();) {
+    if (waiters_[i].target <= applied_version_) {
+      ready.push_back(std::move(waiters_[i].fn));
+      waiters_[i] = std::move(waiters_.back());
+      waiters_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  for (auto& fn : ready) {
+    fn();
+  }
+}
+
+void Proxy::FinishTransaction(bool committed, const TxnDone& done) {
+  if (committed) {
+    ++stats_.committed;
+  } else {
+    ++stats_.aborted;
+  }
+  gatekeeper_.Release();
+  done(committed);
+}
+
+void Proxy::StartDaemons() {
+  const SimDuration period = certifier_->config().pull_period;
+  sim_->SchedulePeriodic(sim_->Now() + period, period, [this]() {
+    // Pull only if we have not talked to the certifier recently.
+    if (sim_->Now() - last_certifier_contact_ >= certifier_->config().pull_period) {
+      PullUpdates();
+    }
+  });
+}
+
+void Proxy::OnProd() {
+  ++stats_.prods;
+  // Short notification message, then the proxy requests updates.
+  sim_->ScheduleAfter(certifier_->config().network_one_way, [this]() { PullUpdates(); });
+}
+
+void Proxy::PullUpdates() {
+  if (pull_in_progress_) {
+    return;
+  }
+  pull_in_progress_ = true;
+  ++stats_.pulls;
+  sim_->ScheduleAfter(CertificationRtt(), [this]() {
+    last_certifier_contact_ = sim_->Now();
+    EnqueueRemotes(certifier_->Pull(replica_->id(), applied_version_));
+    PumpApplier();
+    pull_in_progress_ = false;
+  });
+}
+
+void Proxy::SetSubscription(std::optional<std::unordered_set<RelationId>> tables) {
+  subscription_ = std::move(tables);
+}
+
+}  // namespace tashkent

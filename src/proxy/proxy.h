@@ -1,0 +1,134 @@
+// The replication-middleware proxy attached to each replica (Figure 1).
+//
+// The proxy appears as the database to clients and as a client to the
+// database. It performs, per Section 4:
+//   * Gatekeeper admission control;
+//   * local execution of transactions on its replica;
+//   * certification of update transactions at the certifier (one network
+//     round trip), applying the returned remote writesets *before* the local
+//     commit so every replica's state stays a consistent prefix of the
+//     certifier log;
+//   * periodic pulls (500 ms) when idle and pull-on-prod when the certifier
+//     notices the replica lagging;
+//   * update filtering: when the balancer installs a table subscription, the
+//     proxy forwards only writesets touching subscribed tables to its replica
+//     (version bookkeeping still advances past filtered writesets).
+#ifndef SRC_PROXY_PROXY_H_
+#define SRC_PROXY_PROXY_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "src/certifier/certifier.h"
+#include "src/proxy/gatekeeper.h"
+#include "src/replica/replica.h"
+
+namespace tashkent {
+
+struct ProxyConfig {
+  // Gatekeeper limit on transactions concurrently inside the database.
+  int max_in_flight = 8;
+};
+
+struct ProxyStats {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;        // certification (write-write) aborts
+  uint64_t read_only = 0;
+  uint64_t writesets_applied = 0;
+  uint64_t writesets_filtered = 0;
+  uint64_t pulls = 0;
+  uint64_t prods = 0;
+};
+
+class Proxy {
+ public:
+  // Result of one transaction as seen by the client: true = committed.
+  using TxnDone = std::function<void(bool committed)>;
+
+  Proxy(Simulator* sim, Replica* replica, Certifier* certifier, ProxyConfig config = {});
+
+  Proxy(const Proxy&) = delete;
+  Proxy& operator=(const Proxy&) = delete;
+
+  // Dispatch entry point used by the load balancer.
+  void SubmitTransaction(const TxnType& type, TxnDone done);
+
+  // Starts the periodic 500 ms update pull.
+  void StartDaemons();
+
+  // Certifier prod: the replica is behind; schedule an immediate pull.
+  void OnProd();
+
+  // Installs (or clears) the update-filtering subscription. An empty optional
+  // means "apply everything" (filtering off).
+  void SetSubscription(std::optional<std::unordered_set<RelationId>> tables);
+  const std::optional<std::unordered_set<RelationId>>& subscription() const {
+    return subscription_;
+  }
+
+  // --- Failure injection ----------------------------------------------------
+  // Crash: the replica stops serving; in-flight work is dropped (clients see
+  // aborts and retry elsewhere). Restart: the replica rejoins with a cold
+  // cache and catches up from the certifier log via the normal pull/prod path
+  // (the log is the durable state — Tashkent recovery).
+  void Crash();
+  void Restart();
+  bool available() const { return available_; }
+
+  size_t outstanding() const { return gatekeeper_.outstanding(); }
+  int max_in_flight() const { return gatekeeper_.max_in_flight(); }
+  Version applied_version() const { return applied_version_; }
+  ReplicaId replica_id() const { return replica_->id(); }
+  Replica& replica() { return *replica_; }
+  const Replica& replica() const { return *replica_; }
+  const ProxyStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ProxyStats{}; }
+
+ private:
+  void RunAdmitted(const TxnType& type, TxnDone done);
+  void FinishTransaction(bool committed, const TxnDone& done);
+  void CertifyAndCommit(ExecOutcome outcome, TxnDone done);
+  void PullUpdates();
+  SimDuration CertificationRtt() const;
+
+  // --- Serial writeset applier --------------------------------------------
+  // Remote writesets apply strictly in commit order through one queue, so
+  // overlapping certification responses and pulls never apply a writeset
+  // twice and the replica state is always a consistent log prefix.
+  void EnqueueRemotes(const std::vector<const Writeset*>& remotes);
+  void PumpApplier();
+  // Runs `fn` once applied_version_ >= target.
+  void WaitApplied(Version target, std::function<void()> fn);
+  void AdvanceApplied(Version v);
+
+  Simulator* sim_;
+  Replica* replica_;
+  Certifier* certifier_;
+  ProxyConfig config_;
+  Gatekeeper gatekeeper_;
+  Version applied_version_ = 0;
+  SimTime last_certifier_contact_ = 0;
+  bool pull_in_progress_ = false;
+  std::optional<std::unordered_set<RelationId>> subscription_;
+  ProxyStats stats_;
+
+  std::deque<const Writeset*> apply_queue_;
+  Version max_enqueued_ = 0;
+  bool applying_ = false;     // an async ApplyWriteset is in flight
+  bool pump_active_ = false;  // re-entrancy guard
+  bool available_ = true;
+  uint64_t crash_epoch_ = 0;  // invalidates callbacks from before a crash
+  struct Waiter {
+    Version target;
+    std::function<void()> fn;
+  };
+  std::vector<Waiter> waiters_;
+};
+
+}  // namespace tashkent
+
+#endif  // SRC_PROXY_PROXY_H_

@@ -1,0 +1,159 @@
+#include "src/replica/replica.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tashkent {
+
+Replica::Replica(Simulator* sim, const Schema* schema, ReplicaId id, ReplicaConfig config, Rng rng)
+    : sim_(sim),
+      schema_(schema),
+      id_(id),
+      config_(config),
+      rng_(rng),
+      pool_(config.memory - config.reserved, config.chunk_pages),
+      cpu_(sim, "cpu/" + std::to_string(id)),
+      disk_(sim, "disk/" + std::to_string(id)),
+      cpu_ewma_(config.monitor_alpha),
+      disk_ewma_(config.monitor_alpha) {}
+
+void Replica::Execute(const TxnType& type, std::function<void(ExecOutcome)> done) {
+  ExecOutcome outcome;
+  SimDuration disk_time = 0;
+  SimDuration cpu_time = type.base_cpu;
+
+  for (const auto& step : type.plan.steps) {
+    const RelationMeta& rel = schema_->Get(step.relation);
+    if (step.access == AccessKind::kSequentialScan) {
+      const Pages window =
+          step.window_pages > 0 ? std::min(step.window_pages, rel.pages) : rel.pages;
+      const PoolAccess access = pool_.TouchScanWindow(rel, window, rng_, config_.skew);
+      disk_time += config_.disk.SequentialReadTime(access.pages_missed);
+      cpu_time += window * config_.cpu_per_scan_page;
+      outcome.pages_read_seq += access.pages_missed;
+      outcome.pages_touched += window;
+    } else {
+      const PoolAccess access = pool_.TouchRandom(rel, step.pages_per_exec, rng_, config_.skew);
+      disk_time += config_.disk.RandomReadTime(access.pages_missed);
+      cpu_time += step.pages_per_exec * config_.cpu_per_random_page;
+      outcome.pages_read_rand += access.pages_missed;
+      outcome.pages_touched += step.pages_per_exec;
+    }
+    if (step.write_pages > 0) {
+      const BufferPool::DirtyResult dirt =
+          pool_.DirtyRandom(rel, step.write_pages, rng_, config_.write_skew);
+      disk_time += config_.disk.RandomReadTime(dirt.access.pages_missed);
+      cpu_time += step.write_pages * config_.cpu_per_random_page;
+      outcome.pages_read_rand += dirt.access.pages_missed;
+      outcome.pages_touched += step.write_pages;
+    }
+  }
+
+  stats_.disk_read_bytes += PagesToBytes(outcome.pages_read_seq + outcome.pages_read_rand);
+
+  outcome.is_update = type.is_update();
+  if (outcome.is_update) {
+    outcome.writeset = BuildWriteset(type);
+  }
+
+  if (disk_time > 0) {
+    disk_.Submit(disk_time, [this, outcome = std::move(outcome), cpu_time,
+                             done = std::move(done)]() mutable {
+      RunCpuPhase(std::move(outcome), cpu_time, std::move(done));
+    });
+  } else {
+    RunCpuPhase(std::move(outcome), cpu_time, std::move(done));
+  }
+}
+
+void Replica::RunCpuPhase(ExecOutcome outcome, SimDuration cpu_time,
+                          std::function<void(ExecOutcome)> done) {
+  cpu_.Submit(cpu_time, [this, outcome = std::move(outcome), done = std::move(done)]() mutable {
+    ++stats_.txns_executed;
+    done(std::move(outcome));
+  });
+}
+
+Writeset Replica::BuildWriteset(const TxnType& type) {
+  Writeset ws;
+  ws.origin = id_;
+  ws.type = type.id;
+  ws.bytes = type.writeset_bytes;
+  for (const auto& step : type.plan.steps) {
+    if (step.write_pages <= 0) {
+      continue;
+    }
+    ws.table_pages.emplace_back(step.relation, step.write_pages);
+    const RelationMeta& rel = schema_->Get(step.relation);
+    // Logical row identifiers for conflict detection: ~16 rows per page.
+    const uint64_t keyspace = std::max<uint64_t>(static_cast<uint64_t>(rel.pages) * 16, 1);
+    for (int i = 0; i < step.write_pages; ++i) {
+      ws.items.push_back(WritesetItem{step.relation, rng_.NextBelow(keyspace)});
+    }
+  }
+  return ws;
+}
+
+void Replica::ApplyWriteset(const Writeset& ws, std::function<void()> done) {
+  SimDuration disk_time = 0;
+  SimDuration cpu_time = 0;
+  Pages missed = 0;
+  Pages touched = 0;
+  for (const auto& [rel_id, pages] : ws.table_pages) {
+    const RelationMeta& rel = schema_->Get(rel_id);
+    const BufferPool::DirtyResult dirt =
+        pool_.DirtyRandom(rel, pages, rng_, config_.write_skew);
+    missed += dirt.access.pages_missed;
+    touched += pages;
+  }
+  disk_time = config_.disk.RandomReadTime(missed);
+  cpu_time = touched * config_.cpu_per_apply_page;
+  stats_.apply_read_bytes += PagesToBytes(missed);
+  ++stats_.writesets_applied;
+
+  auto cpu_stage = [this, cpu_time, done = std::move(done)]() mutable {
+    cpu_.Submit(cpu_time, [done = std::move(done)]() {
+      if (done) {
+        done();
+      }
+    });
+  };
+  if (disk_time > 0) {
+    disk_.Submit(disk_time, std::move(cpu_stage));
+  } else {
+    cpu_stage();
+  }
+}
+
+void Replica::StartDaemons() {
+  if (daemons_started_) {
+    return;
+  }
+  daemons_started_ = true;
+  // Stagger daemon phases across replicas so 16 monitors do not tick in
+  // lockstep.
+  const SimDuration flush_phase = static_cast<SimDuration>(
+      rng_.NextBelow(static_cast<uint64_t>(config_.flush_period)));
+  const SimDuration monitor_phase = static_cast<SimDuration>(
+      rng_.NextBelow(static_cast<uint64_t>(config_.monitor_period)));
+  sim_->SchedulePeriodic(sim_->Now() + flush_phase, config_.flush_period,
+                         [this]() { FlushRound(); });
+  sim_->SchedulePeriodic(sim_->Now() + monitor_phase, config_.monitor_period,
+                         [this]() { MonitorRound(); });
+}
+
+void Replica::FlushRound() {
+  const Pages flushed = pool_.TakeDirtyForFlush(config_.flush_batch_pages);
+  if (flushed <= 0) {
+    return;
+  }
+  stats_.disk_write_bytes += PagesToBytes(flushed);
+  disk_.Submit(config_.disk.WriteTime(flushed), nullptr, JobPriority::kForeground);
+}
+
+void Replica::MonitorRound() {
+  cpu_ewma_.Add(cpu_.SampleUtilization());
+  disk_ewma_.Add(disk_.SampleUtilization());
+}
+
+}  // namespace tashkent

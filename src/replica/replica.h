@@ -1,0 +1,146 @@
+// A database replica: buffer pool + CPU + disk channel + background writer.
+//
+// Transactions execute in phases against the chunked-LRU buffer pool: plan
+// steps are resolved to page hits and misses, misses are charged to the disk
+// channel (sequential bandwidth for scans, per-page cost for random access),
+// then a CPU burst proportional to pages processed runs, then the transaction
+// reports back with its draft writeset (updates only). Remote writesets from
+// the certifier are applied through the same machinery, dirtying pages that
+// the background writer later flushes through the shared disk channel — the
+// write/read competition that update filtering removes.
+//
+// The replica mirrors Tashkent's I/O discipline: no fsync on commit
+// (durability lives in the certifier log), so the only writes are lazy
+// dirty-page write-back.
+#ifndef SRC_REPLICA_REPLICA_H_
+#define SRC_REPLICA_REPLICA_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/units.h"
+#include "src/engine/txn_type.h"
+#include "src/gsi/writeset.h"
+#include "src/sim/fifo_server.h"
+#include "src/sim/simulator.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/disk_model.h"
+#include "src/storage/schema.h"
+
+namespace tashkent {
+
+struct ReplicaConfig {
+  // Physical RAM of the machine (the paper sweeps 256 MB / 512 MB / 1 GB).
+  Bytes memory = 512 * kMiB;
+  // Memory reserved for OS, PostgreSQL processes, proxy and monitoring
+  // daemons (the paper subtracts 70 MB).
+  Bytes reserved = 70 * kMiB;
+  // Scan granularity of the buffer pool.
+  Pages chunk_pages = 32;
+  DiskModel disk;
+  // CPU cost per page processed, by access style. Sequential pages stream
+  // through tuple-at-a-time processing cheaply; random pages pay lookup
+  // overhead.
+  SimDuration cpu_per_scan_page = Micros(9);
+  SimDuration cpu_per_random_page = Micros(60);
+  // CPU cost to apply one remote writeset page (read-modify-write, no
+  // planning).
+  SimDuration cpu_per_apply_page = Micros(25);
+  // Background writer cadence; each round flushes at most `flush_batch_pages`.
+  SimDuration flush_period = Millis(500);
+  Pages flush_batch_pages = 512;
+  // Monitor daemon sampling and smoothing (EWMA weight of a new sample).
+  SimDuration monitor_period = Seconds(1.0);
+  double monitor_alpha = 0.30;
+  // Hot/cold access skew for random pages and scan-window placement.
+  AccessSkew skew;
+  // Write skew: inserts append and updates hit recent rows, so writes
+  // concentrate on a small leading region of each table. This keeps
+  // writeset-application reads mostly cached and lets dirty pages coalesce,
+  // matching the paper's per-transaction write volumes.
+  AccessSkew write_skew{0.03, 0.95};
+};
+
+// What one local execution produced.
+struct ExecOutcome {
+  bool is_update = false;
+  Writeset writeset;  // populated when is_update
+  Pages pages_read_seq = 0;
+  Pages pages_read_rand = 0;
+  Pages pages_touched = 0;
+};
+
+struct ReplicaStats {
+  uint64_t txns_executed = 0;
+  uint64_t writesets_applied = 0;
+  Bytes disk_read_bytes = 0;     // transaction reads (seq + random misses)
+  Bytes disk_write_bytes = 0;    // background write-back of dirty pages
+  Bytes apply_read_bytes = 0;    // reads caused by remote writeset application
+};
+
+class Replica {
+ public:
+  Replica(Simulator* sim, const Schema* schema, ReplicaId id, ReplicaConfig config, Rng rng);
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  // Executes one transaction of `type` to completion (disk phase, CPU phase),
+  // then invokes `done`. For update types the outcome carries the draft
+  // writeset; certification is the proxy's job.
+  void Execute(const TxnType& type, std::function<void(ExecOutcome)> done);
+
+  // Applies a remote writeset: reads and dirties the pages it touches.
+  // `done` fires when the apply has been processed by disk and CPU.
+  void ApplyWriteset(const Writeset& ws, std::function<void()> done);
+
+  // Starts the background writer and the monitor daemon.
+  void StartDaemons();
+
+  // Smoothed utilizations reported by the monitor daemon (Section 2.4).
+  double smoothed_cpu() const { return cpu_ewma_.value(); }
+  double smoothed_disk() const { return disk_ewma_.value(); }
+  // Instantaneous queue depths, exposed for LARD-style connection counting.
+  size_t cpu_queue() const { return cpu_.queue_length(); }
+  size_t disk_queue() const { return disk_.queue_length(); }
+
+  ReplicaId id() const { return id_; }
+  BufferPool& pool() { return pool_; }
+  const BufferPool& pool() const { return pool_; }
+  const ReplicaStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ReplicaStats{}; }
+  const ReplicaConfig& config() const { return config_; }
+
+  // Drops a relation from cache entirely (update filtering lets unused tables
+  // go stale; dropping models reclaiming their buffer space).
+  void DropRelation(RelationId rel) { pool_.DropRelation(rel); }
+
+ private:
+  void RunCpuPhase(ExecOutcome outcome, SimDuration cpu_time,
+                   std::function<void(ExecOutcome)> done);
+  Writeset BuildWriteset(const TxnType& type);
+  void FlushRound();
+  void MonitorRound();
+
+  Simulator* sim_;
+  const Schema* schema_;
+  ReplicaId id_;
+  ReplicaConfig config_;
+  Rng rng_;
+  BufferPool pool_;
+  FifoServer cpu_;
+  FifoServer disk_;
+  Ewma cpu_ewma_;
+  Ewma disk_ewma_;
+  ReplicaStats stats_;
+  bool daemons_started_ = false;
+};
+
+}  // namespace tashkent
+
+#endif  // SRC_REPLICA_REPLICA_H_

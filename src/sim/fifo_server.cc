@@ -1,0 +1,49 @@
+#include "src/sim/fifo_server.h"
+
+namespace tashkent {
+
+void FifoServer::Submit(SimDuration service, Done done, JobPriority prio) {
+  if (service < 0) {
+    service = 0;
+  }
+  Job job{service, std::move(done)};
+  if (prio == JobPriority::kForeground) {
+    fg_queue_.push_back(std::move(job));
+  } else {
+    bg_queue_.push_back(std::move(job));
+  }
+  if (!busy_) {
+    StartNext();
+  }
+}
+
+void FifoServer::StartNext() {
+  Job job;
+  if (!fg_queue_.empty()) {
+    job = std::move(fg_queue_.front());
+    fg_queue_.pop_front();
+  } else if (!bg_queue_.empty()) {
+    job = std::move(bg_queue_.front());
+    bg_queue_.pop_front();
+  } else {
+    return;
+  }
+  busy_ = true;
+  const SimDuration service = job.service;
+  util_.AddBusy(service);
+  total_busy_ += service;
+  sim_->ScheduleAfter(service, [this, job = std::move(job)]() mutable { Finish(std::move(job)); });
+}
+
+void FifoServer::Finish(Job job) {
+  busy_ = false;
+  ++jobs_completed_;
+  if (job.done) {
+    job.done();
+  }
+  if (!busy_) {  // The completion callback may have submitted and started work.
+    StartNext();
+  }
+}
+
+}  // namespace tashkent

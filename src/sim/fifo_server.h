@@ -1,0 +1,71 @@
+// A single-server FIFO queue embedded in the discrete-event simulator.
+//
+// Models serially shared hardware resources: a replica's CPU and its disk I/O
+// channel. Jobs are (service time, completion callback) pairs; the server
+// processes one job at a time in arrival order and integrates busy time so the
+// monitor daemon can report utilization. Optional two-level priority lets the
+// background dirty-page writer yield to foreground transaction reads, matching
+// how the OS elevator favors reads over lazy write-back.
+#ifndef SRC_SIM_FIFO_SERVER_H_
+#define SRC_SIM_FIFO_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "src/common/stats.h"
+#include "src/common/units.h"
+#include "src/sim/simulator.h"
+
+namespace tashkent {
+
+enum class JobPriority : uint8_t {
+  kForeground = 0,  // transaction work
+  kBackground = 1,  // dirty-page write-back, maintenance
+};
+
+class FifoServer {
+ public:
+  using Done = std::function<void()>;
+
+  FifoServer(Simulator* sim, std::string name) : sim_(sim), name_(std::move(name)) {}
+
+  FifoServer(const FifoServer&) = delete;
+  FifoServer& operator=(const FifoServer&) = delete;
+
+  // Enqueues a job requiring `service` time; `done` fires when it completes.
+  void Submit(SimDuration service, Done done, JobPriority prio = JobPriority::kForeground);
+
+  // Busy time accumulated since the last Sample() call, as a utilization.
+  double SampleUtilization() { return util_.Sample(sim_->Now()); }
+
+  bool busy() const { return busy_; }
+  size_t queue_length() const { return fg_queue_.size() + bg_queue_.size() + (busy_ ? 1 : 0); }
+  SimDuration total_busy_time() const { return total_busy_; }
+  uint64_t jobs_completed() const { return jobs_completed_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Job {
+    SimDuration service;
+    Done done;
+  };
+
+  void StartNext();
+  void Finish(Job job);
+
+  Simulator* sim_;
+  std::string name_;
+  std::deque<Job> fg_queue_;
+  std::deque<Job> bg_queue_;
+  bool busy_ = false;
+  UtilizationIntegrator util_;
+  SimDuration total_busy_ = 0;
+  uint64_t jobs_completed_ = 0;
+};
+
+}  // namespace tashkent
+
+#endif  // SRC_SIM_FIFO_SERVER_H_

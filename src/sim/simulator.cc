@@ -1,0 +1,76 @@
+#include "src/sim/simulator.h"
+
+namespace tashkent {
+
+Simulator::EventId Simulator::ScheduleAt(SimTime when, Callback cb) {
+  if (when < now_) {
+    when = now_;
+  }
+  const EventId id = next_id_++;
+  heap_.push(Event{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+void Simulator::RunUntil(SimTime end) {
+  while (!heap_.empty()) {
+    const Event ev = heap_.top();
+    if (ev.when > end) {
+      break;
+    }
+    heap_.pop();
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) {
+      continue;  // Cancelled.
+    }
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = ev.when;
+    ++executed_;
+    cb();
+  }
+  if (now_ < end) {
+    now_ = end;
+  }
+}
+
+void Simulator::RunAll() {
+  while (!heap_.empty()) {
+    const Event ev = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) {
+      continue;
+    }
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = ev.when;
+    ++executed_;
+    cb();
+  }
+}
+
+uint64_t Simulator::SchedulePeriodic(SimTime start, SimDuration period, Callback cb) {
+  const uint64_t pid = next_periodic_id_++;
+  live_periodics_.insert(pid);
+  ScheduleAt(start, [this, pid, period, cb = std::move(cb)]() { PeriodicTick(pid, period, cb); });
+  return pid;
+}
+
+void Simulator::StopPeriodic(uint64_t periodic_id) { live_periodics_.erase(periodic_id); }
+
+void Simulator::PeriodicTick(uint64_t periodic_id, SimDuration period, const Callback& cb) {
+  if (live_periodics_.find(periodic_id) == live_periodics_.end()) {
+    return;
+  }
+  cb();
+  // Re-check: the callback itself may stop the periodic.
+  if (live_periodics_.find(periodic_id) == live_periodics_.end()) {
+    return;
+  }
+  ScheduleAfter(period, [this, periodic_id, period, cb]() { PeriodicTick(periodic_id, period, cb); });
+}
+
+}  // namespace tashkent

@@ -1,0 +1,93 @@
+// Discrete-event simulation kernel.
+//
+// A single-threaded event loop with an integer-microsecond clock. Events are
+// ordered by (time, sequence number) so simultaneous events fire in the order
+// they were scheduled, which makes runs deterministic. All higher layers
+// (replicas, certifier, proxies, clients, balancer) are plain objects that
+// schedule callbacks here.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace tashkent {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  // Opaque handle for cancellation.
+  using EventId = uint64_t;
+  static constexpr EventId kInvalidEvent = 0;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `cb` to run at absolute time `when`; times in the past are
+  // clamped to Now().
+  EventId ScheduleAt(SimTime when, Callback cb);
+
+  // Schedules `cb` to run `delay` after Now(); negative delays clamp to 0.
+  EventId ScheduleAfter(SimDuration delay, Callback cb) {
+    return ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(cb));
+  }
+
+  // Cancels a pending event. Returns false if it already fired or was
+  // cancelled. Cancellation is lazy: the heap entry is skipped when popped.
+  bool Cancel(EventId id);
+
+  // Runs events with time <= `end`, then advances the clock to `end`.
+  void RunUntil(SimTime end);
+
+  // Runs every pending event. Intended for tests; production runs are bounded.
+  void RunAll();
+
+  // Registers a callback every `period`, first firing at `start`. It keeps
+  // firing until StopPeriodic is called with the returned id.
+  uint64_t SchedulePeriodic(SimTime start, SimDuration period, Callback cb);
+  void StopPeriodic(uint64_t periodic_id);
+
+  size_t pending_events() const { return callbacks_.size(); }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    EventId id;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void PeriodicTick(uint64_t periodic_id, SimDuration period, const Callback& cb);
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  uint64_t next_periodic_id_ = 1;
+  std::unordered_set<uint64_t> live_periodics_;
+};
+
+}  // namespace tashkent
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,223 @@
+#include "src/storage/buffer_pool.h"
+
+#include <algorithm>
+
+namespace tashkent {
+
+uint64_t AccessSkew::SamplePage(Rng& rng, Pages pages) const {
+  if (pages <= 1) {
+    return 0;
+  }
+  const Pages hot = std::max<Pages>(static_cast<Pages>(hot_fraction * static_cast<double>(pages)), 1);
+  if (rng.NextBool(hot_weight)) {
+    return rng.NextBelow(static_cast<uint64_t>(hot));
+  }
+  return rng.NextBelow(static_cast<uint64_t>(pages));
+}
+
+uint64_t AccessSkew::SampleWindowStart(Rng& rng, Pages pages, Pages window) const {
+  if (window >= pages) {
+    return 0;
+  }
+  const Pages span = pages - window;  // valid starts: [0, span]
+  const Pages hot_span = std::max<Pages>(
+      std::min<Pages>(static_cast<Pages>(hot_fraction * static_cast<double>(pages)), span), 1);
+  if (rng.NextBool(hot_weight)) {
+    return rng.NextBelow(static_cast<uint64_t>(hot_span));
+  }
+  return rng.NextBelow(static_cast<uint64_t>(span + 1));
+}
+
+BufferPool::BufferPool(Bytes capacity, Pages chunk_pages)
+    : capacity_pages_(std::max<Pages>(BytesToPages(capacity), 1)),
+      chunk_pages_(std::max<Pages>(chunk_pages, 1)) {}
+
+void BufferPool::TouchEntry(uint64_t key) {
+  auto it = index_.find(key);
+  lru_.splice(lru_.begin(), lru_, it->second);
+}
+
+void BufferPool::Insert(uint64_t key, Pages weight) {
+  lru_.push_front(Entry{key, weight});
+  index_[key] = lru_.begin();
+  used_pages_ += weight;
+  resident_by_rel_[KeyRelation(key)] += weight;
+  EvictToFit();
+}
+
+void BufferPool::EvictToFit() {
+  while (used_pages_ > capacity_pages_ && !lru_.empty()) {
+    const Entry victim = lru_.back();
+    lru_.pop_back();
+    index_.erase(victim.key);
+    used_pages_ -= victim.weight;
+    auto rit = resident_by_rel_.find(KeyRelation(victim.key));
+    rit->second -= victim.weight;
+    if (rit->second <= 0) {
+      resident_by_rel_.erase(rit);
+    }
+    stats_.evicted_pages += static_cast<uint64_t>(victim.weight);
+  }
+}
+
+PoolAccess BufferPool::TouchScan(const RelationMeta& rel) {
+  PoolAccess out;
+  const uint64_t full_chunks = static_cast<uint64_t>(rel.pages / chunk_pages_);
+  const Pages tail = rel.pages % chunk_pages_;
+  const uint64_t total_chunks = full_chunks + (tail > 0 ? 1 : 0);
+  for (uint64_t c = 0; c < total_chunks; ++c) {
+    const Pages weight = (c < full_chunks) ? chunk_pages_ : tail;
+    const uint64_t key = ChunkKey(rel.id, c);
+    if (IsResident(key)) {
+      TouchEntry(key);
+      out.pages_hit += weight;
+    } else {
+      Insert(key, weight);
+      out.pages_missed += weight;
+    }
+  }
+  stats_.hits += static_cast<uint64_t>(out.pages_hit);
+  stats_.misses += static_cast<uint64_t>(out.pages_missed);
+  return out;
+}
+
+PoolAccess BufferPool::TouchScanWindow(const RelationMeta& rel, Pages window, Rng& rng,
+                                       const AccessSkew& skew) {
+  if (window <= 0 || window >= rel.pages) {
+    return TouchScan(rel);
+  }
+  PoolAccess out;
+  const uint64_t start_page = skew.SampleWindowStart(rng, rel.pages, window);
+  const uint64_t first_chunk = start_page / static_cast<uint64_t>(chunk_pages_);
+  const uint64_t last_page = start_page + static_cast<uint64_t>(window) - 1;
+  const uint64_t last_chunk = last_page / static_cast<uint64_t>(chunk_pages_);
+  const uint64_t rel_full_chunks = static_cast<uint64_t>(rel.pages / chunk_pages_);
+  const Pages rel_tail = rel.pages % chunk_pages_;
+  for (uint64_t c = first_chunk; c <= last_chunk; ++c) {
+    const Pages weight = (c < rel_full_chunks) ? chunk_pages_ : rel_tail;
+    if (weight <= 0) {
+      break;
+    }
+    const uint64_t key = ChunkKey(rel.id, c);
+    if (IsResident(key)) {
+      TouchEntry(key);
+      out.pages_hit += weight;
+    } else {
+      Insert(key, weight);
+      out.pages_missed += weight;
+    }
+  }
+  stats_.hits += static_cast<uint64_t>(out.pages_hit);
+  stats_.misses += static_cast<uint64_t>(out.pages_missed);
+  return out;
+}
+
+PoolAccess BufferPool::TouchRandom(const RelationMeta& rel, int n_pages, Rng& rng,
+                                   const AccessSkew& skew) {
+  PoolAccess out;
+  if (rel.pages <= 0) {
+    return out;
+  }
+  for (int i = 0; i < n_pages; ++i) {
+    const uint64_t page = skew.SamplePage(rng, rel.pages);
+    const uint64_t chunk = page / static_cast<uint64_t>(chunk_pages_);
+    const uint64_t ckey = ChunkKey(rel.id, chunk);
+    const uint64_t pkey = PageKey(rel.id, page);
+    if (IsResident(ckey)) {
+      TouchEntry(ckey);
+      ++out.pages_hit;
+    } else if (IsResident(pkey)) {
+      TouchEntry(pkey);
+      ++out.pages_hit;
+    } else {
+      Insert(pkey, 1);
+      ++out.pages_missed;
+    }
+  }
+  stats_.hits += static_cast<uint64_t>(out.pages_hit);
+  stats_.misses += static_cast<uint64_t>(out.pages_missed);
+  return out;
+}
+
+BufferPool::DirtyResult BufferPool::DirtyRandom(const RelationMeta& rel, int n_pages, Rng& rng,
+                                                const AccessSkew& skew) {
+  DirtyResult out;
+  if (rel.pages <= 0) {
+    return out;
+  }
+  for (int i = 0; i < n_pages; ++i) {
+    const uint64_t page = skew.SamplePage(rng, rel.pages);
+    const uint64_t chunk = page / static_cast<uint64_t>(chunk_pages_);
+    const uint64_t ckey = ChunkKey(rel.id, chunk);
+    const uint64_t pkey = PageKey(rel.id, page);
+    if (IsResident(ckey)) {
+      TouchEntry(ckey);
+      ++out.access.pages_hit;
+    } else if (IsResident(pkey)) {
+      TouchEntry(pkey);
+      ++out.access.pages_hit;
+    } else {
+      // Read-modify-write: the page is fetched before being modified.
+      Insert(pkey, 1);
+      ++out.access.pages_missed;
+    }
+    if (dirty_index_.find(pkey) == dirty_index_.end()) {
+      dirty_fifo_.push_back(pkey);
+      dirty_index_[pkey] = std::prev(dirty_fifo_.end());
+      ++out.newly_dirtied;
+    }
+  }
+  stats_.hits += static_cast<uint64_t>(out.access.pages_hit);
+  stats_.misses += static_cast<uint64_t>(out.access.pages_missed);
+  stats_.dirtied_pages += static_cast<uint64_t>(out.newly_dirtied);
+  return out;
+}
+
+Pages BufferPool::TakeDirtyForFlush(Pages max_pages) {
+  Pages taken = 0;
+  while (taken < max_pages && !dirty_fifo_.empty()) {
+    const uint64_t key = dirty_fifo_.front();
+    dirty_fifo_.pop_front();
+    dirty_index_.erase(key);
+    ++taken;
+  }
+  stats_.flushed_pages += static_cast<uint64_t>(taken);
+  return taken;
+}
+
+void BufferPool::DropRelation(RelationId rel) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (KeyRelation(it->key) == rel) {
+      used_pages_ -= it->weight;
+      index_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  resident_by_rel_.erase(rel);
+  for (auto it = dirty_fifo_.begin(); it != dirty_fifo_.end();) {
+    if (KeyRelation(*it) == rel) {
+      dirty_index_.erase(*it);
+      it = dirty_fifo_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  index_.clear();
+  resident_by_rel_.clear();
+  dirty_fifo_.clear();
+  dirty_index_.clear();
+  used_pages_ = 0;
+}
+
+Pages BufferPool::ResidentPages(RelationId rel) const {
+  auto it = resident_by_rel_.find(rel);
+  return it == resident_by_rel_.end() ? 0 : it->second;
+}
+
+}  // namespace tashkent

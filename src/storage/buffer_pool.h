@@ -1,0 +1,164 @@
+// Chunked-LRU buffer pool modeling a replica's database cache plus OS page
+// cache.
+//
+// Tracking every 8 KB page individually is too slow for the paper's
+// 81-experiment sweep, so residency is tracked at two granularities:
+//   * chunks (default 32 pages = 256 KB) inserted by sequential scans, and
+//   * single pages inserted by random (index) accesses.
+// Both live on one LRU list with weights equal to their page counts, so a
+// large scan evicts cached random pages exactly the way the paper describes
+// ("every time it runs it displaces the pages for other transaction types").
+//
+// Dirty pages are tracked separately from residency: writes enter a dirty set
+// that the replica's background writer drains through the disk channel. This
+// separation means evicting a dirty entry never loses the pending write-back
+// cost, and write-back I/O competes with reads on the channel — the effect
+// update filtering removes.
+#ifndef SRC_STORAGE_BUFFER_POOL_H_
+#define SRC_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/storage/relation.h"
+
+namespace tashkent {
+
+// Outcome of touching data through the pool.
+struct PoolAccess {
+  Pages pages_hit = 0;     // served from memory
+  Pages pages_missed = 0;  // must be read from disk
+};
+
+// Hot/cold access skew: `hot_weight` of the accesses fall into the leading
+// `hot_fraction` of a relation's pages (recent orders, active users, popular
+// items). This is what lets a dedicated replica cache a transaction type's
+// hot core even when the referenced relations exceed memory, and is the gap
+// between the MALB-SC over-estimate and the measured working sets in
+// Section 5.3.
+struct AccessSkew {
+  double hot_fraction = 0.35;
+  double hot_weight = 0.90;
+
+  // Samples a page in [0, pages).
+  uint64_t SamplePage(Rng& rng, Pages pages) const;
+  // Samples a window start so the window [start, start+window) stays in
+  // range.
+  uint64_t SampleWindowStart(Rng& rng, Pages pages, Pages window) const;
+};
+
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evicted_pages = 0;
+  uint64_t dirtied_pages = 0;
+  uint64_t flushed_pages = 0;
+};
+
+class BufferPool {
+ public:
+  // `capacity` is the usable cache size in bytes (RAM minus the 70 MB the
+  // paper reserves for OS/PostgreSQL/proxy/daemons). `chunk_pages` sets scan
+  // granularity.
+  BufferPool(Bytes capacity, Pages chunk_pages = 32);
+
+  // A full sequential scan of the relation: touches every chunk, returns how
+  // many pages were already resident vs. need disk reads, and leaves the
+  // relation's chunks at the MRU end (evicting LRU entries as needed).
+  PoolAccess TouchScan(const RelationMeta& rel);
+
+  // A windowed sequential scan: `window` contiguous pages starting at a
+  // skew-sampled offset (a parameterized slice of the relation).
+  PoolAccess TouchScanWindow(const RelationMeta& rel, Pages window, Rng& rng,
+                             const AccessSkew& skew);
+
+  // `n_pages` random page accesses into the relation (index lookups, row
+  // fetches), sampled with the given skew; hits leave entries refreshed,
+  // misses insert single-page entries.
+  PoolAccess TouchRandom(const RelationMeta& rel, int n_pages, Rng& rng,
+                         const AccessSkew& skew = {});
+
+  // Marks `n_pages` skew-sampled pages of the relation dirty (an update or a
+  // remote writeset application). The pages become resident
+  // (read-modify-write) and enter the dirty set. Returns accesses needed to
+  // read the pages plus the count of *newly* dirtied pages (already-dirty
+  // pages coalesce, modeling multiple updates to one page between
+  // write-backs).
+  struct DirtyResult {
+    PoolAccess access;
+    Pages newly_dirtied = 0;
+  };
+  DirtyResult DirtyRandom(const RelationMeta& rel, int n_pages, Rng& rng,
+                          const AccessSkew& skew = {});
+
+  // Removes up to `max_pages` pages from the dirty set (oldest first) and
+  // returns how many were taken; the caller charges the disk channel for the
+  // write-back.
+  Pages TakeDirtyForFlush(Pages max_pages);
+
+  // Drops every resident entry and pending dirty page of `rel`; used when
+  // update filtering lets a replica discard an unused table.
+  void DropRelation(RelationId rel);
+
+  // Empties the pool entirely (crash recovery: RAM contents are lost).
+  void Clear();
+
+  Pages capacity_pages() const { return capacity_pages_; }
+  Pages used_pages() const { return used_pages_; }
+  Pages dirty_pages() const { return static_cast<Pages>(dirty_fifo_.size()); }
+
+  // Resident pages of one relation; the experimental working-set measurement
+  // in Section 5.3 reads this.
+  Pages ResidentPages(RelationId rel) const;
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+
+  Pages chunk_pages() const { return chunk_pages_; }
+
+ private:
+  // Entry key: bit 63 selects chunk (1) vs page (0) keyspace; relation id in
+  // bits 40..62; chunk/page index in bits 0..39.
+  static uint64_t ChunkKey(RelationId rel, uint64_t chunk) {
+    return (1ULL << 63) | (static_cast<uint64_t>(rel) << 40) | chunk;
+  }
+  static uint64_t PageKey(RelationId rel, uint64_t page) {
+    return (static_cast<uint64_t>(rel) << 40) | page;
+  }
+  static RelationId KeyRelation(uint64_t key) {
+    return static_cast<RelationId>((key >> 40) & 0x7fffff);
+  }
+
+  struct Entry {
+    uint64_t key;
+    Pages weight;
+  };
+
+  bool IsResident(uint64_t key) const { return index_.find(key) != index_.end(); }
+  void TouchEntry(uint64_t key);                    // move to MRU
+  void Insert(uint64_t key, Pages weight);          // insert at MRU + evict
+  void EvictToFit();
+
+  Pages capacity_pages_;
+  Pages chunk_pages_;
+  Pages used_pages_ = 0;
+
+  std::list<Entry> lru_;  // front = MRU, back = LRU
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  std::unordered_map<RelationId, Pages> resident_by_rel_;
+
+  // Dirty pages pending write-back, FIFO order, with a set for dedup.
+  std::list<uint64_t> dirty_fifo_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> dirty_index_;
+
+  BufferPoolStats stats_;
+};
+
+}  // namespace tashkent
+
+#endif  // SRC_STORAGE_BUFFER_POOL_H_

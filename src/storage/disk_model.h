@@ -1,0 +1,40 @@
+// Disk channel cost model for a single 7200 rpm drive (the paper's hardware).
+//
+// Sequential transfers are charged at streaming bandwidth; random page reads
+// pay a seek + rotational cost each. Write-back of dirty 8 KB pages is charged
+// per page — the paper stresses that a page is written whole no matter how few
+// bytes are dirty, which is why tiny writesets generate outsized disk traffic.
+#ifndef SRC_STORAGE_DISK_MODEL_H_
+#define SRC_STORAGE_DISK_MODEL_H_
+
+#include "src/common/units.h"
+
+namespace tashkent {
+
+struct DiskModel {
+  // Streaming read bandwidth. 7200 rpm drives of the era sustain 50-70 MB/s;
+  // sequential scans through PostgreSQL also pay per-tuple CPU, modeled
+  // separately in the engine.
+  double sequential_read_mbps = 64.0;
+
+  // Cost of one random 8 KB page read (seek + half rotation + transfer).
+  SimDuration random_read_per_page = Micros(13000);
+
+  // Cost of writing back one dirty 8 KB page. The background writer sorts and
+  // coalesces, so this is cheaper than a cold random read.
+  SimDuration write_per_page = Micros(4000);
+
+  SimDuration SequentialReadTime(Pages pages) const {
+    const double bytes = static_cast<double>(PagesToBytes(pages));
+    const double seconds = bytes / (sequential_read_mbps * 1024.0 * 1024.0);
+    return Seconds(seconds);
+  }
+
+  SimDuration RandomReadTime(Pages pages) const { return pages * random_read_per_page; }
+
+  SimDuration WriteTime(Pages pages) const { return pages * write_per_page; }
+};
+
+}  // namespace tashkent
+
+#endif  // SRC_STORAGE_DISK_MODEL_H_

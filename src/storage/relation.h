@@ -1,0 +1,39 @@
+// Relations (tables and indices) and their catalog metadata.
+//
+// The load balancer in the paper sizes working sets from pg_class.relpages;
+// RelationMeta is the equivalent catalog row. Sizes are mutable because the
+// balancer "continuously monitors" the database to refresh estimates as tables
+// grow or shrink.
+#ifndef SRC_STORAGE_RELATION_H_
+#define SRC_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/units.h"
+
+namespace tashkent {
+
+using RelationId = uint32_t;
+inline constexpr RelationId kInvalidRelation = UINT32_MAX;
+
+enum class RelationKind : uint8_t {
+  kTable = 0,
+  kIndex = 1,
+};
+
+struct RelationMeta {
+  RelationId id = kInvalidRelation;
+  std::string name;
+  RelationKind kind = RelationKind::kTable;
+  // For an index, the table it belongs to; kInvalidRelation for tables.
+  RelationId parent = kInvalidRelation;
+  // Size in 8 KB pages (pg_class.relpages).
+  Pages pages = 0;
+
+  Bytes bytes() const { return PagesToBytes(pages); }
+};
+
+}  // namespace tashkent
+
+#endif  // SRC_STORAGE_RELATION_H_

@@ -1,0 +1,55 @@
+#include "src/workload/client.h"
+
+namespace tashkent {
+
+ClientPool::ClientPool(Simulator* sim, const Workload* workload, const Mix* mix, size_t clients,
+                       SimDuration mean_think, Rng rng)
+    : sim_(sim),
+      workload_(workload),
+      mix_(mix),
+      clients_(clients),
+      mean_think_(mean_think),
+      rng_(rng) {}
+
+void ClientPool::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  for (size_t c = 0; c < clients_; ++c) {
+    // Stagger initial arrivals over one think time to avoid a thundering
+    // herd at t=0.
+    const SimDuration offset = Seconds(rng_.NextExponential(ToSeconds(mean_think_)));
+    sim_->ScheduleAfter(offset, [this, c]() { ClientThink(c); });
+  }
+}
+
+void ClientPool::ClientThink(size_t client) {
+  const TxnTypeId type = mix_->Sample(rng_);
+  ClientSubmit(client, type, sim_->Now());
+}
+
+void ClientPool::ClientSubmit(size_t client, TxnTypeId type, SimTime started) {
+  const TxnType& txn = workload_->registry.Get(type);
+  dispatch_(txn, [this, client, type, started](bool committed) {
+    if (!committed) {
+      if (on_abort_) {
+        on_abort_(workload_->registry.Get(type));
+      }
+      // Retry the same transaction after a short reconnect delay; response
+      // time keeps accruing from the original start. The delay also bounds
+      // recursion when the cluster is briefly unavailable.
+      sim_->ScheduleAfter(Millis(5), [this, client, type, started]() {
+        ClientSubmit(client, type, started);
+      });
+      return;
+    }
+    if (on_commit_) {
+      on_commit_(workload_->registry.Get(type), sim_->Now() - started);
+    }
+    const SimDuration think = Seconds(rng_.NextExponential(ToSeconds(mean_think_)));
+    sim_->ScheduleAfter(think, [this, client]() { ClientThink(client); });
+  });
+}
+
+}  // namespace tashkent

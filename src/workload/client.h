@@ -1,0 +1,64 @@
+// Closed-loop client emulator.
+//
+// A fixed population of clients each loops: think (exponential), sample a
+// transaction type from the active mix, submit through the balancer, wait for
+// the commit. Certification aborts are retried immediately by the same client
+// (the paper's clients "abort and retry"). The paper sizes the population per
+// replica at the client count that drives a standalone database to 85% of its
+// peak throughput; src/cluster/calibration.h implements that procedure.
+//
+// The active mix can be switched at runtime (the Figure 6 workload change).
+#ifndef SRC_WORKLOAD_CLIENT_H_
+#define SRC_WORKLOAD_CLIENT_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/sim/simulator.h"
+#include "src/workload/workload.h"
+
+namespace tashkent {
+
+class ClientPool {
+ public:
+  // Submits a transaction; the callback reports whether it committed.
+  using Dispatch = std::function<void(const TxnType&, std::function<void(bool)>)>;
+  // Invoked on every commit with (type, response_time); aborts invoke
+  // on_abort.
+  using OnCommit = std::function<void(const TxnType&, SimDuration)>;
+  using OnAbort = std::function<void(const TxnType&)>;
+
+  ClientPool(Simulator* sim, const Workload* workload, const Mix* mix, size_t clients,
+             SimDuration mean_think, Rng rng);
+
+  void SetDispatch(Dispatch dispatch) { dispatch_ = std::move(dispatch); }
+  void SetOnCommit(OnCommit cb) { on_commit_ = std::move(cb); }
+  void SetOnAbort(OnAbort cb) { on_abort_ = std::move(cb); }
+
+  // Switches the active mix; takes effect at each client's next transaction.
+  void SetMix(const Mix* mix) { mix_ = mix; }
+
+  void Start();
+
+  size_t clients() const { return clients_; }
+
+ private:
+  void ClientThink(size_t client);
+  void ClientSubmit(size_t client, TxnTypeId type, SimTime started);
+
+  Simulator* sim_;
+  const Workload* workload_;
+  const Mix* mix_;
+  size_t clients_;
+  SimDuration mean_think_;
+  Rng rng_;
+  Dispatch dispatch_;
+  OnCommit on_commit_;
+  OnAbort on_abort_;
+  bool started_ = false;
+};
+
+}  // namespace tashkent
+
+#endif  // SRC_WORKLOAD_CLIENT_H_

@@ -1,0 +1,205 @@
+#include "src/workload/rubis.h"
+
+namespace tashkent {
+
+Workload BuildRubis() {
+  Workload w;
+  w.name = "RUBiS";
+  Schema& s = w.schema;
+
+  // --- Schema (2.2 GB total) ----------------------------------------------
+  const RelationId users = s.AddTable("users", MiB(120));
+  const RelationId u_idx = s.AddIndex("users_idx", users, MiB(15));
+  // Nickname index used by the authentication path; AboutMe reaches users by
+  // id, so this index stays outside its working set.
+  const RelationId u_name_idx = s.AddIndex("users_nickname_idx", users, MiB(18));
+  const RelationId items = s.AddTable("items", MiB(40));
+  const RelationId i_idx = s.AddIndex("items_idx", items, MiB(5));
+  const RelationId old_items = s.AddTable("old_items", MiB(1700));
+  const RelationId oi_idx = s.AddIndex("old_items_idx", old_items, MiB(58));
+  const RelationId bids = s.AddTable("bids", MiB(120));
+  const RelationId b_idx = s.AddIndex("bids_user_idx", bids, MiB(10));
+  const RelationId bi_idx = s.AddIndex("bids_item_idx", bids, MiB(12));
+  const RelationId comments = s.AddTable("comments", MiB(97));
+  const RelationId c_idx = s.AddIndex("comments_touser_idx", comments, MiB(8));
+  const RelationId ci_idx = s.AddIndex("comments_fromuser_idx", comments, MiB(8));
+  const RelationId buy_now = s.AddTable("buy_now", MiB(40));
+  const RelationId bn_idx = s.AddIndex("buy_now_idx", buy_now, MiB(5));
+  const RelationId categories = s.AddTable("categories", MiB(1));
+  const RelationId regions = s.AddTable("regions", MiB(2));
+
+  auto pages_of = [&s](RelationId r) { return s.Get(r).pages; };
+  TxnTypeRegistry& reg = w.registry;
+
+  {  // AboutMe: everything about one user — old sales, bids, comments,
+     // buy-nows. Large, frequent, reads from almost all tables (Table 4 gives
+     // it 9 of 16 replicas).
+    TxnType t;
+    t.name = "AboutMe";
+    t.base_cpu = Millis(900);
+    t.plan.steps = {ScanWindow(old_items, pages_of(old_items) / 24),
+                    ScanWindow(bids, pages_of(bids) / 4),
+                    ScanWindow(comments, pages_of(comments) / 4),
+                    Random(users, 2),
+                    Random(u_idx, 1),
+                    Random(items, 4),
+                    Random(i_idx, 2),
+                    Random(buy_now, 3),
+                    Random(bn_idx, 1),
+                    Random(oi_idx, 4),
+                    Random(b_idx, 2),
+                    Random(c_idx, 2)};
+    reg.Add(std::move(t));
+  }
+  {  // PutBid: bid form — item, current bids, bidder.
+    TxnType t;
+    t.name = "PutBid";
+    t.base_cpu = Millis(250);
+    t.plan.steps = {Random(items, 3),  Random(i_idx, 1), ScanWindow(bids, pages_of(bids) / 8),
+                    Random(bi_idx, 2), Random(users, 2), Random(u_idx, 1)};
+    reg.Add(std::move(t));
+  }
+  {  // StoreComment: insert a comment about a user.
+    TxnType t;
+    t.name = "StoreComment";
+    t.base_cpu = Millis(250);
+    t.writeset_bytes = 270;
+    t.plan.steps = {Random(comments, 2), Random(ci_idx, 1),  Random(users, 2),
+                    Random(u_idx, 1),    Random(items, 1),   Random(i_idx, 1),
+                    Write(comments, 0, 2), Write(c_idx, 0, 1), Write(ci_idx, 0, 1)};
+    reg.Add(std::move(t));
+  }
+  {  // ViewBidHistory.
+    TxnType t;
+    t.name = "ViewBidHistory";
+    t.base_cpu = Millis(400);
+    t.plan.steps = {ScanWindow(bids, pages_of(bids) / 6), Random(bi_idx, 2), Random(items, 2),
+                    Random(i_idx, 1), Random(users, 3), Random(u_idx, 1)};
+    reg.Add(std::move(t));
+  }
+  {  // ViewUserInfo: profile + comments about the user.
+    TxnType t;
+    t.name = "ViewUserInfo";
+    t.base_cpu = Millis(380);
+    t.plan.steps = {Random(users, 3), Random(u_idx, 1),
+                    ScanWindow(comments, pages_of(comments) / 6), Random(ci_idx, 2)};
+    reg.Add(std::move(t));
+  }
+  {  // viewItem: item page with bid summary, buy-now price, seller feedback.
+    TxnType t;
+    t.name = "viewItem";
+    t.base_cpu = Millis(60);
+    t.plan.steps = {Random(items, 4),  Random(i_idx, 2),
+                    ScanWindow(bids, pages_of(bids) / 12), Random(bi_idx, 2),
+                    Random(buy_now, 2), Random(bn_idx, 1),
+                    Random(comments, 2), Random(c_idx, 1)};
+    reg.Add(std::move(t));
+  }
+  {  // StoreBid: insert a bid (re-authenticates the bidder).
+    TxnType t;
+    t.name = "StoreBid";
+    t.base_cpu = Millis(50);
+    t.writeset_bytes = 270;
+    t.plan.steps = {Random(items, 2),   Random(i_idx, 1),   Random(u_idx, 1),
+                    Random(u_name_idx, 1), Write(bids, 0, 3), Write(bi_idx, 0, 2),
+                    Write(b_idx, 0, 1)};
+    reg.Add(std::move(t));
+  }
+  {  // RegisterItem: insert a new auction.
+    TxnType t;
+    t.name = "RegisterItem";
+    t.base_cpu = Millis(40);
+    t.writeset_bytes = 300;
+    t.plan.steps = {Random(items, 2), Random(i_idx, 1), Random(categories, 1), Random(u_idx, 1),
+                    Write(items, 0, 2), Write(i_idx, 0, 1)};
+    reg.Add(std::move(t));
+  }
+  {  // SearchItemsByCategory.
+    TxnType t;
+    t.name = "SearchItemsByCategory";
+    t.base_cpu = Millis(60);
+    t.plan.steps = {Random(items, 6), Random(i_idx, 2), Random(categories, 1)};
+    reg.Add(std::move(t));
+  }
+  {  // Auth: nickname/password check.
+    TxnType t;
+    t.name = "Auth";
+    t.base_cpu = Millis(20);
+    t.plan.steps = {Random(users, 2), Random(u_name_idx, 1)};
+    reg.Add(std::move(t));
+  }
+  {  // BrowseCategories (within a region).
+    TxnType t;
+    t.name = "BrowseCategories";
+    t.base_cpu = Millis(15);
+    t.plan.steps = {Random(categories, 1), Random(regions, 1), Random(u_name_idx, 1)};
+    reg.Add(std::move(t));
+  }
+  {  // BrowseRegions.
+    TxnType t;
+    t.name = "BrowseRegions";
+    t.base_cpu = Millis(15);
+    t.plan.steps = {Random(regions, 1), Random(u_name_idx, 1)};
+    reg.Add(std::move(t));
+  }
+  {  // BuyNow: buy-now page (shows buyer info, requires session).
+    TxnType t;
+    t.name = "BuyNow";
+    t.base_cpu = Millis(30);
+    t.plan.steps = {Random(items, 2), Random(i_idx, 1),     Random(buy_now, 2),
+                    Random(bn_idx, 1), Random(users, 2),    Random(u_idx, 1),
+                    Random(u_name_idx, 1)};
+    reg.Add(std::move(t));
+  }
+  {  // PutComment: comment form (profile of the user being commented).
+    TxnType t;
+    t.name = "PutComment";
+    t.base_cpu = Millis(30);
+    t.plan.steps = {Random(items, 1), Random(i_idx, 1), Random(users, 2), Random(u_idx, 1),
+                    Random(ci_idx, 1), Random(u_name_idx, 1)};
+    reg.Add(std::move(t));
+  }
+  {  // RegisterUser.
+    TxnType t;
+    t.name = "RegisterUser";
+    t.base_cpu = Millis(30);
+    t.writeset_bytes = 280;
+    t.plan.steps = {Random(users, 1), Random(u_idx, 1), Random(u_name_idx, 1),
+                    Random(regions, 1), Write(users, 0, 2), Write(u_idx, 0, 1),
+                    Write(u_name_idx, 0, 1)};
+    reg.Add(std::move(t));
+  }
+  {  // SearchItemsByRegion.
+    TxnType t;
+    t.name = "SearchItemsByRegion";
+    t.base_cpu = Millis(50);
+    t.plan.steps = {Random(items, 5), Random(i_idx, 2), Random(regions, 1), Random(u_idx, 1),
+                    Random(u_name_idx, 1)};
+    reg.Add(std::move(t));
+  }
+  {  // StoreBuyNow: execute a buy-now purchase (updates buyer record).
+    TxnType t;
+    t.name = "StoreBuyNow";
+    t.base_cpu = Millis(40);
+    t.writeset_bytes = 270;
+    t.plan.steps = {Random(buy_now, 1), Random(bn_idx, 1), Random(items, 2), Random(i_idx, 1),
+                    Random(users, 1),  Random(u_idx, 1),  Random(u_name_idx, 1),
+                    Write(buy_now, 0, 2), Write(bn_idx, 0, 1), Write(items, 0, 1)};
+    reg.Add(std::move(t));
+  }
+
+  // --- Mixes ---------------------------------------------------------------
+  // Type order matches registration order:
+  // AboutMe, PutBid, StoreComment, ViewBidHistory, ViewUserInfo, viewItem,
+  // StoreBid, RegisterItem, SearchItemsByCategory, Auth, BrowseCategories,
+  // BrowseRegions, BuyNow, PutComment, RegisterUser, SearchItemsByRegion,
+  // StoreBuyNow.
+  w.mixes.emplace_back(kRubisBidding, std::vector<double>{
+      8.0, 8.0, 2.5, 5.0, 5.0, 15.0, 6.5, 1.5, 18.0, 4.0, 7.5, 3.0, 2.0, 2.0, 2.5, 8.0, 1.5});
+  w.mixes.emplace_back(kRubisBrowsing, std::vector<double>{
+      5.0, 7.0, 0.0, 8.0, 8.0, 20.0, 0.0, 0.0, 22.0, 5.0, 10.0, 5.0, 0.0, 0.0, 0.0, 10.0, 0.0});
+
+  return w;
+}
+
+}  // namespace tashkent

@@ -1,0 +1,22 @@
+// RUBiS workload model (online auction site), matching Section 4.4.
+//
+// Seventeen transaction types using the paper's Table 4 names, a 2.2 GB
+// database (10,000 active items, 1M users, 500,000 old items), and two mixes:
+// bidding (~15% updates, the main mix) and read-only browsing. The synthetic
+// plans reproduce the paper's Table 4 MALB-SC grouping at 512 MB RAM exactly;
+// see DESIGN.md for the derivation.
+#ifndef SRC_WORKLOAD_RUBIS_H_
+#define SRC_WORKLOAD_RUBIS_H_
+
+#include "src/workload/workload.h"
+
+namespace tashkent {
+
+inline constexpr const char* kRubisBidding = "bidding";
+inline constexpr const char* kRubisBrowsing = "browsing";
+
+Workload BuildRubis();
+
+}  // namespace tashkent
+
+#endif  // SRC_WORKLOAD_RUBIS_H_

@@ -1,0 +1,196 @@
+#include "src/workload/tpcw.h"
+
+#include <cmath>
+
+namespace tashkent {
+
+namespace {
+
+// Relation size at the given EBS scale. `mb_at_300` is the size in MB at the
+// reference scale of 300 EBS; fixed relations pass scaled = false.
+Bytes ScaledMb(double mb_at_300, int ebs, bool scaled) {
+  const double factor = scaled ? static_cast<double>(ebs) / 300.0 : 1.0;
+  return MiB(mb_at_300 * factor);
+}
+
+}  // namespace
+
+Workload BuildTpcw(int ebs) {
+  Workload w;
+  w.name = "TPC-W";
+  Schema& s = w.schema;
+
+  // --- Schema -------------------------------------------------------------
+  // EBS-independent relations.
+  const RelationId item = s.AddTable("item", ScaledMb(120, ebs, false));
+  const RelationId item_idx = s.AddIndex("item_idx", item, ScaledMb(10, ebs, false));
+  // Secondary index on item (subject); used by the "new products"-style
+  // browse pages but not by order display.
+  const RelationId item_idx2 = s.AddIndex("item_idx_subject", item, ScaledMb(10, ebs, false));
+  const RelationId author = s.AddTable("author", ScaledMb(60, ebs, false));
+  const RelationId author_idx = s.AddIndex("author_idx", author, ScaledMb(5, ebs, false));
+  const RelationId country = s.AddTable("country", ScaledMb(1, ebs, false));
+
+  // EBS-scaled relations (reference sizes at 300 EBS; 1.8 GB total).
+  const RelationId customer = s.AddTable("customer", ScaledMb(450, ebs, true));
+  const RelationId customer_idx = s.AddIndex("customer_idx", customer, ScaledMb(25, ebs, true));
+  const RelationId address = s.AddTable("address", ScaledMb(110, ebs, true));
+  const RelationId address_idx = s.AddIndex("address_idx", address, ScaledMb(15, ebs, true));
+  const RelationId orders = s.AddTable("orders", ScaledMb(180, ebs, true));
+  const RelationId orders_idx = s.AddIndex("orders_idx", orders, ScaledMb(15, ebs, true));
+  const RelationId order_line = s.AddTable("order_line", ScaledMb(400, ebs, true));
+  const RelationId order_line_idx =
+      s.AddIndex("order_line_idx", order_line, ScaledMb(30, ebs, true));
+  const RelationId cc_xacts = s.AddTable("cc_xacts", ScaledMb(130, ebs, true));
+  const RelationId shopping_cart = s.AddTable("shopping_cart", ScaledMb(90, ebs, true));
+  const RelationId scl = s.AddTable("shopping_cart_line", ScaledMb(140, ebs, true));
+  const RelationId scl_idx = s.AddIndex("shopping_cart_line_idx", scl, ScaledMb(12, ebs, true));
+
+  // --- Transaction types ---------------------------------------------------
+  auto pages_of = [&s](RelationId r) { return s.Get(r).pages; };
+
+  TxnTypeRegistry& reg = w.registry;
+
+  {  // HomeAction: customer greeting + promotional items.
+    TxnType t;
+    t.name = "HomeAction";
+    t.base_cpu = Millis(60);
+    t.plan.steps = {Random(customer_idx, 4), Random(item, 26), Random(item_idx2, 4)};
+    reg.Add(std::move(t));
+  }
+  {  // NewProduct: newest items by subject; scans author for names.
+    TxnType t;
+    t.name = "NewProduct";
+    t.base_cpu = Millis(45);
+    t.plan.steps = {Scan(author), Random(item, 18), Random(item_idx2, 4), Random(author_idx, 2)};
+    reg.Add(std::move(t));
+  }
+  {  // BestSeller: aggregates recent order lines joined with orders; the
+     // window covers the recent-orders slice the query groups over. Heavy.
+    TxnType t;
+    t.name = "BestSeller";
+    t.base_cpu = Millis(250);
+    t.plan.steps = {ScanWindow(order_line, pages_of(order_line) / 3),
+                    ScanWindow(orders, pages_of(orders) / 3), Scan(orders_idx),
+                    Scan(item_idx2)};
+    reg.Add(std::move(t));
+  }
+  {  // ProductDetail.
+    TxnType t;
+    t.name = "ProductDetail";
+    t.base_cpu = Millis(70);
+    t.plan.steps = {Random(item, 30), Random(item_idx, 4), Random(author, 6)};
+    reg.Add(std::move(t));
+  }
+  {  // SearchRequest: search form with subject defaults.
+    TxnType t;
+    t.name = "SearchRequest";
+    t.base_cpu = Millis(55);
+    t.plan.steps = {Random(item, 18), Random(item_idx2, 4), Random(author, 4)};
+    reg.Add(std::move(t));
+  }
+  {  // ExecSearch: LIKE search; scans author and an item slice.
+    TxnType t;
+    t.name = "ExecSearch";
+    t.base_cpu = Millis(80);
+    t.plan.steps = {Scan(author), ScanWindow(item, pages_of(item) / 6), Random(item_idx, 3),
+                    Random(author_idx, 1)};
+    reg.Add(std::move(t));
+  }
+  {  // OrderInquiry: login form for order status.
+    TxnType t;
+    t.name = "OrderInquiry";
+    t.base_cpu = Millis(50);
+    t.plan.steps = {Random(customer_idx, 4), Random(orders, 26), Random(orders_idx, 4)};
+    reg.Add(std::move(t));
+  }
+  {  // OrderDisplay: most recent order with full detail; touches nearly every
+     // table randomly, scans only tiny country. The MALB-SC over-estimate vs
+     // MALB-SCAP under-estimate of Section 5.3 comes from this shape.
+    TxnType t;
+    t.name = "OrderDisplay";
+    t.base_cpu = Millis(90);
+    t.plan.steps = {Scan(country),          Random(customer, 32),     Random(customer_idx, 5),
+                    Random(orders, 26),     Random(orders_idx, 5),    Random(order_line, 42),
+                    Random(order_line_idx, 6), Random(item, 16),      Random(item_idx, 3),
+                    Random(address, 12),    Random(cc_xacts, 12),     Random(author, 8),
+                    Random(author_idx, 3)};
+    reg.Add(std::move(t));
+  }
+  {  // AdminRequest: item edit form.
+    TxnType t;
+    t.name = "AdminRequest";
+    t.base_cpu = Millis(40);
+    t.plan.steps = {Random(item, 16), Random(item_idx2, 3), Random(author, 3)};
+    reg.Add(std::move(t));
+  }
+  {  // AdminResponse (TPC-W admin confirm): updates an item and recomputes
+     // its related-items list from recent orders — CPU-heavy analytics plus
+     // order-line/order slices.
+    TxnType t;
+    t.name = "AdminResponse";
+    t.base_cpu = Millis(3500);
+    t.writeset_bytes = 260;
+    t.plan.steps = {ScanWindow(order_line, pages_of(order_line) / 12),
+                    ScanWindow(orders, pages_of(orders) / 12),
+                    Random(item, 10),
+                    Random(item_idx, 2),
+                    Random(item_idx2, 2),
+                    Write(item, 0, 2)};
+    reg.Add(std::move(t));
+  }
+  {  // ShoppingCart: add/refresh cart lines.
+    TxnType t;
+    t.name = "ShoppingCart";
+    t.base_cpu = Millis(65);
+    t.writeset_bytes = 270;
+    t.plan.steps = {Random(shopping_cart, 6), Random(scl, 10), Random(scl_idx, 3),
+                    Random(item_idx, 5),      Write(scl, 0, 1), Write(shopping_cart, 0, 1)};
+    reg.Add(std::move(t));
+  }
+  {  // BuyRequest: customer registration/login + address update + cart
+     // refresh (TPC-W folds registration into the buy path).
+    TxnType t;
+    t.name = "BuyRequest";
+    t.base_cpu = Millis(75);
+    t.writeset_bytes = 290;
+    t.plan.steps = {Random(customer_idx, 4), Random(address, 8), Random(address_idx, 3),
+                    Random(shopping_cart, 5), Random(scl, 7),   Random(country, 1),
+                    Write(address, 0, 2)};
+    reg.Add(std::move(t));
+  }
+  {  // BuyConfirm: turns the cart into an order; reads cart slices, writes
+     // orders/order lines/credit-card rows.
+    TxnType t;
+    t.name = "BuyConfirm";
+    t.base_cpu = Millis(250);
+    t.writeset_bytes = 280;
+    t.plan.steps = {ScanWindow(shopping_cart, pages_of(shopping_cart) / 10),
+                    ScanWindow(scl, pages_of(scl) / 10),
+                    ScanWindow(orders, pages_of(orders) / 16),
+                    ScanWindow(order_line, pages_of(order_line) / 48),
+                    Random(customer, 8),
+                    Random(customer_idx, 2),
+                    Random(orders_idx, 3),
+                    Write(orders, 0, 1),
+                    Write(order_line, 0, 1),
+                    Write(cc_xacts, 0, 1)};
+    reg.Add(std::move(t));
+  }
+
+  // --- Mixes ---------------------------------------------------------------
+  // Type order matches registration order above:
+  // Home, NewProduct, BestSeller, ProductDetail, SearchRequest, ExecSearch,
+  // OrderInquiry, OrderDisplay, AdminRequest, AdminResponse, ShoppingCart,
+  // BuyRequest, BuyConfirm.
+  w.mixes.emplace_back(kTpcwOrdering, std::vector<double>{
+      14.0, 1.5, 1.0, 11.0, 8.5, 8.0, 4.0, 1.5, 0.5, 1.0, 18.0, 18.0, 13.0});
+  w.mixes.emplace_back(kTpcwShopping, std::vector<double>{
+      21.0, 3.0, 2.5, 17.0, 12.0, 14.0, 6.0, 3.0, 1.5, 1.0, 8.0, 7.0, 4.0});
+  w.mixes.emplace_back(kTpcwBrowsing, std::vector<double>{
+      17.0, 9.0, 7.0, 18.0, 11.0, 18.0, 6.0, 7.0, 1.5, 0.5, 2.0, 1.5, 1.5});
+
+  return w;
+}
+
+}  // namespace tashkent

@@ -1,0 +1,32 @@
+// TPC-W workload model (online bookstore), matching Section 4.4.
+//
+// Thirteen transaction types using the paper's Table 2 names, three mixes
+// (ordering 50% / shopping 20% / browsing 5% updates), and a schema scaled by
+// the EBS parameter: 100 EBS = 0.7 GB, 300 EBS = 1.8 GB, 500 EBS = 2.9 GB.
+// Item/author/country relations are EBS-independent; customer, order, cart
+// and credit-card relations scale linearly.
+//
+// The synthetic plans are constructed so that MALB-SC packing at 512 MB RAM
+// (442 MB available) reproduces the paper's Table 2 grouping exactly; see
+// DESIGN.md for the derivation.
+#ifndef SRC_WORKLOAD_TPCW_H_
+#define SRC_WORKLOAD_TPCW_H_
+
+#include "src/workload/workload.h"
+
+namespace tashkent {
+
+inline constexpr int kTpcwSmallEbs = 100;   // 0.7 GB
+inline constexpr int kTpcwMediumEbs = 300;  // 1.8 GB
+inline constexpr int kTpcwLargeEbs = 500;   // 2.9 GB
+
+// Mix names accepted by Workload::MixByName.
+inline constexpr const char* kTpcwOrdering = "ordering";
+inline constexpr const char* kTpcwShopping = "shopping";
+inline constexpr const char* kTpcwBrowsing = "browsing";
+
+Workload BuildTpcw(int ebs = kTpcwMediumEbs);
+
+}  // namespace tashkent
+
+#endif  // SRC_WORKLOAD_TPCW_H_

@@ -1,0 +1,40 @@
+#include "src/workload/workload.h"
+
+namespace tashkent {
+
+Mix::Mix(std::string name, std::vector<double> weights)
+    : name_(std::move(name)), weights_(std::move(weights)) {
+  if (weights_.empty()) {
+    throw std::invalid_argument("mix needs at least one weight");
+  }
+  cumulative_.reserve(weights_.size());
+  double total = 0.0;
+  for (double w : weights_) {
+    if (w < 0.0) {
+      throw std::invalid_argument("mix weights must be non-negative");
+    }
+    total += w;
+    cumulative_.push_back(total);
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("mix weights must not all be zero");
+  }
+}
+
+TxnTypeId Mix::Sample(Rng& rng) const {
+  return static_cast<TxnTypeId>(SampleDiscrete(rng, cumulative_));
+}
+
+double Mix::UpdateFraction(const TxnTypeRegistry& registry) const {
+  double updates = 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    total += weights_[i];
+    if (registry.Get(static_cast<TxnTypeId>(i)).is_update()) {
+      updates += weights_[i];
+    }
+  }
+  return total > 0.0 ? updates / total : 0.0;
+}
+
+}  // namespace tashkent

@@ -1,0 +1,61 @@
+// Workload description: a schema, a transaction-type registry, and one or
+// more mixes (relative type frequencies).
+//
+// TPC-W and RUBiS builders produce Workload instances whose relation sizes,
+// transaction types and update fractions match the paper's setups (Section
+// 4.4): TPC-W at 0.7/1.8/2.9 GB with ordering (50% updates), shopping (20%)
+// and browsing (5%) mixes; RUBiS at 2.2 GB with bidding (15%) and read-only
+// browsing mixes.
+#ifndef SRC_WORKLOAD_WORKLOAD_H_
+#define SRC_WORKLOAD_WORKLOAD_H_
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/engine/txn_type.h"
+#include "src/storage/schema.h"
+
+namespace tashkent {
+
+class Mix {
+ public:
+  Mix(std::string name, std::vector<double> weights);
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  // Samples a transaction type id according to the weights.
+  TxnTypeId Sample(Rng& rng) const;
+
+  // Fraction of transactions that are updates, for reporting.
+  double UpdateFraction(const TxnTypeRegistry& registry) const;
+
+ private:
+  std::string name_;
+  std::vector<double> weights_;
+  std::vector<double> cumulative_;
+};
+
+struct Workload {
+  std::string name;
+  Schema schema;
+  TxnTypeRegistry registry;
+  std::vector<Mix> mixes;
+
+  const Mix& MixByName(std::string_view mix_name) const {
+    for (const auto& m : mixes) {
+      if (m.name() == mix_name) {
+        return m;
+      }
+    }
+    throw std::invalid_argument("unknown mix: " + std::string(mix_name));
+  }
+};
+
+}  // namespace tashkent
+
+#endif  // SRC_WORKLOAD_WORKLOAD_H_

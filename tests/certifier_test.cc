@@ -1,0 +1,120 @@
+// Unit tests for the certifier: ordering, piggybacked propagation, pulls,
+// prods.
+#include <gtest/gtest.h>
+
+#include "src/certifier/certifier.h"
+
+namespace tashkent {
+namespace {
+
+Writeset MakeWs(std::vector<WritesetItem> items) {
+  Writeset ws;
+  ws.items = std::move(items);
+  ws.table_pages = {{0, 1}};
+  return ws;
+}
+
+TEST(Certifier, AssignsMonotonicVersions) {
+  Certifier c;
+  const auto r1 = c.Certify(MakeWs({{1, 1}}), 0, 0);
+  const auto r2 = c.Certify(MakeWs({{1, 2}}), 0, r1.commit_version);
+  EXPECT_TRUE(r1.committed);
+  EXPECT_TRUE(r2.committed);
+  EXPECT_EQ(r1.commit_version, 1u);
+  EXPECT_EQ(r2.commit_version, 2u);
+  EXPECT_EQ(c.head_version(), 2u);
+  EXPECT_EQ(c.log().size(), 2u);
+}
+
+TEST(Certifier, DetectsConflict) {
+  Certifier c;
+  // Replica 0 commits; replica 1, still at version 0, wrote the same row.
+  const auto r1 = c.Certify(MakeWs({{5, 77}}), 0, 0);
+  ASSERT_TRUE(r1.committed);
+  Writeset conflicting = MakeWs({{5, 77}});
+  conflicting.snapshot_version = 0;
+  const auto r2 = c.Certify(std::move(conflicting), 1, 0);
+  EXPECT_FALSE(r2.committed);
+  EXPECT_EQ(c.aborted_count(), 1u);
+  EXPECT_EQ(c.certified_count(), 1u);
+  // The aborted request still receives the missed remote writesets.
+  ASSERT_EQ(r2.remote.size(), 1u);
+  EXPECT_EQ(r2.remote[0]->commit_version, 1u);
+}
+
+TEST(Certifier, PiggybacksRemoteWritesets) {
+  Certifier c;
+  c.Certify(MakeWs({{1, 1}}), 0, 0);
+  c.Certify(MakeWs({{1, 2}}), 0, 1);
+  // Replica 1 certifies its first update having applied nothing: it must
+  // receive versions 1 and 2 (not its own new commit).
+  Writeset ws = MakeWs({{2, 1}});
+  ws.snapshot_version = 0;
+  const auto r = c.Certify(std::move(ws), 1, 0);
+  EXPECT_TRUE(r.committed);
+  ASSERT_EQ(r.remote.size(), 2u);
+  EXPECT_EQ(r.remote[0]->commit_version, 1u);
+  EXPECT_EQ(r.remote[1]->commit_version, 2u);
+}
+
+TEST(Certifier, PullReturnsMissedUpdates) {
+  Certifier c;
+  c.Certify(MakeWs({{1, 1}}), 0, 0);
+  c.Certify(MakeWs({{1, 2}}), 0, 1);
+  const auto pulled = c.Pull(1, 0);
+  ASSERT_EQ(pulled.size(), 2u);
+  const auto empty = c.Pull(1, 2);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(Certifier, ProdsLaggingReplicas) {
+  CertifierConfig config;
+  config.prod_threshold = 3;
+  Certifier c(config);
+  std::vector<ReplicaId> prodded;
+  c.SetProdCallback([&](ReplicaId r) { prodded.push_back(r); });
+
+  // Replica 1 makes itself known at version 0, then replica 0 commits 5
+  // updates; replica 1 falls 5 > 3 behind and gets prodded once.
+  c.Pull(1, 0);
+  Version applied = 0;
+  for (int i = 0; i < 5; ++i) {
+    const auto r = c.Certify(MakeWs({{1, static_cast<uint64_t>(i)}}), 0, applied);
+    applied = r.commit_version;
+  }
+  ASSERT_EQ(prodded.size(), 1u);  // prod is not repeated while outstanding
+  EXPECT_EQ(prodded[0], 1u);
+
+  // After the replica pulls, it can be prodded again.
+  c.Pull(1, c.head_version());
+  for (int i = 0; i < 5; ++i) {
+    const auto r = c.Certify(MakeWs({{2, static_cast<uint64_t>(i)}}), 0, applied);
+    applied = r.commit_version;
+  }
+  EXPECT_EQ(prodded.size(), 2u);
+}
+
+TEST(Certifier, AbortedWritesetsNotInLog) {
+  Certifier c;
+  c.Certify(MakeWs({{5, 5}}), 0, 0);
+  Writeset conflicting = MakeWs({{5, 5}});
+  conflicting.snapshot_version = 0;
+  c.Certify(std::move(conflicting), 1, 0);
+  EXPECT_EQ(c.log().size(), 1u);
+  EXPECT_EQ(c.head_version(), 1u);
+}
+
+TEST(Certifier, LogOrderMatchesVersions) {
+  Certifier c;
+  Version applied = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto r = c.Certify(MakeWs({{1, static_cast<uint64_t>(100 + i)}}), 0, applied);
+    applied = r.commit_version;
+  }
+  for (size_t i = 0; i < c.log().size(); ++i) {
+    EXPECT_EQ(c.log()[i].commit_version, i + 1);
+  }
+}
+
+}  // namespace
+}  // namespace tashkent

@@ -1,0 +1,204 @@
+// Unit tests for src/common: units, RNG, statistics accumulators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/units.h"
+
+namespace tashkent {
+namespace {
+
+TEST(Units, Conversions) {
+  EXPECT_EQ(Millis(1), 1000);
+  EXPECT_EQ(Seconds(1.0), 1000000);
+  EXPECT_EQ(Seconds(0.5), 500000);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(2.5)), 2.5);
+  EXPECT_EQ(PagesToBytes(1), 8192);
+  EXPECT_EQ(BytesToPages(8192), 1);
+  EXPECT_EQ(BytesToPages(8193), 2);  // rounds up
+  EXPECT_EQ(BytesToPages(1), 1);
+  EXPECT_EQ(MiB(1.0), 1024 * 1024);
+  EXPECT_EQ(BytesToPages(MiB(1.0)), 128);  // 128 8KB pages per MiB
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(7), 7u);
+  }
+  // bound 1 always yields 0.
+  EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(Rng, NextBelowUniformish) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.NextBelow(10)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 100);  // within 10% relative
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextExponential(2.0);
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng parent(99);
+  Rng child = parent.Fork();
+  // The child stream differs from the parent's continuation.
+  EXPECT_NE(child.NextU64(), parent.NextU64());
+}
+
+TEST(SampleDiscrete, RespectsWeights) {
+  Rng rng(17);
+  const std::vector<double> cumulative = {10.0, 10.0, 110.0};  // weights 10, 0, 100
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[SampleDiscrete(rng, cumulative)];
+  }
+  EXPECT_EQ(counts[1], 0);  // zero-weight bucket never sampled
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[2], 0.1, 0.02);
+}
+
+TEST(RunningStat, Moments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma e(0.3);
+  for (int i = 0; i < 100; ++i) {
+    e.Add(0.7);
+  }
+  EXPECT_NEAR(e.value(), 0.7, 1e-9);
+}
+
+TEST(Ewma, FirstSampleInitializes) {
+  Ewma e(0.1);
+  EXPECT_FALSE(e.initialized());
+  e.Add(5.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+}
+
+TEST(Ewma, SmoothsSteps) {
+  Ewma e(0.5);
+  e.Add(0.0);
+  e.Add(1.0);
+  EXPECT_DOUBLE_EQ(e.value(), 0.5);
+  e.Add(1.0);
+  EXPECT_DOUBLE_EQ(e.value(), 0.75);
+}
+
+TEST(UtilizationIntegrator, BusyFraction) {
+  UtilizationIntegrator u;
+  u.AddBusy(Millis(300));
+  EXPECT_NEAR(u.Sample(Millis(1000)), 0.3, 1e-9);
+  // New window starts clean.
+  EXPECT_NEAR(u.Sample(Millis(2000)), 0.0, 1e-9);
+}
+
+TEST(UtilizationIntegrator, ClampsToOne) {
+  UtilizationIntegrator u;
+  u.AddBusy(Millis(1500));
+  EXPECT_DOUBLE_EQ(u.Sample(Millis(1000)), 1.0);
+}
+
+TEST(PercentileTracker, Percentiles) {
+  PercentileTracker t;
+  for (int i = 1; i <= 100; ++i) {
+    t.Add(static_cast<double>(i));
+  }
+  EXPECT_NEAR(t.Percentile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(t.Percentile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(t.Percentile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(t.Mean(), 50.5, 1e-9);
+}
+
+TEST(PercentileTracker, EmptyReturnsZero) {
+  PercentileTracker t;
+  EXPECT_DOUBLE_EQ(t.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(t.Mean(), 0.0);
+}
+
+TEST(TimeSeries, Buckets) {
+  TimeSeries ts(Seconds(30.0));
+  ts.Record(Seconds(0.0));
+  ts.Record(Seconds(29.0));
+  ts.Record(Seconds(30.0));
+  ts.Record(Seconds(95.0));
+  ASSERT_EQ(ts.buckets().size(), 4u);
+  EXPECT_DOUBLE_EQ(ts.buckets()[0], 2.0);
+  EXPECT_DOUBLE_EQ(ts.buckets()[1], 1.0);
+  EXPECT_DOUBLE_EQ(ts.buckets()[2], 0.0);
+  EXPECT_DOUBLE_EQ(ts.buckets()[3], 1.0);
+}
+
+TEST(TimeSeries, MovingAverage) {
+  TimeSeries ts(Seconds(1.0));
+  for (int i = 0; i < 5; ++i) {
+    ts.Record(Seconds(static_cast<double>(i)), static_cast<double>(i));
+  }
+  const auto ma = ts.MovingAverage(3);
+  ASSERT_EQ(ma.size(), 5u);
+  EXPECT_DOUBLE_EQ(ma[2], 2.0);  // (1+2+3)/3
+  EXPECT_DOUBLE_EQ(ma[0], 0.5);  // (0+1)/2 at the edge
+}
+
+}  // namespace
+}  // namespace tashkent

@@ -1,0 +1,182 @@
+// Unit tests for overlap-aware Best-Fit-Decreasing bin packing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/bin_packing.h"
+
+namespace tashkent {
+namespace {
+
+// Builds a synthetic working set: relations given as (id, pages, scanned).
+TypeWorkingSet MakeWs(TxnTypeId type, std::vector<std::tuple<RelationId, Pages, bool>> rels,
+                      Pages residual = 0) {
+  TypeWorkingSet ws;
+  ws.type = type;
+  ws.name = "T" + std::to_string(type);
+  for (auto [rel, pages, scanned] : rels) {
+    ExplainEntry e;
+    e.relation = rel;
+    e.pages = pages;
+    e.scanned = scanned;
+    ws.relations.push_back(e);
+  }
+  ws.random_pages_per_exec = residual;
+  return ws;
+}
+
+std::vector<TxnTypeId> GroupOf(const PackingResult& r, TxnTypeId t) {
+  for (const auto& g : r.groups) {
+    if (std::find(g.types.begin(), g.types.end(), t) != g.types.end()) {
+      return g.types;
+    }
+  }
+  return {};
+}
+
+TEST(WorkingSet, Estimates) {
+  const auto ws = MakeWs(0, {{1, 100, true}, {2, 50, false}}, 7);
+  EXPECT_EQ(ws.ReferencedPages(), 150);
+  EXPECT_EQ(ws.ScannedPages(), 100);
+  EXPECT_EQ(ws.EstimatePages(EstimationMethod::kSize), 150);
+  EXPECT_EQ(ws.EstimatePages(EstimationMethod::kSizeContent), 150);
+  EXPECT_EQ(ws.EstimatePages(EstimationMethod::kSizeContentAccess), 107);
+}
+
+TEST(Packing, PaperExampleOverlapCounting) {
+  // Section 2.3: T1 uses tables A(=1) and B(=2); T2 uses B and C(=3).
+  // MALB-S charges |A| + 2|B| + |C|; MALB-SC charges |A| + |B| + |C|.
+  const std::vector<TypeWorkingSet> ws = {
+      MakeWs(0, {{1, 100, false}, {2, 100, false}}),
+      MakeWs(1, {{2, 100, false}, {3, 100, false}}),
+  };
+  // Capacity 350: S needs 400 (does not fit together), SC needs 300 (fits).
+  const auto s = PackTransactionGroups(ws, 350, EstimationMethod::kSize);
+  EXPECT_EQ(s.groups.size(), 2u);
+  const auto sc = PackTransactionGroups(ws, 350, EstimationMethod::kSizeContent);
+  ASSERT_EQ(sc.groups.size(), 1u);
+  EXPECT_EQ(sc.groups[0].estimate_pages, 300);
+}
+
+TEST(Packing, BfdSortsDecreasing) {
+  // Three items of sizes 60, 100, 40 with capacity 100: BFD packs 100 alone,
+  // then 60+40 together.
+  const std::vector<TypeWorkingSet> ws = {
+      MakeWs(0, {{1, 60, false}}),
+      MakeWs(1, {{2, 100, false}}),
+      MakeWs(2, {{3, 40, false}}),
+  };
+  const auto r = PackTransactionGroups(ws, 100, EstimationMethod::kSize);
+  ASSERT_EQ(r.groups.size(), 2u);
+  EXPECT_EQ(GroupOf(r, 0), (std::vector<TxnTypeId>{0, 2}));
+  EXPECT_EQ(GroupOf(r, 1), (std::vector<TxnTypeId>{1}));
+}
+
+TEST(Packing, BestFitPicksTightestBin) {
+  // Sizes: 70, 55, 30. Capacity 100. BFD: 70 -> bin0, 55 -> bin1,
+  // 30 -> bin0 (free 30) rather than bin1 (free 45): best fit.
+  const std::vector<TypeWorkingSet> ws = {
+      MakeWs(0, {{1, 70, false}}),
+      MakeWs(1, {{2, 55, false}}),
+      MakeWs(2, {{3, 30, false}}),
+  };
+  const auto r = PackTransactionGroups(ws, 100, EstimationMethod::kSize);
+  ASSERT_EQ(r.groups.size(), 2u);
+  EXPECT_EQ(GroupOf(r, 2), (std::vector<TxnTypeId>{0, 2}));
+}
+
+TEST(Packing, OverflowTypesGetOwnGroup) {
+  const std::vector<TypeWorkingSet> ws = {
+      MakeWs(0, {{1, 500, false}}),  // overflow (capacity 300)
+      MakeWs(1, {{2, 500, false}}),  // overflow
+      MakeWs(2, {{3, 100, false}}),
+  };
+  const auto r = PackTransactionGroups(ws, 300, EstimationMethod::kSizeContent);
+  ASSERT_EQ(r.groups.size(), 3u);
+  EXPECT_TRUE(r.groups[0].overflow);
+  EXPECT_TRUE(r.groups[1].overflow);
+  EXPECT_FALSE(r.groups[2].overflow);
+  EXPECT_EQ(GroupOf(r, 0).size(), 1u);
+  EXPECT_EQ(GroupOf(r, 1).size(), 1u);
+}
+
+TEST(Packing, SubsetJoinsOverflowBinUnderSc) {
+  // A type whose relations are a subset of an overflow type's relations adds
+  // no memory demand and shares its bin — the paper's OrderDisplay group.
+  const std::vector<TypeWorkingSet> ws = {
+      MakeWs(0, {{1, 400, false}, {2, 200, false}, {3, 50, false}}),  // overflow at 500
+      MakeWs(1, {{2, 200, false}, {3, 50, false}}),                   // subset
+      MakeWs(2, {{2, 200, false}, {4, 10, false}}),                   // not a subset
+  };
+  const auto r = PackTransactionGroups(ws, 500, EstimationMethod::kSizeContent);
+  ASSERT_EQ(r.groups.size(), 2u);
+  EXPECT_EQ(GroupOf(r, 0), (std::vector<TxnTypeId>{0, 1}));
+  EXPECT_EQ(GroupOf(r, 2), (std::vector<TxnTypeId>{2}));
+}
+
+TEST(Packing, MaxOverlapWinsUnderSc) {
+  // Item 2 fits both bins; it shares 150 pages with bin0 but only 60 with
+  // bin1, so it must join bin0.
+  const std::vector<TypeWorkingSet> ws = {
+      MakeWs(0, {{1, 150, false}, {2, 60, false}}),   // bin0: 210
+      MakeWs(1, {{3, 60, false}, {4, 100, false}}),   // bin1: 160
+      MakeWs(2, {{1, 150, false}, {3, 60, false}}),   // overlaps both
+  };
+  const auto r = PackTransactionGroups(ws, 300, EstimationMethod::kSizeContent);
+  EXPECT_EQ(GroupOf(r, 2), GroupOf(r, 0));
+}
+
+TEST(Packing, ScapUsesScannedOnly) {
+  // Under SCAP a type that scans nothing packs as its residual handful of
+  // pages even when it references a huge table.
+  const std::vector<TypeWorkingSet> ws = {
+      MakeWs(0, {{1, 100000, false}}, 10),  // references 780 MB, scans nothing
+      MakeWs(1, {{2, 300, true}}, 5),
+  };
+  const auto scap = PackTransactionGroups(ws, 400, EstimationMethod::kSizeContentAccess);
+  ASSERT_EQ(scap.groups.size(), 1u);  // both fit one bin: 300 + 10 + 5
+  const auto sc = PackTransactionGroups(ws, 400, EstimationMethod::kSizeContent);
+  EXPECT_EQ(sc.groups.size(), 2u);  // SC sees the 100000-page reference
+}
+
+TEST(Packing, ScapResidualBlocksFullOverflowBins) {
+  // A scan-less type cannot join a full (overflow) bin because its residual
+  // pages need free space.
+  const std::vector<TypeWorkingSet> ws = {
+      MakeWs(0, {{1, 600, true}}, 0),            // overflow at 400
+      MakeWs(1, {{1, 600, false}}, 12),          // same table, random access
+  };
+  const auto r = PackTransactionGroups(ws, 400, EstimationMethod::kSizeContentAccess);
+  EXPECT_EQ(r.groups.size(), 2u);
+}
+
+TEST(Packing, EmptyInputYieldsNoGroups) {
+  const auto r = PackTransactionGroups({}, 400, EstimationMethod::kSizeContent);
+  EXPECT_TRUE(r.groups.empty());
+}
+
+TEST(Packing, DeterministicTieBreakByTypeId) {
+  // Two identical items: the lower id is placed first; both land in one bin.
+  const std::vector<TypeWorkingSet> ws = {
+      MakeWs(7, {{1, 100, false}}),
+      MakeWs(3, {{1, 100, false}}),
+  };
+  const auto r = PackTransactionGroups(ws, 150, EstimationMethod::kSizeContent);
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_EQ(r.groups[0].types, (std::vector<TxnTypeId>{3, 7}));
+}
+
+TEST(Packing, GroupEstimateNeverDoubleCountsUnderSc) {
+  const std::vector<TypeWorkingSet> ws = {
+      MakeWs(0, {{1, 100, false}, {2, 100, false}}),
+      MakeWs(1, {{2, 100, false}, {3, 50, false}}),
+      MakeWs(2, {{3, 50, false}}),
+  };
+  const auto r = PackTransactionGroups(ws, 1000, EstimationMethod::kSizeContent);
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_EQ(r.groups[0].estimate_pages, 250);
+  EXPECT_EQ(r.groups[0].packed_relations.size(), 3u);
+}
+
+}  // namespace
+}  // namespace tashkent

@@ -1,0 +1,95 @@
+// Unit tests for plans, transaction types, and the EXPLAIN projection.
+#include <gtest/gtest.h>
+
+#include "src/engine/explain.h"
+#include "src/engine/txn_type.h"
+
+namespace tashkent {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = schema_.AddTable("a", MiB(10));
+    b_ = schema_.AddTable("b", MiB(20));
+    idx_ = schema_.AddIndex("b_idx", b_, MiB(2));
+  }
+
+  Schema schema_;
+  RelationId a_ = 0, b_ = 0, idx_ = 0;
+};
+
+TEST_F(EngineTest, RegistryAddAndFind) {
+  TxnTypeRegistry reg;
+  TxnType t;
+  t.name = "Lookup";
+  t.plan.steps = {Random(a_, 3)};
+  const TxnTypeId id = reg.Add(std::move(t));
+  EXPECT_EQ(reg.Find("Lookup"), id);
+  EXPECT_EQ(reg.Find("Nope"), kInvalidTxnType);
+  EXPECT_EQ(reg.Get(id).name, "Lookup");
+  EXPECT_FALSE(reg.Get(id).is_update());
+}
+
+TEST_F(EngineTest, DuplicateTypeNameThrows) {
+  TxnTypeRegistry reg;
+  TxnType t1;
+  t1.name = "X";
+  reg.Add(std::move(t1));
+  TxnType t2;
+  t2.name = "X";
+  EXPECT_THROW(reg.Add(std::move(t2)), std::invalid_argument);
+}
+
+TEST_F(EngineTest, UpdateDetection) {
+  TxnType t;
+  t.name = "U";
+  t.plan.steps = {Random(a_, 2), Write(b_, 0, 1)};
+  EXPECT_TRUE(t.is_update());
+}
+
+TEST_F(EngineTest, ExplainDeduplicatesRelations) {
+  TxnType t;
+  t.name = "T";
+  t.plan.steps = {Random(b_, 2), Scan(b_), Write(b_, 0, 1)};
+  const auto entries = Explain(t, schema_);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].relation, b_);
+  EXPECT_TRUE(entries[0].scanned);   // scan wins over random
+  EXPECT_TRUE(entries[0].written);
+  EXPECT_EQ(entries[0].pages, schema_.Get(b_).pages);
+}
+
+TEST_F(EngineTest, ExplainReportsAccessKinds) {
+  TxnType t;
+  t.name = "T2";
+  t.plan.steps = {Scan(a_), Random(b_, 4), Random(idx_, 1)};
+  const auto entries = Explain(t, schema_);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_TRUE(entries[0].scanned);
+  EXPECT_FALSE(entries[1].scanned);
+  EXPECT_FALSE(entries[2].scanned);
+  EXPECT_FALSE(entries[0].written);
+}
+
+TEST_F(EngineTest, ExplainUsesCurrentCatalogSizes) {
+  TxnType t;
+  t.name = "T3";
+  t.plan.steps = {Scan(a_)};
+  auto before = Explain(t, schema_);
+  schema_.GetMutable(a_).pages *= 2;  // table grew
+  auto after = Explain(t, schema_);
+  EXPECT_EQ(after[0].pages, 2 * before[0].pages);
+}
+
+TEST_F(EngineTest, ScanWindowConstructor) {
+  const PlanStep s = ScanWindow(a_, 100);
+  EXPECT_EQ(s.access, AccessKind::kSequentialScan);
+  EXPECT_EQ(s.window_pages, 100);
+  const PlanStep w = Write(b_, 2, 3);
+  EXPECT_EQ(w.pages_per_exec, 2);
+  EXPECT_EQ(w.write_pages, 3);
+}
+
+}  // namespace
+}  // namespace tashkent

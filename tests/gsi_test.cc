@@ -1,0 +1,97 @@
+// Unit tests for GSI write-write conflict certification.
+#include <gtest/gtest.h>
+
+#include "src/gsi/certification.h"
+
+namespace tashkent {
+namespace {
+
+Writeset MakeWs(Version snapshot, std::vector<WritesetItem> items) {
+  Writeset ws;
+  ws.snapshot_version = snapshot;
+  ws.items = std::move(items);
+  return ws;
+}
+
+TEST(ConflictChecker, NoHistoryCommits) {
+  ConflictChecker c;
+  EXPECT_TRUE(c.Check(MakeWs(0, {{1, 42}})));
+}
+
+TEST(ConflictChecker, ConcurrentWriteWriteConflictAborts) {
+  ConflictChecker c;
+  // T1 commits a write to row (1,42) at version 5.
+  Writeset t1 = MakeWs(0, {{1, 42}});
+  t1.commit_version = 5;
+  c.Record(t1);
+  // T2 read snapshot 3 (< 5) and writes the same row: conflict.
+  EXPECT_FALSE(c.Check(MakeWs(3, {{1, 42}})));
+}
+
+TEST(ConflictChecker, SerialWriteCommits) {
+  ConflictChecker c;
+  Writeset t1 = MakeWs(0, {{1, 42}});
+  t1.commit_version = 5;
+  c.Record(t1);
+  // T2's snapshot already includes version 5: no conflict.
+  EXPECT_TRUE(c.Check(MakeWs(5, {{1, 42}})));
+  EXPECT_TRUE(c.Check(MakeWs(9, {{1, 42}})));
+}
+
+TEST(ConflictChecker, DisjointRowsNeverConflict) {
+  ConflictChecker c;
+  Writeset t1 = MakeWs(0, {{1, 42}});
+  t1.commit_version = 5;
+  c.Record(t1);
+  EXPECT_TRUE(c.Check(MakeWs(0, {{1, 43}})));  // same table, different row
+  EXPECT_TRUE(c.Check(MakeWs(0, {{2, 42}})));  // different table, same key
+}
+
+TEST(ConflictChecker, AnyOverlappingItemConflicts) {
+  ConflictChecker c;
+  Writeset t1 = MakeWs(0, {{1, 1}, {1, 2}, {1, 3}});
+  t1.commit_version = 7;
+  c.Record(t1);
+  EXPECT_FALSE(c.Check(MakeWs(2, {{9, 9}, {1, 2}})));
+}
+
+TEST(ConflictChecker, LatestVersionWins) {
+  ConflictChecker c;
+  Writeset t1 = MakeWs(0, {{1, 1}});
+  t1.commit_version = 5;
+  c.Record(t1);
+  Writeset t2 = MakeWs(5, {{1, 1}});
+  t2.commit_version = 9;
+  c.Record(t2);
+  // Snapshot 7 saw version 5 but not 9: conflict against t2.
+  EXPECT_FALSE(c.Check(MakeWs(7, {{1, 1}})));
+  EXPECT_TRUE(c.Check(MakeWs(9, {{1, 1}})));
+}
+
+TEST(ConflictChecker, PruneForgetsOldVersions) {
+  ConflictChecker c;
+  Writeset t1 = MakeWs(0, {{1, 1}});
+  t1.commit_version = 5;
+  c.Record(t1);
+  Writeset t2 = MakeWs(0, {{2, 2}});
+  t2.commit_version = 20;
+  c.Record(t2);
+  EXPECT_EQ(c.tracked_rows(), 2u);
+  c.PruneBelow(10);
+  EXPECT_EQ(c.tracked_rows(), 1u);
+  // Pruning is only safe when no snapshot predates the floor; rows written
+  // after the floor still conflict.
+  EXPECT_FALSE(c.Check(MakeWs(10, {{2, 2}})));
+}
+
+TEST(Writeset, TouchesAnyFiltering) {
+  Writeset ws;
+  ws.table_pages = {{3, 2}, {7, 1}};
+  std::unordered_set<RelationId> sub1 = {7, 9};
+  std::unordered_set<RelationId> sub2 = {1, 2};
+  EXPECT_TRUE(ws.TouchesAny(sub1));
+  EXPECT_FALSE(ws.TouchesAny(sub2));
+}
+
+}  // namespace
+}  // namespace tashkent

@@ -1,0 +1,176 @@
+// Verifies that MALB-SC packing on the TPC-W and RUBiS workload models
+// reproduces the paper's Table 2 and Table 4 transaction groupings exactly,
+// and that the group counts of the three estimation methods are ordered as in
+// Section 5.3 (SCAP < SC <= S).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "src/core/bin_packing.h"
+#include "src/core/working_set.h"
+#include "src/workload/rubis.h"
+#include "src/workload/tpcw.h"
+
+namespace tashkent {
+namespace {
+
+// 512 MB RAM minus the 70 MB the paper reserves for system processes.
+constexpr Bytes kCapacity512 = 512 * kMiB - 70 * kMiB;
+
+using NameGroup = std::set<std::string>;
+using NameGroups = std::set<NameGroup>;
+
+NameGroups GroupsByName(const Workload& w, const PackingResult& packing) {
+  NameGroups out;
+  for (const auto& g : packing.groups) {
+    NameGroup names;
+    for (TxnTypeId t : g.types) {
+      names.insert(w.registry.Get(t).name);
+    }
+    out.insert(std::move(names));
+  }
+  return out;
+}
+
+PackingResult Pack(const Workload& w, EstimationMethod method, Bytes capacity = kCapacity512) {
+  const auto ws = BuildWorkingSets(w.registry, w.schema);
+  return PackTransactionGroups(ws, BytesToPages(capacity), method);
+}
+
+TEST(TpcwGrouping, Table2ExactMatch) {
+  const Workload w = BuildTpcw(kTpcwMediumEbs);
+  const auto packing = Pack(w, EstimationMethod::kSizeContent);
+
+  const NameGroups expected = {
+      {"BestSeller"},
+      {"AdminResponse"},
+      {"BuyConfirm"},
+      {"BuyRequest", "ShoppingCart"},
+      {"ExecSearch", "OrderDisplay", "OrderInquiry", "ProductDetail"},
+      {"HomeAction", "NewProduct", "SearchRequest", "AdminRequest"},
+  };
+  EXPECT_EQ(GroupsByName(w, packing), expected);
+  EXPECT_EQ(packing.groups.size(), 6u);  // the paper: "MALB-SC generates 6 groups"
+}
+
+TEST(TpcwGrouping, OverflowTypesMatchPaper) {
+  const Workload w = BuildTpcw(kTpcwMediumEbs);
+  const auto packing = Pack(w, EstimationMethod::kSizeContent);
+  // BestSeller, AdminResponse, BuyConfirm and OrderDisplay's group all stem
+  // from overflow estimates (> 442 MB).
+  int overflow = 0;
+  for (const auto& g : packing.groups) {
+    if (g.overflow) {
+      ++overflow;
+    }
+  }
+  EXPECT_EQ(overflow, 4);
+}
+
+TEST(TpcwGrouping, MethodGroupCountOrdering) {
+  const Workload w = BuildTpcw(kTpcwMediumEbs);
+  const size_t scap = Pack(w, EstimationMethod::kSizeContentAccess).groups.size();
+  const size_t sc = Pack(w, EstimationMethod::kSizeContent).groups.size();
+  const size_t s = Pack(w, EstimationMethod::kSize).groups.size();
+  // Paper: SCAP 4, SC 6, S 7. Our synthetic sizes give SCAP 4 and SC 6
+  // exactly; MALB-S produces more groups than SC (9 with our sizes vs the
+  // paper's 7) because double-counted overlap wastes bin space.
+  EXPECT_EQ(scap, 4u);
+  EXPECT_EQ(sc, 6u);
+  EXPECT_GT(s, sc);
+}
+
+TEST(TpcwGrouping, ScEstimatesMatchPaperAnchors) {
+  const Workload w = BuildTpcw(kTpcwMediumEbs);
+  const auto ws = BuildWorkingSets(w.registry, w.schema);
+  for (const auto& t : ws) {
+    if (t.name == "BestSeller") {
+      // Paper Section 5.3: estimates 608-610 MB; measured 600-650 MB.
+      EXPECT_NEAR(BytesToMiB(PagesToBytes(t.EstimatePages(EstimationMethod::kSizeContent))),
+                  608.0, 15.0);
+      // BestSeller scans everything it references: SC ~= SCAP.
+      EXPECT_NEAR(static_cast<double>(t.ScannedPages()) /
+                      static_cast<double>(t.ReferencedPages()),
+                  1.0, 0.01);
+    }
+    if (t.name == "OrderDisplay") {
+      // Paper: SC ~1600 MB vs SCAP ~1 MB.
+      const double sc_mb =
+          BytesToMiB(PagesToBytes(t.EstimatePages(EstimationMethod::kSizeContent)));
+      const double scap_mb =
+          BytesToMiB(PagesToBytes(t.EstimatePages(EstimationMethod::kSizeContentAccess)));
+      EXPECT_GT(sc_mb, 1400.0);
+      EXPECT_LT(scap_mb, 3.0);
+    }
+  }
+}
+
+TEST(RubisGrouping, Table4ExactMatch) {
+  const Workload w = BuildRubis();
+  const auto packing = Pack(w, EstimationMethod::kSizeContent);
+
+  const NameGroups expected = {
+      {"AboutMe"},
+      {"PutBid", "StoreComment", "ViewBidHistory", "ViewUserInfo"},
+      {"Auth", "BrowseCategories", "BrowseRegions", "BuyNow", "PutComment", "RegisterUser",
+       "SearchItemsByRegion", "StoreBuyNow"},
+      {"RegisterItem", "SearchItemsByCategory", "StoreBid", "viewItem"},
+  };
+  EXPECT_EQ(GroupsByName(w, packing), expected);
+  EXPECT_EQ(packing.groups.size(), 4u);
+}
+
+TEST(RubisGrouping, AboutMeIsOverflow) {
+  const Workload w = BuildRubis();
+  const auto packing = Pack(w, EstimationMethod::kSizeContent);
+  for (const auto& g : packing.groups) {
+    const bool has_aboutme =
+        std::any_of(g.types.begin(), g.types.end(), [&](TxnTypeId t) {
+          return w.registry.Get(t).name == "AboutMe";
+        });
+    if (has_aboutme) {
+      EXPECT_TRUE(g.overflow);
+      EXPECT_EQ(g.types.size(), 1u);
+    }
+  }
+}
+
+TEST(Schemas, DatabaseSizesMatchPaper) {
+  // TPC-W: 0.7 / 1.8 / 2.9 GB; RUBiS: 2.2 GB.
+  EXPECT_NEAR(BytesToMiB(BuildTpcw(kTpcwSmallEbs).schema.TotalBytes()) / 1024.0, 0.7, 0.05);
+  EXPECT_NEAR(BytesToMiB(BuildTpcw(kTpcwMediumEbs).schema.TotalBytes()) / 1024.0, 1.8, 0.06);
+  EXPECT_NEAR(BytesToMiB(BuildTpcw(kTpcwLargeEbs).schema.TotalBytes()) / 1024.0, 2.9, 0.1);
+  EXPECT_NEAR(BytesToMiB(BuildRubis().schema.TotalBytes()) / 1024.0, 2.2, 0.05);
+}
+
+TEST(Grouping, MoreMemoryFewerGroups) {
+  const Workload w = BuildTpcw(kTpcwMediumEbs);
+  const size_t at256 =
+      Pack(w, EstimationMethod::kSizeContent, 256 * kMiB - 70 * kMiB).groups.size();
+  const size_t at512 = Pack(w, EstimationMethod::kSizeContent, kCapacity512).groups.size();
+  const size_t at1024 =
+      Pack(w, EstimationMethod::kSizeContent, 1024 * kMiB - 70 * kMiB).groups.size();
+  EXPECT_GE(at256, at512);
+  EXPECT_GE(at512, at1024);
+}
+
+TEST(Grouping, EveryTypeInExactlyOneGroup) {
+  for (const Workload& w : {BuildTpcw(kTpcwMediumEbs), BuildRubis()}) {
+    for (const auto method : {EstimationMethod::kSize, EstimationMethod::kSizeContent,
+                              EstimationMethod::kSizeContentAccess}) {
+      const auto packing = Pack(w, method);
+      std::set<TxnTypeId> seen;
+      for (const auto& g : packing.groups) {
+        for (TxnTypeId t : g.types) {
+          EXPECT_TRUE(seen.insert(t).second) << "type in two groups";
+        }
+      }
+      EXPECT_EQ(seen.size(), w.registry.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tashkent

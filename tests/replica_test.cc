@@ -1,0 +1,183 @@
+// Unit tests for the replica node: execution phases, caching effects,
+// writeset production and application, background writer, monitor.
+#include <gtest/gtest.h>
+
+#include "src/replica/replica.h"
+
+namespace tashkent {
+namespace {
+
+class ReplicaTest : public ::testing::Test {
+ protected:
+  ReplicaTest() {
+    table_ = schema_.AddTable("t", MiB(16));
+    big_ = schema_.AddTable("big", MiB(600));
+    config_.memory = 128 * kMiB;
+    config_.reserved = 0;
+    replica_ = std::make_unique<Replica>(&sim_, &schema_, 0, config_, Rng(1));
+  }
+
+  TxnType ReadType(int pages) {
+    TxnType t;
+    t.name = "read";
+    t.id = 0;
+    t.base_cpu = Millis(1);
+    t.plan.steps = {Random(table_, pages)};
+    return t;
+  }
+
+  TxnType UpdateType() {
+    TxnType t;
+    t.name = "update";
+    t.id = 1;
+    t.base_cpu = Millis(1);
+    t.writeset_bytes = 275;
+    t.plan.steps = {Random(table_, 2), Write(table_, 0, 3)};
+    return t;
+  }
+
+  Simulator sim_;
+  Schema schema_;
+  RelationId table_ = 0;
+  RelationId big_ = 0;
+  ReplicaConfig config_;
+  std::unique_ptr<Replica> replica_;
+};
+
+TEST_F(ReplicaTest, ReadOnlyCompletesWithoutWriteset) {
+  const TxnType t = ReadType(4);
+  bool done = false;
+  replica_->Execute(t, [&](ExecOutcome o) {
+    done = true;
+    EXPECT_FALSE(o.is_update);
+    EXPECT_EQ(o.pages_touched, 4);
+    EXPECT_GT(o.pages_read_rand, 0);  // cold cache: misses
+  });
+  sim_.RunAll();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(replica_->stats().txns_executed, 1u);
+}
+
+TEST_F(ReplicaTest, SecondExecutionIsCheaper) {
+  // Warm the cache with many executions, then check a later one is mostly
+  // hits (disk read bytes stop growing).
+  const TxnType t = ReadType(8);
+  for (int i = 0; i < 200; ++i) {
+    replica_->Execute(t, [](ExecOutcome) {});
+  }
+  sim_.RunAll();
+  const Bytes after_warm = replica_->stats().disk_read_bytes;
+  for (int i = 0; i < 50; ++i) {
+    replica_->Execute(t, [](ExecOutcome) {});
+  }
+  sim_.RunAll();
+  const Bytes delta = replica_->stats().disk_read_bytes - after_warm;
+  // The 16 MiB table's hot core is cached by now; misses should be rare.
+  EXPECT_LT(delta, MiB(2));
+}
+
+TEST_F(ReplicaTest, ColdScanTakesDiskTime) {
+  TxnType t;
+  t.name = "scan";
+  t.id = 2;
+  t.base_cpu = Millis(1);
+  t.plan.steps = {Scan(table_)};
+  const SimTime start = sim_.Now();
+  SimTime end = 0;
+  replica_->Execute(t, [&](ExecOutcome o) {
+    end = sim_.Now();
+    EXPECT_EQ(o.pages_read_seq, BytesToPages(MiB(16)));
+  });
+  sim_.RunAll();
+  // 16 MiB at the configured sequential bandwidth plus CPU: at least 100 ms.
+  EXPECT_GT(end - start, Millis(100));
+}
+
+TEST_F(ReplicaTest, UpdateProducesWriteset) {
+  const TxnType t = UpdateType();
+  Writeset ws;
+  replica_->Execute(t, [&](ExecOutcome o) {
+    EXPECT_TRUE(o.is_update);
+    ws = o.writeset;
+  });
+  sim_.RunAll();
+  EXPECT_EQ(ws.origin, 0u);
+  EXPECT_EQ(ws.type, 1u);
+  EXPECT_EQ(ws.bytes, 275);
+  ASSERT_EQ(ws.table_pages.size(), 1u);
+  EXPECT_EQ(ws.table_pages[0].first, table_);
+  EXPECT_EQ(ws.table_pages[0].second, 3);
+  EXPECT_EQ(ws.items.size(), 3u);
+}
+
+TEST_F(ReplicaTest, ApplyWritesetDirtiesPages) {
+  Writeset ws;
+  ws.table_pages = {{table_, 4}};
+  bool done = false;
+  replica_->ApplyWriteset(ws, [&]() { done = true; });
+  sim_.RunAll();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(replica_->stats().writesets_applied, 1u);
+  // Writes concentrate on the hot leading region, so draws may collide and
+  // coalesce: between 1 and 4 distinct pages end up dirty.
+  EXPECT_GE(replica_->pool().dirty_pages(), 1);
+  EXPECT_LE(replica_->pool().dirty_pages(), 4);
+  EXPECT_GT(replica_->stats().apply_read_bytes, 0);
+}
+
+TEST_F(ReplicaTest, BackgroundWriterFlushesDirtyPages) {
+  replica_->StartDaemons();
+  Writeset ws;
+  ws.table_pages = {{table_, 8}};
+  replica_->ApplyWriteset(ws, nullptr);
+  sim_.RunUntil(Seconds(3.0));
+  EXPECT_EQ(replica_->pool().dirty_pages(), 0);
+  // All distinct dirtied pages (<= 8 after hot-region coalescing) flushed.
+  EXPECT_GT(replica_->stats().disk_write_bytes, 0);
+  EXPECT_LE(replica_->stats().disk_write_bytes, PagesToBytes(8));
+}
+
+TEST_F(ReplicaTest, MonitorReportsUtilization) {
+  replica_->StartDaemons();
+  // Keep the CPU busy ~50% for several seconds.
+  for (int i = 0; i < 10; ++i) {
+    TxnType t = ReadType(1);
+    t.base_cpu = Millis(500);
+    replica_->Execute(t, [](ExecOutcome) {});
+  }
+  sim_.RunUntil(Seconds(5.0));
+  EXPECT_GT(replica_->smoothed_cpu(), 0.3);  // ~50% busy while work remains
+  // After a long idle period the smoothed value decays.
+  sim_.RunUntil(Seconds(40.0));
+  EXPECT_LT(replica_->smoothed_cpu(), 0.05);
+}
+
+TEST_F(ReplicaTest, DropRelationEvictsCache) {
+  const TxnType t = ReadType(10);
+  for (int i = 0; i < 50; ++i) {
+    replica_->Execute(t, [](ExecOutcome) {});
+  }
+  sim_.RunAll();
+  EXPECT_GT(replica_->pool().ResidentPages(table_), 0);
+  replica_->DropRelation(table_);
+  EXPECT_EQ(replica_->pool().ResidentPages(table_), 0);
+}
+
+TEST_F(ReplicaTest, ThrashingScanAlwaysReadsDisk) {
+  // The big table exceeds the 128 MiB pool: every scan re-reads everything —
+  // the paper's memory-contention regime.
+  TxnType t;
+  t.name = "bigscan";
+  t.id = 3;
+  t.plan.steps = {Scan(big_)};
+  Bytes before = 0;
+  for (int i = 0; i < 3; ++i) {
+    before = replica_->stats().disk_read_bytes;
+    replica_->Execute(t, [](ExecOutcome) {});
+    sim_.RunAll();
+    EXPECT_EQ(replica_->stats().disk_read_bytes - before, MiB(600));
+  }
+}
+
+}  // namespace
+}  // namespace tashkent

@@ -1,0 +1,80 @@
+// Smoke and regression tests for reporting helpers and a few cross-cutting
+// behaviours that the module suites do not cover.
+#include <gtest/gtest.h>
+
+#include "src/cluster/report.h"
+#include "src/core/working_set.h"
+#include "src/workload/rubis.h"
+#include "src/workload/tpcw.h"
+
+namespace tashkent {
+namespace {
+
+TEST(Report, PrintersDoNotCrash) {
+  PrintHeader("title", "setup");
+  PrintTpsRow("method", 12.0, 11.5, 0.8);
+  PrintIoRow("method", 12, 72, 11.0, 70.2);
+  PrintRatio("a / b", 2.0, 1.9);
+  GroupReport g;
+  g.types = {"A", "B"};
+  g.replicas = 3;
+  PrintGroups({g});
+  SUCCEED();
+}
+
+TEST(WorkingSets, EstimationMethodNames) {
+  EXPECT_STREQ(EstimationMethodName(EstimationMethod::kSize), "MALB-S");
+  EXPECT_STREQ(EstimationMethodName(EstimationMethod::kSizeContent), "MALB-SC");
+  EXPECT_STREQ(EstimationMethodName(EstimationMethod::kSizeContentAccess), "MALB-SCAP");
+}
+
+TEST(WorkingSets, ScapAlwaysLowerOrEqualToSc) {
+  for (const Workload& w : {BuildTpcw(kTpcwMediumEbs), BuildRubis()}) {
+    for (const auto& ws : BuildWorkingSets(w.registry, w.schema)) {
+      EXPECT_LE(ws.ScannedPages(), ws.ReferencedPages()) << ws.name;
+      EXPECT_LE(ws.EstimatePages(EstimationMethod::kSizeContentAccess) -
+                    ws.random_pages_per_exec,
+                ws.EstimatePages(EstimationMethod::kSizeContent))
+          << ws.name;
+    }
+  }
+}
+
+TEST(WorkingSets, EveryTypeReferencesSomething) {
+  for (const Workload& w : {BuildTpcw(kTpcwMediumEbs), BuildRubis()}) {
+    for (const auto& ws : BuildWorkingSets(w.registry, w.schema)) {
+      EXPECT_FALSE(ws.relations.empty()) << ws.name;
+      EXPECT_GT(ws.ReferencedPages(), 0) << ws.name;
+    }
+  }
+}
+
+TEST(WorkingSets, EstimatesTrackCatalogGrowth) {
+  Workload w = BuildTpcw(kTpcwMediumEbs);
+  const TxnTypeId bs = w.registry.Find("BestSeller");
+  const auto before = BuildWorkingSet(w.registry.Get(bs), w.schema);
+  // order_line doubles (the database grew); the estimate must follow.
+  const RelationId ol = w.schema.Find("order_line");
+  w.schema.GetMutable(ol).pages *= 2;
+  const auto after = BuildWorkingSet(w.registry.Get(bs), w.schema);
+  EXPECT_GT(after.ReferencedPages(), before.ReferencedPages());
+}
+
+TEST(Determinism, PackingStableAcrossRebuilds) {
+  // Rebuilding the same workload gives identical packings (no hidden
+  // iteration-order dependence on hash maps).
+  const Workload a = BuildTpcw(kTpcwMediumEbs);
+  const Workload b = BuildTpcw(kTpcwMediumEbs);
+  const auto pa = PackTransactionGroups(BuildWorkingSets(a.registry, a.schema),
+                                        BytesToPages(442 * kMiB), EstimationMethod::kSizeContent);
+  const auto pb = PackTransactionGroups(BuildWorkingSets(b.registry, b.schema),
+                                        BytesToPages(442 * kMiB), EstimationMethod::kSizeContent);
+  ASSERT_EQ(pa.groups.size(), pb.groups.size());
+  for (size_t g = 0; g < pa.groups.size(); ++g) {
+    EXPECT_EQ(pa.groups[g].types, pb.groups[g].types);
+    EXPECT_EQ(pa.groups[g].estimate_pages, pb.groups[g].estimate_pages);
+  }
+}
+
+}  // namespace
+}  // namespace tashkent

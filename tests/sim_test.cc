@@ -1,0 +1,162 @@
+// Unit tests for the discrete-event simulator and FIFO server.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/fifo_server.h"
+#include "src/sim/simulator.h"
+
+namespace tashkent {
+namespace {
+
+TEST(Simulator, RunsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(Millis(30), [&]() { order.push_back(3); });
+  sim.ScheduleAt(Millis(10), [&]() { order.push_back(1); });
+  sim.ScheduleAt(Millis(20), [&]() { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Millis(30));
+}
+
+TEST(Simulator, SimultaneousEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(Millis(5), [&order, i]() { order.push_back(i); });
+  }
+  sim.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(Simulator, RunUntilStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(Millis(10), [&]() { ++fired; });
+  sim.ScheduleAt(Millis(100), [&]() { ++fired; });
+  sim.RunUntil(Millis(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), Millis(50));
+  sim.RunUntil(Millis(200));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ScheduleAfterFromCallback) {
+  Simulator sim;
+  SimTime second_fire = 0;
+  sim.ScheduleAt(Millis(10), [&]() {
+    sim.ScheduleAfter(Millis(5), [&]() { second_fire = sim.Now(); });
+  });
+  sim.RunAll();
+  EXPECT_EQ(second_fire, Millis(15));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  const auto id = sim.ScheduleAt(Millis(10), [&]() { ++fired; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // already cancelled
+  sim.RunAll();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, PastSchedulingClampsToNow) {
+  Simulator sim;
+  sim.RunUntil(Millis(100));
+  SimTime fired_at = -1;
+  sim.ScheduleAt(Millis(50), [&]() { fired_at = sim.Now(); });
+  sim.RunAll();
+  EXPECT_EQ(fired_at, Millis(100));
+}
+
+TEST(Simulator, PeriodicFiresUntilStopped) {
+  Simulator sim;
+  int count = 0;
+  const uint64_t pid = sim.SchedulePeriodic(Millis(10), Millis(10), [&]() { ++count; });
+  sim.RunUntil(Millis(55));
+  EXPECT_EQ(count, 5);  // t=10..50
+  sim.StopPeriodic(pid);
+  sim.RunUntil(Millis(200));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulator, PeriodicCanStopItself) {
+  Simulator sim;
+  int count = 0;
+  uint64_t pid = 0;
+  pid = sim.SchedulePeriodic(Millis(10), Millis(10), [&]() {
+    if (++count == 3) {
+      sim.StopPeriodic(pid);
+    }
+  });
+  sim.RunUntil(Seconds(10.0));
+  EXPECT_EQ(count, 3);
+}
+
+TEST(FifoServer, SerializesJobs) {
+  Simulator sim;
+  FifoServer server(&sim, "disk");
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    server.Submit(Millis(10), [&]() { completions.push_back(sim.Now()); });
+  }
+  sim.RunAll();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], Millis(10));
+  EXPECT_EQ(completions[1], Millis(20));
+  EXPECT_EQ(completions[2], Millis(30));
+}
+
+TEST(FifoServer, BackgroundYieldsToForeground) {
+  Simulator sim;
+  FifoServer server(&sim, "disk");
+  std::vector<char> order;
+  // Occupy the server, then queue one background and one foreground job; the
+  // foreground job must run first even though it arrived later.
+  server.Submit(Millis(10), [&]() { order.push_back('x'); });
+  server.Submit(Millis(10), [&]() { order.push_back('b'); }, JobPriority::kBackground);
+  server.Submit(Millis(10), [&]() { order.push_back('f'); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<char>{'x', 'f', 'b'}));
+}
+
+TEST(FifoServer, TracksBusyTimeAndUtilization) {
+  Simulator sim;
+  FifoServer server(&sim, "cpu");
+  server.Submit(Millis(250), nullptr);
+  sim.RunUntil(Seconds(1.0));
+  EXPECT_NEAR(server.SampleUtilization(), 0.25, 1e-9);
+  EXPECT_EQ(server.total_busy_time(), Millis(250));
+  EXPECT_EQ(server.jobs_completed(), 1u);
+}
+
+TEST(FifoServer, CompletionCanSubmitMoreWork) {
+  Simulator sim;
+  FifoServer server(&sim, "cpu");
+  SimTime done_at = 0;
+  server.Submit(Millis(5), [&]() {
+    server.Submit(Millis(7), [&]() { done_at = sim.Now(); });
+  });
+  sim.RunAll();
+  EXPECT_EQ(done_at, Millis(12));
+}
+
+TEST(FifoServer, QueueLengthCountsWaitingAndRunning) {
+  Simulator sim;
+  FifoServer server(&sim, "disk");
+  server.Submit(Millis(10), nullptr);
+  server.Submit(Millis(10), nullptr);
+  server.Submit(Millis(10), nullptr);
+  EXPECT_EQ(server.queue_length(), 3u);
+  sim.RunUntil(Millis(15));
+  EXPECT_EQ(server.queue_length(), 2u);
+  sim.RunAll();
+  EXPECT_EQ(server.queue_length(), 0u);
+}
+
+}  // namespace
+}  // namespace tashkent

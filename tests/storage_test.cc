@@ -1,0 +1,231 @@
+// Unit tests for schema catalog, buffer pool, and disk model.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/disk_model.h"
+#include "src/storage/schema.h"
+
+namespace tashkent {
+namespace {
+
+RelationMeta MakeRel(RelationId id, Pages pages) {
+  RelationMeta m;
+  m.id = id;
+  m.name = "r" + std::to_string(id);
+  m.pages = pages;
+  return m;
+}
+
+TEST(Schema, AddAndFind) {
+  Schema s;
+  const RelationId t = s.AddTable("orders", MiB(10));
+  const RelationId i = s.AddIndex("orders_idx", t, MiB(1));
+  EXPECT_EQ(s.Find("orders"), t);
+  EXPECT_EQ(s.Find("orders_idx"), i);
+  EXPECT_EQ(s.Find("nope"), kInvalidRelation);
+  EXPECT_EQ(s.Get(t).pages, BytesToPages(MiB(10)));
+  EXPECT_EQ(s.Get(i).parent, t);
+  EXPECT_EQ(s.Get(i).kind, RelationKind::kIndex);
+}
+
+TEST(Schema, DuplicateNameThrows) {
+  Schema s;
+  s.AddTable("t", MiB(1));
+  EXPECT_THROW(s.AddTable("t", MiB(1)), std::invalid_argument);
+}
+
+TEST(Schema, IndexNeedsTableParent) {
+  Schema s;
+  const RelationId t = s.AddTable("t", MiB(1));
+  const RelationId i = s.AddIndex("i", t, MiB(1));
+  EXPECT_THROW(s.AddIndex("j", i, MiB(1)), std::invalid_argument);  // parent is an index
+  EXPECT_THROW(s.AddIndex("k", 999, MiB(1)), std::invalid_argument);
+}
+
+TEST(Schema, TotalsAndIndices) {
+  Schema s;
+  const RelationId a = s.AddTable("a", MiB(2));
+  s.AddIndex("a1", a, MiB(1));
+  s.AddIndex("a2", a, MiB(1));
+  s.AddTable("b", MiB(4));
+  EXPECT_EQ(s.TotalBytes(), MiB(8));
+  EXPECT_EQ(s.IndicesOf(a).size(), 2u);
+}
+
+TEST(BufferPool, ScanMissesThenHits) {
+  BufferPool pool(MiB(10), 8);
+  const RelationMeta rel = MakeRel(1, 256);  // 2 MiB
+  const PoolAccess first = pool.TouchScan(rel);
+  EXPECT_EQ(first.pages_missed, 256);
+  EXPECT_EQ(first.pages_hit, 0);
+  const PoolAccess second = pool.TouchScan(rel);
+  EXPECT_EQ(second.pages_hit, 256);
+  EXPECT_EQ(second.pages_missed, 0);
+  EXPECT_EQ(pool.ResidentPages(rel.id), 256);
+}
+
+TEST(BufferPool, ScanLargerThanPoolNeverHits) {
+  // Classic LRU sequential-flooding: a relation bigger than the pool evicts
+  // its own head before the next scan returns — zero reuse. This is the
+  // memory-contention regime MALB exists to avoid.
+  BufferPool pool(PagesToBytes(100), 8);
+  const RelationMeta rel = MakeRel(1, 200);
+  pool.TouchScan(rel);
+  const PoolAccess second = pool.TouchScan(rel);
+  EXPECT_EQ(second.pages_hit, 0);
+  EXPECT_EQ(second.pages_missed, 200);
+  EXPECT_LE(pool.used_pages(), pool.capacity_pages());
+}
+
+TEST(BufferPool, ScanEvictsLru) {
+  BufferPool pool(PagesToBytes(100), 8);
+  const RelationMeta small = MakeRel(1, 40);
+  const RelationMeta big = MakeRel(2, 80);
+  pool.TouchScan(small);
+  pool.TouchScan(big);  // evicts most of `small`
+  EXPECT_LE(pool.used_pages(), 100);
+  EXPECT_LT(pool.ResidentPages(small.id), 40);
+  const PoolAccess again = pool.TouchScan(small);
+  EXPECT_GT(again.pages_missed, 0);
+}
+
+TEST(BufferPool, RandomAccessAccumulatesResidency) {
+  BufferPool pool(MiB(100), 32);
+  const RelationMeta rel = MakeRel(3, 1000);
+  Rng rng(5);
+  AccessSkew uniform{1.0, 0.0};  // fully uniform
+  for (int i = 0; i < 200; ++i) {
+    pool.TouchRandom(rel, 10, rng, uniform);
+  }
+  // With 2000 draws over 1000 pages, most pages should be resident.
+  EXPECT_GT(pool.ResidentPages(rel.id), 700);
+  // And hit rate should now be high.
+  const PoolAccess access = pool.TouchRandom(rel, 100, rng, uniform);
+  EXPECT_GT(access.pages_hit, 60);
+}
+
+TEST(BufferPool, SkewConcentratesHits) {
+  BufferPool pool(PagesToBytes(300), 32);
+  const RelationMeta rel = MakeRel(4, 10000);  // much bigger than pool
+  Rng rng(6);
+  const AccessSkew skew{0.02, 0.9};  // hot 200 pages get 90% of accesses
+  for (int i = 0; i < 300; ++i) {
+    pool.TouchRandom(rel, 10, rng, skew);
+  }
+  const PoolAccess access = pool.TouchRandom(rel, 1000, rng, skew);
+  // The hot core fits in the pool, so ~90% of accesses should hit.
+  EXPECT_GT(access.pages_hit, 700);
+}
+
+TEST(BufferPool, WindowScanTouchesWindowOnly) {
+  BufferPool pool(MiB(100), 8);
+  const RelationMeta rel = MakeRel(5, 1000);
+  Rng rng(7);
+  const AccessSkew skew{0.25, 1.0};  // always start in the hot quarter
+  const PoolAccess access = pool.TouchScanWindow(rel, 100, rng, skew);
+  const Pages touched = access.pages_hit + access.pages_missed;
+  // Window of 100 pages over 8-page chunks: at most 14 chunks = 112 pages.
+  EXPECT_GE(touched, 100);
+  EXPECT_LE(touched, 112);
+}
+
+TEST(BufferPool, WindowLargerThanRelationScansAll) {
+  BufferPool pool(MiB(100), 8);
+  const RelationMeta rel = MakeRel(6, 64);
+  Rng rng(8);
+  const PoolAccess access = pool.TouchScanWindow(rel, 1000, rng, AccessSkew{});
+  EXPECT_EQ(access.pages_missed, 64);
+}
+
+TEST(BufferPool, DirtyPagesCoalesceAndFlush) {
+  BufferPool pool(MiB(10), 8);
+  const RelationMeta rel = MakeRel(7, 4);  // tiny: redirtying same pages
+  Rng rng(9);
+  Pages dirtied = 0;
+  for (int i = 0; i < 50; ++i) {
+    dirtied += pool.DirtyRandom(rel, 2, rng, AccessSkew{1.0, 0.0}).newly_dirtied;
+  }
+  // Only 4 distinct pages exist; everything else coalesces.
+  EXPECT_LE(dirtied, 4);
+  EXPECT_EQ(pool.dirty_pages(), dirtied);
+  EXPECT_EQ(pool.TakeDirtyForFlush(100), dirtied);
+  EXPECT_EQ(pool.dirty_pages(), 0);
+}
+
+TEST(BufferPool, FlushBatchesRespectLimit) {
+  BufferPool pool(MiB(100), 8);
+  const RelationMeta rel = MakeRel(8, 10000);
+  Rng rng(10);
+  pool.DirtyRandom(rel, 100, rng, AccessSkew{1.0, 0.0});
+  const Pages first = pool.TakeDirtyForFlush(30);
+  EXPECT_EQ(first, 30);
+  EXPECT_GT(pool.dirty_pages(), 0);
+}
+
+TEST(BufferPool, DropRelationRemovesResidencyAndDirt) {
+  BufferPool pool(MiB(10), 8);
+  const RelationMeta a = MakeRel(9, 64);
+  const RelationMeta b = MakeRel(10, 64);
+  Rng rng(11);
+  pool.TouchScan(a);
+  pool.TouchScan(b);
+  pool.DirtyRandom(a, 5, rng);
+  pool.DirtyRandom(b, 5, rng);
+  pool.DropRelation(a.id);
+  EXPECT_EQ(pool.ResidentPages(a.id), 0);
+  EXPECT_GT(pool.ResidentPages(b.id), 0);
+  // Only b's dirty pages remain.
+  EXPECT_LE(pool.dirty_pages(), 5);
+}
+
+TEST(BufferPool, CapacityNeverExceeded) {
+  BufferPool pool(PagesToBytes(128), 16);
+  Rng rng(12);
+  for (RelationId r = 20; r < 30; ++r) {
+    const RelationMeta rel = MakeRel(r, 100);
+    pool.TouchScan(rel);
+    pool.TouchRandom(rel, 20, rng);
+    EXPECT_LE(pool.used_pages(), 128);
+  }
+}
+
+TEST(BufferPool, StatsAccumulate) {
+  BufferPool pool(MiB(10), 8);
+  const RelationMeta rel = MakeRel(31, 64);
+  pool.TouchScan(rel);
+  pool.TouchScan(rel);
+  EXPECT_EQ(pool.stats().misses, 64u);
+  EXPECT_EQ(pool.stats().hits, 64u);
+  pool.ResetStats();
+  EXPECT_EQ(pool.stats().misses, 0u);
+}
+
+TEST(DiskModel, Costs) {
+  DiskModel d;
+  d.sequential_read_mbps = 80.0;
+  // 80 MB at 80 MB/s = 1 s.
+  EXPECT_NEAR(ToSeconds(d.SequentialReadTime(BytesToPages(MiB(80)))), 1.0, 1e-6);
+  EXPECT_EQ(d.RandomReadTime(10), 10 * d.random_read_per_page);
+  EXPECT_EQ(d.WriteTime(4), 4 * d.write_per_page);
+  // Random reads are far more expensive per byte than sequential.
+  EXPECT_GT(d.RandomReadTime(1000), d.SequentialReadTime(1000));
+}
+
+TEST(AccessSkew, HotBias) {
+  Rng rng(13);
+  const AccessSkew skew{0.1, 0.9};
+  const Pages pages = 1000;
+  int hot = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (skew.SamplePage(rng, pages) < 100) {
+      ++hot;
+    }
+  }
+  // 90% targeted + 10% uniform spillover that lands hot 10% of the time.
+  EXPECT_NEAR(static_cast<double>(hot) / n, 0.91, 0.01);
+}
+
+}  // namespace
+}  // namespace tashkent

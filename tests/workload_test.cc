@@ -1,0 +1,177 @@
+// Unit tests for workload models and the closed-loop client pool.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/workload/client.h"
+#include "src/workload/rubis.h"
+#include "src/workload/tpcw.h"
+
+namespace tashkent {
+namespace {
+
+TEST(Mix, WeightsValidation) {
+  EXPECT_THROW(Mix("bad", {}), std::invalid_argument);
+  EXPECT_THROW(Mix("bad", {0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(Mix("bad", {-1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Mix, SamplingMatchesWeights) {
+  Mix mix("m", {10.0, 0.0, 90.0});
+  Rng rng(3);
+  std::map<TxnTypeId, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[mix.Sample(rng)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.10, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.90, 0.01);
+}
+
+TEST(Tpcw, MixUpdateFractionsMatchPaper) {
+  const Workload w = BuildTpcw(kTpcwMediumEbs);
+  // Paper: ordering 50%, shopping 20%, browsing 5%.
+  EXPECT_NEAR(w.MixByName(kTpcwOrdering).UpdateFraction(w.registry), 0.50, 0.01);
+  EXPECT_NEAR(w.MixByName(kTpcwShopping).UpdateFraction(w.registry), 0.20, 0.01);
+  EXPECT_NEAR(w.MixByName(kTpcwBrowsing).UpdateFraction(w.registry), 0.05, 0.01);
+}
+
+TEST(Tpcw, MixWeightsSumTo100) {
+  const Workload w = BuildTpcw(kTpcwMediumEbs);
+  for (const auto& mix : w.mixes) {
+    double sum = 0.0;
+    for (double x : mix.weights()) {
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 100.0, 1e-9) << mix.name();
+    EXPECT_EQ(mix.weights().size(), w.registry.size());
+  }
+}
+
+TEST(Tpcw, HasThirteenPaperTypes) {
+  const Workload w = BuildTpcw(kTpcwMediumEbs);
+  EXPECT_EQ(w.registry.size(), 13u);
+  for (const char* name :
+       {"BestSeller", "AdminResponse", "BuyConfirm", "BuyRequest", "ShoppingCart", "ExecSearch",
+        "OrderDisplay", "OrderInquiry", "ProductDetail", "HomeAction", "NewProduct",
+        "SearchRequest", "AdminRequest"}) {
+    EXPECT_NE(w.registry.Find(name), kInvalidTxnType) << name;
+  }
+}
+
+TEST(Tpcw, SchemaScalesWithEbs) {
+  const Workload small = BuildTpcw(kTpcwSmallEbs);
+  const Workload large = BuildTpcw(kTpcwLargeEbs);
+  // Fixed relations keep their size; scaled relations grow 5x.
+  EXPECT_EQ(small.schema.Get(small.schema.Find("item")).pages,
+            large.schema.Get(large.schema.Find("item")).pages);
+  EXPECT_NEAR(static_cast<double>(large.schema.Get(large.schema.Find("customer")).pages) /
+                  static_cast<double>(small.schema.Get(small.schema.Find("customer")).pages),
+              5.0, 0.01);
+}
+
+TEST(Tpcw, UpdateTypesCarryWritesetBytes) {
+  const Workload w = BuildTpcw(kTpcwMediumEbs);
+  for (const auto& t : w.registry.types()) {
+    if (t.is_update()) {
+      // Paper: ~275-byte average writesets.
+      EXPECT_GT(t.writeset_bytes, 200) << t.name;
+      EXPECT_LT(t.writeset_bytes, 400) << t.name;
+    } else {
+      EXPECT_EQ(t.writeset_bytes, 0) << t.name;
+    }
+  }
+}
+
+TEST(Rubis, MixUpdateFractionsMatchPaper) {
+  const Workload w = BuildRubis();
+  // Paper: bidding 15% updates, browsing read-only.
+  EXPECT_NEAR(w.MixByName(kRubisBidding).UpdateFraction(w.registry), 0.15, 0.012);
+  EXPECT_DOUBLE_EQ(w.MixByName(kRubisBrowsing).UpdateFraction(w.registry), 0.0);
+}
+
+TEST(Rubis, HasSeventeenPaperTypes) {
+  const Workload w = BuildRubis();
+  EXPECT_EQ(w.registry.size(), 17u);
+  for (const char* name :
+       {"AboutMe", "PutBid", "StoreComment", "ViewBidHistory", "ViewUserInfo", "viewItem",
+        "StoreBid", "RegisterItem", "SearchItemsByCategory", "Auth", "BrowseCategories",
+        "BrowseRegions", "BuyNow", "PutComment", "RegisterUser", "SearchItemsByRegion",
+        "StoreBuyNow"}) {
+    EXPECT_NE(w.registry.Find(name), kInvalidTxnType) << name;
+  }
+}
+
+TEST(Rubis, MixWeightsSumTo100) {
+  const Workload w = BuildRubis();
+  for (const auto& mix : w.mixes) {
+    double sum = 0.0;
+    for (double x : mix.weights()) {
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 100.0, 1e-9) << mix.name();
+  }
+}
+
+TEST(ClientPool, ClosedLoopThroughput) {
+  // With dispatch completing instantly, throughput is clients / think time.
+  Simulator sim;
+  const Workload w = BuildTpcw(kTpcwSmallEbs);
+  ClientPool pool(&sim, &w, &w.mixes[0], 10, Millis(100), Rng(5));
+  int completed = 0;
+  pool.SetDispatch([&sim](const TxnType&, std::function<void(bool)> done) {
+    sim.ScheduleAfter(Micros(1), [done = std::move(done)]() { done(true); });
+  });
+  pool.SetOnCommit([&](const TxnType&, SimDuration) { ++completed; });
+  pool.Start();
+  sim.RunUntil(Seconds(10.0));
+  // 10 clients / 0.1 s think = 100 tps => ~1000 completions in 10 s.
+  EXPECT_NEAR(completed, 1000, 150);
+}
+
+TEST(ClientPool, AbortedTransactionsRetry) {
+  Simulator sim;
+  const Workload w = BuildTpcw(kTpcwSmallEbs);
+  ClientPool pool(&sim, &w, &w.mixes[0], 1, Millis(10), Rng(6));
+  int attempts = 0;
+  int commits = 0;
+  int aborts = 0;
+  pool.SetDispatch([&](const TxnType&, std::function<void(bool)> done) {
+    ++attempts;
+    const bool ok = attempts % 3 != 0;  // every third attempt aborts
+    sim.ScheduleAfter(Micros(10), [done = std::move(done), ok]() { done(ok); });
+  });
+  pool.SetOnCommit([&](const TxnType&, SimDuration) { ++commits; });
+  pool.SetOnAbort([&](const TxnType&) { ++aborts; });
+  pool.Start();
+  sim.RunUntil(Seconds(1.0));
+  EXPECT_GT(aborts, 0);
+  EXPECT_NEAR(attempts, commits + aborts, 1);
+}
+
+TEST(ClientPool, MixSwitchTakesEffect) {
+  Simulator sim;
+  Workload w = BuildTpcw(kTpcwSmallEbs);
+  ClientPool pool(&sim, &w, &w.MixByName(kTpcwOrdering), 20, Millis(50), Rng(7));
+  std::map<std::string, int> counts;
+  pool.SetDispatch([&sim](const TxnType&, std::function<void(bool)> done) {
+    sim.ScheduleAfter(Micros(1), [done = std::move(done)]() { done(true); });
+  });
+  pool.SetOnCommit([&](const TxnType& t, SimDuration) { ++counts[t.name]; });
+  pool.Start();
+  sim.RunUntil(Seconds(20.0));
+  const int updates_before = counts["ShoppingCart"];
+  EXPECT_GT(updates_before, 0);
+
+  counts.clear();
+  pool.SetMix(&w.MixByName(kTpcwBrowsing));
+  sim.RunUntil(Seconds(40.0));
+  // Browsing mix has 2% ShoppingCart vs 18% in ordering.
+  const double total = static_cast<double>(counts["ShoppingCart"] + counts["HomeAction"] +
+                                           counts["ProductDetail"] + counts["SearchRequest"]);
+  EXPECT_LT(counts["ShoppingCart"] / total, 0.10);
+}
+
+}  // namespace
+}  // namespace tashkent
