@@ -11,62 +11,62 @@
 namespace tashkent {
 namespace {
 
-void Run() {
+void Run(ResultSink& out) {
   const Workload w = BuildTpcw(kTpcwMediumEbs);
   const ClusterConfig base = MakeClusterConfig(512 * kMiB);
   const int clients = CalibratedClients(w, kTpcwOrdering, base);
 
-  PrintHeader("Ablation: MALB design choices",
-              "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix");
+  out.Begin("Ablation: MALB design choices",
+            "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix");
 
-  const auto reference = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, base, clients);
-  PrintTpsRow("MALB-SC (reference)", 76, reference.tps, reference.mean_response_s);
+  const auto reference = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", base, clients);
+  out.AddRun(bench::Rec("MALB-SC (reference)", "MALB-SC", w, kTpcwOrdering, reference, 76));
 
   {
     ClusterConfig c = base;
     c.malb.enable_fast_realloc = false;
-    const auto r = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, c, clients);
-    PrintTpsRow("  fast reallocation off", 0, r.tps, r.mean_response_s);
+    const auto r = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", c, clients);
+    out.AddRun(bench::Rec("fast reallocation off", "MALB-SC", w, kTpcwOrdering, r));
   }
   {
     ClusterConfig c = base;
     c.malb.queue_pressure_weight = 0.0;
-    const auto r = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, c, clients);
-    PrintTpsRow("  queue-pressure off", 0, r.tps, r.mean_response_s);
+    const auto r = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", c, clients);
+    out.AddRun(bench::Rec("queue-pressure off", "MALB-SC", w, kTpcwOrdering, r));
   }
   {
     ClusterConfig c = base;
     c.malb.enable_merging = false;
-    const auto r = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, c, clients);
-    PrintTpsRow("  merging off (paper 70)", 70, r.tps, r.mean_response_s);
+    const auto r = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", c, clients);
+    out.AddRun(bench::Rec("merging off", "MALB-SC", w, kTpcwOrdering, r, 70));
   }
   {
     ClusterConfig c = bench::WithFiltering(base);
-    const auto r = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, c, clients,
-                                    Seconds(400.0));
-    PrintTpsRow("  +filtering (dynamic mode)", 113, r.tps, r.mean_response_s);
+    const auto r = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", c, clients, Seconds(400.0));
+    out.AddRun(bench::Rec("+filtering (dynamic mode)", "MALB-SC", w, kTpcwOrdering, r, 113));
   }
   {
     ClusterConfig c = bench::WithFiltering(base);
     c.malb.filtering_mode = FilteringMode::kFreezeWhenStable;
-    const auto r = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, c, clients,
-                                    Seconds(400.0));
-    PrintTpsRow("  +filtering (freeze mode)", 113, r.tps, r.mean_response_s);
+    const auto r = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", c, clients, Seconds(400.0));
+    out.AddRun(bench::Rec("+filtering (freeze mode)", "MALB-SC", w, kTpcwOrdering, r, 113));
   }
 
-  std::printf("\nGatekeeper admission limit sweep (MALB-SC):\n");
+  out.Note("Gatekeeper admission limit sweep (MALB-SC):");
   for (int mpl : {2, 4, 8, 16, 32}) {
     ClusterConfig c = base;
     c.proxy.max_in_flight = mpl;
-    const auto r = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, c, clients);
-    std::printf("  MPL %2d: %7.1f tps  (rt %.2f s)\n", mpl, r.tps, r.mean_response_s);
+    const auto r = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", c, clients);
+    out.AddRun(
+        bench::Rec("MPL " + std::to_string(mpl), "MALB-SC", w, kTpcwOrdering, r));
   }
 }
 
 }  // namespace
 }  // namespace tashkent
 
-int main() {
-  tashkent::Run();
+int main(int argc, char** argv) {
+  tashkent::bench::Harness harness(argc, argv, "ablation_malb");
+  tashkent::Run(harness.out());
   return 0;
 }

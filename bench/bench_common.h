@@ -1,32 +1,58 @@
 // Shared helpers for the per-figure/table bench binaries.
+//
+// Every bench binary follows the same shape (see DESIGN.md for the API
+// overview and the old-call -> new-call migration table):
+//
+//   void Run(ResultSink& out) { ... out.AddRun(...); ... }
+//   int main(int argc, char** argv) {
+//     tashkent::bench::Harness harness(argc, argv, "<bench-name>");
+//     tashkent::Run(harness.out());
+//     return 0;
+//   }
+//
+// Harness always attaches a ConsoleSink (the paper-vs-measured tables) and,
+// when the binary is invoked with `--json [path]`, a JsonSink writing
+// BENCH_<bench-name>.json (or the given path).
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
-#include <map>
+#include <cstdlib>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/cluster/experiment.h"
-#include "src/cluster/report.h"
+#include "src/cluster/scenario.h"
+#include "src/cluster/sink.h"
 
 namespace tashkent {
 namespace bench {
 
-// Runs one policy on a configuration with the calibrated client count.
-inline ExperimentResult RunPolicy(const Workload& w, const std::string& mix, Policy policy,
-                                  ClusterConfig config, int clients,
+// Runs one policy on a configuration with the calibrated client count: a
+// two-phase (warmup + measure) scenario.
+inline ExperimentResult RunPolicy(const Workload& w, const std::string& mix,
+                                  const std::string& policy, ClusterConfig config, int clients,
                                   SimDuration warmup = Seconds(240.0),
                                   SimDuration measure = Seconds(240.0)) {
-  ExperimentSpec spec;
-  spec.workload = &w;
-  spec.mix = mix;
-  spec.policy = policy;
-  spec.config = config;
-  spec.clients_per_replica = clients;
-  spec.warmup = warmup;
-  spec.measure = measure;
-  return RunExperiment(spec);
+  return RunExperiment(w, mix, policy, std::move(config), clients, warmup, measure);
+}
+
+// Builds a RunRecord for sink output.
+inline RunRecord Rec(std::string label, std::string policy, const Workload& w, std::string mix,
+                     ExperimentResult result, double paper_tps = 0.0,
+                     double paper_write_kb = 0.0, double paper_read_kb = 0.0) {
+  RunRecord r;
+  r.label = std::move(label);
+  r.policy = std::move(policy);
+  r.workload = w.name;
+  r.mix = std::move(mix);
+  r.paper_tps = paper_tps;
+  r.paper_write_kb = paper_write_kb;
+  r.paper_read_kb = paper_read_kb;
+  r.result = std::move(result);
+  return r;
 }
 
 // Enables update filtering on a config (dynamic-allocation variant; see
@@ -36,6 +62,46 @@ inline ClusterConfig WithFiltering(ClusterConfig config) {
   config.malb.stable_ticks_for_filtering = 10;
   return config;
 }
+
+// Per-binary CLI harness: owns the sink list (console always; JSON behind
+// `--json [path]`) and flushes it on destruction. Unknown flags exit with
+// usage — a multi-minute bench must not run on a typo'd invocation.
+class Harness {
+ public:
+  Harness(int argc, char** argv, std::string bench_name) : name_(std::move(bench_name)) {
+    sinks_.Add(std::make_unique<ConsoleSink>());
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json") {
+        std::string path = "BENCH_" + name_ + ".json";
+        if (i + 1 < argc && argv[i + 1][0] != '-') {
+          path = argv[++i];
+        }
+        auto sink = std::make_unique<JsonSink>(std::move(path));
+        json_ = sink.get();
+        sinks_.Add(std::move(sink));
+      } else {
+        std::fprintf(stderr, "usage: %s [--json [path]]\n", argv[0]);
+        std::exit(2);
+      }
+    }
+  }
+
+  ~Harness() {
+    sinks_.Finish();
+    if (json_ != nullptr && json_->write_ok()) {
+      std::printf("\nJSON results: %s\n", json_->path().c_str());
+    }
+  }
+
+  SinkList& out() { return sinks_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  JsonSink* json_ = nullptr;  // owned by sinks_
+  SinkList sinks_;
+};
 
 }  // namespace bench
 }  // namespace tashkent

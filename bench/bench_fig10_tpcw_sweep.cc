@@ -45,30 +45,30 @@ const Cell kCells[] = {
     {"SmallDB", kTpcwSmallEbs, kTpcwBrowsing, {295, 299, 295}, {300, 299, 305}, {300, 299, 305}},
 };
 
-void Run() {
-  std::printf("== Figure 10: TPC-W throughput sweep (81 experiments) ==\n");
-  std::printf("   per cell: rows are RAM sizes; columns LC / MALB-SC / MALB-SC+UF;\n");
-  std::printf("   'paper' columns give the published tps for shape comparison.\n");
-
+void Run(ResultSink& out) {
+  out.Begin("Figure 10: TPC-W throughput sweep (81 experiments)",
+            "3 DB sizes x 3 mixes x 3 RAM sizes x LC / MALB-SC / MALB-SC+UF");
   for (const Cell& cell : kCells) {
     const Workload w = BuildTpcw(cell.ebs);
-    std::printf("\n-- %s-%s (DB %.1f GB) --\n", cell.db_name, cell.mix,
-                BytesToMiB(w.schema.TotalBytes()) / 1024.0);
-    std::printf("%9s | %21s | %21s | %21s\n", "RAM", "LC paper/meas", "MALB paper/meas",
-                "UF paper/meas");
+    const std::string prefix = std::string(cell.db_name) + "-" + cell.mix;
     for (int i = 0; i < 3; ++i) {
       const ClusterConfig config = MakeClusterConfig(kRams[i]);
       const int clients = CalibratedClients(w, cell.mix, config);
-      const auto lc = bench::RunPolicy(w, cell.mix, Policy::kLeastConnections, config, clients,
+      const auto lc = bench::RunPolicy(w, cell.mix, "LeastConnections", config, clients,
                                        Seconds(200.0), Seconds(200.0));
-      const auto malb = bench::RunPolicy(w, cell.mix, Policy::kMalbSC, config, clients,
+      const auto malb = bench::RunPolicy(w, cell.mix, "MALB-SC", config, clients,
                                          Seconds(200.0), Seconds(200.0));
-      const auto uf = bench::RunPolicy(w, cell.mix, Policy::kMalbSC,
-                                       bench::WithFiltering(config), clients, Seconds(300.0),
-                                       Seconds(200.0));
-      std::printf("%6lld MB | %8.0f / %10.1f | %8.0f / %10.1f | %8.0f / %10.1f\n",
-                  static_cast<long long>(kRams[i] / kMiB), cell.paper_lc[i], lc.tps,
-                  cell.paper_malb[i], malb.tps, cell.paper_uf[i], uf.tps);
+      const auto uf = bench::RunPolicy(w, cell.mix, "MALB-SC", bench::WithFiltering(config),
+                                       clients, Seconds(300.0), Seconds(200.0));
+      const std::string ram =
+          " RAM " + std::to_string(static_cast<long long>(kRams[i] / kMiB)) + "MB";
+      out.AddRun(bench::Rec(prefix + ram + " LC", "LeastConnections", w, cell.mix, lc,
+                            cell.paper_lc[i]));
+      out.AddRun(
+          bench::Rec(prefix + ram + " MALB-SC", "MALB-SC", w, cell.mix, malb,
+                     cell.paper_malb[i]));
+      out.AddRun(bench::Rec(prefix + ram + " MALB-SC+UF", "MALB-SC", w, cell.mix, uf,
+                            cell.paper_uf[i]));
     }
   }
 }
@@ -76,7 +76,8 @@ void Run() {
 }  // namespace
 }  // namespace tashkent
 
-int main() {
-  tashkent::Run();
+int main(int argc, char** argv) {
+  tashkent::bench::Harness harness(argc, argv, "fig10_tpcw_sweep");
+  tashkent::Run(harness.out());
   return 0;
 }

@@ -2,62 +2,44 @@
 // MidDB 1.8 GB, RAM 512 MB, 16 replicas, ordering mix.
 // Paper: Single 3, LeastConnections 37 (2.2 s), LARD 50 (1.4 s),
 //        MALB-SC 76 (0.81 s) tps.
-#include <cstdio>
-
-#include "src/cluster/experiment.h"
-#include "src/cluster/report.h"
+#include "bench/bench_common.h"
 #include "src/workload/tpcw.h"
 
 namespace tashkent {
 namespace {
 
-void Run() {
+void Run(ResultSink& out) {
   const Workload w = BuildTpcw(kTpcwMediumEbs);
   const ClusterConfig config = MakeClusterConfig(512 * kMiB);
 
   const int clients = CalibratedClients(w, kTpcwOrdering, config);
-  std::printf("calibrated clients/replica: %d\n", clients);
+  out.Note("calibrated clients/replica: " + std::to_string(clients));
 
   const ExperimentResult single =
       RunStandalone(w, kTpcwOrdering, config, clients, Seconds(240.0), Seconds(240.0));
+  const auto lc = bench::RunPolicy(w, kTpcwOrdering, "LeastConnections", config, clients);
+  const auto lard = bench::RunPolicy(w, kTpcwOrdering, "LARD", config, clients);
+  const auto malb = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", config, clients);
 
-  ExperimentSpec spec;
-  spec.workload = &w;
-  spec.mix = kTpcwOrdering;
-  spec.config = config;
-  spec.clients_per_replica = clients;
-
-  spec.policy = Policy::kLeastConnections;
-  const ExperimentResult lc = RunExperiment(spec);
-  spec.policy = Policy::kLard;
-  const ExperimentResult lard = RunExperiment(spec);
-  spec.policy = Policy::kMalbSC;
-  const ExperimentResult malb = RunExperiment(spec);
-
-  PrintHeader("Figure 3: TPC-W comparison of methods",
-              "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix");
-  PrintTpsRow("Single", 3, single.tps, single.mean_response_s);
-  PrintTpsRow("LeastConnections", 37, lc.tps, lc.mean_response_s);
-  PrintTpsRow("LARD", 50, lard.tps, lard.mean_response_s);
-  PrintTpsRow("MALB-SC", 76, malb.tps, malb.mean_response_s);
-  PrintRatio("MALB-SC / LeastConnections", 76.0 / 37.0, malb.tps / lc.tps);
-  PrintRatio("MALB-SC / LARD", 76.0 / 50.0, malb.tps / lard.tps);
-  PrintRatio("LARD / LeastConnections", 50.0 / 37.0, lard.tps / lc.tps);
-  PrintRatio("MALB-SC / Single (super-linear > 16)", 25.0, malb.tps / single.tps);
-
-  std::printf("\nMALB-SC groupings (cf. Table 2):\n");
-  PrintGroups(malb.groups);
-
-  std::printf("\ndisk I/O per txn per replica (cf. Table 1):\n");
-  PrintIoRow("LeastConnections", 12, 72, lc.write_kb_per_txn, lc.read_kb_per_txn);
-  PrintIoRow("LARD", 12, 57, lard.write_kb_per_txn, lard.read_kb_per_txn);
-  PrintIoRow("MALB-SC", 12, 20, malb.write_kb_per_txn, malb.read_kb_per_txn);
+  out.Begin("Figure 3: TPC-W comparison of methods",
+            "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix");
+  out.AddRun(bench::Rec("Single", "", w, kTpcwOrdering, single, 3));
+  out.AddRun(
+      bench::Rec("LeastConnections", "LeastConnections", w, kTpcwOrdering, lc, 37, 12, 72));
+  out.AddRun(bench::Rec("LARD", "LARD", w, kTpcwOrdering, lard, 50, 12, 57));
+  out.AddRun(bench::Rec("MALB-SC", "MALB-SC", w, kTpcwOrdering, malb, 76, 12, 20));
+  out.AddRatio("MALB-SC / LeastConnections", 76.0 / 37.0, malb.tps / lc.tps);
+  out.AddRatio("MALB-SC / LARD", 76.0 / 50.0, malb.tps / lard.tps);
+  out.AddRatio("LARD / LeastConnections", 50.0 / 37.0, lard.tps / lc.tps);
+  out.AddRatio("MALB-SC / Single (super-linear > 16)", 25.0, malb.tps / single.tps);
+  out.AddGroups("MALB-SC groupings (cf. Table 2)", malb.groups);
 }
 
 }  // namespace
 }  // namespace tashkent
 
-int main() {
-  tashkent::Run();
+int main(int argc, char** argv) {
+  tashkent::bench::Harness harness(argc, argv, "fig3_tpcw_methods");
+  tashkent::Run(harness.out());
   return 0;
 }

@@ -8,33 +8,32 @@
 namespace tashkent {
 namespace {
 
-void Run() {
+void Run(ResultSink& out) {
   const Workload w = BuildRubis();
   const ClusterConfig config = MakeClusterConfig(512 * kMiB);
   const int clients = CalibratedClients(w, kRubisBidding, config);
 
   const ExperimentResult single = RunStandalone(w, kRubisBidding, config, clients);
-  const auto lc = bench::RunPolicy(w, kRubisBidding, Policy::kLeastConnections, config, clients);
-  const auto lard = bench::RunPolicy(w, kRubisBidding, Policy::kLard, config, clients);
-  const auto malb = bench::RunPolicy(w, kRubisBidding, Policy::kMalbSC, config, clients);
+  const auto lc = bench::RunPolicy(w, kRubisBidding, "LeastConnections", config, clients);
+  const auto lard = bench::RunPolicy(w, kRubisBidding, "LARD", config, clients);
+  const auto malb = bench::RunPolicy(w, kRubisBidding, "MALB-SC", config, clients);
 
-  PrintHeader("Figure 4: RUBiS comparison of methods",
-              "DB 2.2GB, RAM 512MB, 16 replicas, bidding mix");
-  PrintTpsRow("Single", 3, single.tps, single.mean_response_s);
-  PrintTpsRow("LeastConnections", 31, lc.tps, lc.mean_response_s);
-  PrintTpsRow("LARD", 34, lard.tps, lard.mean_response_s);
-  PrintTpsRow("MALB-SC", 43, malb.tps, malb.mean_response_s);
-  PrintRatio("MALB-SC / LeastConnections", 43.0 / 31.0, malb.tps / lc.tps);
-  PrintRatio("MALB-SC / LARD", 43.0 / 34.0, malb.tps / lard.tps);
-
-  std::printf("\nMALB-SC groupings (cf. Table 4):\n");
-  PrintGroups(malb.groups);
+  out.Begin("Figure 4: RUBiS comparison of methods",
+            "DB 2.2GB, RAM 512MB, 16 replicas, bidding mix");
+  out.AddRun(bench::Rec("Single", "", w, kRubisBidding, single, 3));
+  out.AddRun(bench::Rec("LeastConnections", "LeastConnections", w, kRubisBidding, lc, 31));
+  out.AddRun(bench::Rec("LARD", "LARD", w, kRubisBidding, lard, 34));
+  out.AddRun(bench::Rec("MALB-SC", "MALB-SC", w, kRubisBidding, malb, 43));
+  out.AddRatio("MALB-SC / LeastConnections", 43.0 / 31.0, malb.tps / lc.tps);
+  out.AddRatio("MALB-SC / LARD", 43.0 / 34.0, malb.tps / lard.tps);
+  out.AddGroups("MALB-SC groupings (cf. Table 4)", malb.groups);
 }
 
 }  // namespace
 }  // namespace tashkent
 
-int main() {
-  tashkent::Run();
+int main(int argc, char** argv) {
+  tashkent::bench::Harness harness(argc, argv, "fig4_rubis_methods");
+  tashkent::Run(harness.out());
   return 0;
 }

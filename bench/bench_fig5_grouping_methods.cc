@@ -10,44 +10,52 @@
 namespace tashkent {
 namespace {
 
-void Run() {
+void Run(ResultSink& out) {
   const Workload w = BuildTpcw(kTpcwMediumEbs);
   const ClusterConfig config = MakeClusterConfig(512 * kMiB);
   const int clients = CalibratedClients(w, kTpcwOrdering, config);
 
-  const auto lc = bench::RunPolicy(w, kTpcwOrdering, Policy::kLeastConnections, config, clients);
-  const auto lard = bench::RunPolicy(w, kTpcwOrdering, Policy::kLard, config, clients);
-  const auto scap = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSCAP, config, clients);
-  const auto s = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbS, config, clients);
-  const auto sc = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, config, clients);
+  const auto lc = bench::RunPolicy(w, kTpcwOrdering, "LeastConnections", config, clients);
+  const auto lard = bench::RunPolicy(w, kTpcwOrdering, "LARD", config, clients);
+  const auto scap = bench::RunPolicy(w, kTpcwOrdering, "MALB-SCAP", config, clients);
+  const auto s = bench::RunPolicy(w, kTpcwOrdering, "MALB-S", config, clients);
+  const auto sc = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", config, clients);
 
-  PrintHeader("Figure 5: throughput of grouping methods",
-              "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix");
-  PrintTpsRow("LeastConnections", 37, lc.tps, lc.mean_response_s);
-  PrintTpsRow("LARD", 50, lard.tps, lard.mean_response_s);
-  PrintTpsRow("MALB-SCAP", 57, scap.tps, scap.mean_response_s);
-  PrintTpsRow("MALB-S", 73, s.tps, s.mean_response_s);
-  PrintTpsRow("MALB-SC", 76, sc.tps, sc.mean_response_s);
-  PrintRatio("MALB-SC / MALB-SCAP", 76.0 / 57.0, sc.tps / scap.tps);
-  PrintRatio("MALB-SC / MALB-S", 76.0 / 73.0, sc.tps / s.tps);
+  out.Begin("Figure 5: throughput of grouping methods",
+            "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix");
+  out.AddRun(bench::Rec("LeastConnections", "LeastConnections", w, kTpcwOrdering, lc, 37));
+  out.AddRun(bench::Rec("LARD", "LARD", w, kTpcwOrdering, lard, 50));
+  out.AddRun(bench::Rec("MALB-SCAP", "MALB-SCAP", w, kTpcwOrdering, scap, 57));
+  out.AddRun(bench::Rec("MALB-S", "MALB-S", w, kTpcwOrdering, s, 73));
+  out.AddRun(bench::Rec("MALB-SC", "MALB-SC", w, kTpcwOrdering, sc, 76));
+  out.AddRatio("MALB-SC / MALB-SCAP", 76.0 / 57.0, sc.tps / scap.tps);
+  out.AddRatio("MALB-SC / MALB-S", 76.0 / 73.0, sc.tps / s.tps);
 
   // Group counts per method (paper: SCAP 4, SC 6, S 7).
   const auto ws = BuildWorkingSets(w.registry, w.schema);
   const Pages capacity = BytesToPages(config.replica.memory - config.replica.reserved);
-  std::printf("\ngroup counts: SCAP=%zu (paper 4), SC=%zu (paper 6), S=%zu (paper 7)\n",
-              PackTransactionGroups(ws, capacity, EstimationMethod::kSizeContentAccess)
-                  .groups.size(),
-              PackTransactionGroups(ws, capacity, EstimationMethod::kSizeContent).groups.size(),
-              PackTransactionGroups(ws, capacity, EstimationMethod::kSize).groups.size());
-  std::printf("MALB-SCAP reads %.1f KB/txn vs MALB-SC %.1f KB/txn (over-packing shows as "
-              "extra disk reads)\n",
-              scap.read_kb_per_txn, sc.read_kb_per_txn);
+  out.AddScalar(
+      "groups SCAP (paper 4)",
+      static_cast<double>(
+          PackTransactionGroups(ws, capacity, EstimationMethod::kSizeContentAccess)
+              .groups.size()));
+  out.AddScalar("groups SC (paper 6)",
+                static_cast<double>(
+                    PackTransactionGroups(ws, capacity, EstimationMethod::kSizeContent)
+                        .groups.size()));
+  out.AddScalar(
+      "groups S (paper 7)",
+      static_cast<double>(
+          PackTransactionGroups(ws, capacity, EstimationMethod::kSize).groups.size()));
+  out.AddScalar("MALB-SCAP read KB/txn (over-packing)", scap.read_kb_per_txn);
+  out.AddScalar("MALB-SC read KB/txn", sc.read_kb_per_txn);
 }
 
 }  // namespace
 }  // namespace tashkent
 
-int main() {
-  tashkent::Run();
+int main(int argc, char** argv) {
+  tashkent::bench::Harness harness(argc, argv, "fig5_grouping_methods");
+  tashkent::Run(harness.out());
   return 0;
 }

@@ -4,8 +4,9 @@
 // a static shopping configuration forced to run browsing achieves only
 // 19 tps — worse than LeastConnections' 37 — so dynamic allocation is
 // necessary.
-#include <algorithm>
-
+//
+// The whole experiment is three ScenarioBuilder scripts — no hand-rolled
+// phase loop; phase means are read off the merged scenario timeline.
 #include "bench/bench_common.h"
 #include "src/workload/tpcw.h"
 
@@ -13,76 +14,66 @@ namespace tashkent {
 namespace {
 
 constexpr SimDuration kPhase = Seconds(2000.0);
+// Phase means skip the first 300 s of each phase so the reconfiguration
+// transient does not dilute the steady-state number.
+constexpr double kTransientSkipS = 300.0;
 
-double PhaseMean(const std::vector<double>& buckets, SimDuration width, double from_s,
-                 double to_s) {
-  // Means over [from+skip, to): skip the first 300 s of each phase so the
-  // reconfiguration transient does not dilute the steady-state number.
-  const double skip = 300.0;
-  double total = 0.0;
-  int n = 0;
-  for (size_t i = 0; i < buckets.size(); ++i) {
-    const double t = static_cast<double>(i) * ToSeconds(width);
-    if (t >= from_s + skip && t < to_s) {
-      total += buckets[i];
-      ++n;
-    }
-  }
-  return n > 0 ? total / (static_cast<double>(n) * ToSeconds(width)) : 0.0;
-}
-
-void Run() {
+void Run(ResultSink& out) {
   const Workload w = BuildTpcw(kTpcwMediumEbs);
   ClusterConfig config = MakeClusterConfig(512 * kMiB);
-  const int clients = CalibratedClients(w, kTpcwShopping, config);
-  config.clients_per_replica = clients;
+  config.clients_per_replica = CalibratedClients(w, kTpcwShopping, config);
 
   // --- Dynamic MALB-SC through the mix switches ---------------------------
-  Cluster dynamic(&w, kTpcwShopping, Policy::kMalbSC, config);
-  dynamic.Advance(kPhase);
-  dynamic.SwitchMix(kTpcwBrowsing);
-  dynamic.Advance(kPhase);
-  dynamic.SwitchMix(kTpcwShopping);
-  ExperimentResult timeline = dynamic.Measure(kPhase);
-
-  const double shopping1 = PhaseMean(timeline.timeline, timeline.timeline_bucket, 0, 2000);
-  const double browsing = PhaseMean(timeline.timeline, timeline.timeline_bucket, 2000, 4000);
-  const double shopping2 = PhaseMean(timeline.timeline, timeline.timeline_bucket, 4000, 6000);
+  const ScenarioResult dynamic = ScenarioBuilder()
+                                     .Advance(kPhase)
+                                     .SwitchMix(kTpcwBrowsing)
+                                     .Advance(kPhase)
+                                     .SwitchMix(kTpcwShopping)
+                                     .Measure(kPhase, "shopping-return")
+                                     .Run(w, kTpcwShopping, "MALB-SC", config);
+  const double shopping1 = dynamic.PhaseMeanTps(0, 2000, kTransientSkipS);
+  const double browsing = dynamic.PhaseMeanTps(2000, 4000, kTransientSkipS);
+  const double shopping2 = dynamic.PhaseMeanTps(4000, 6000, kTransientSkipS);
 
   // --- Static shopping configuration forced to run browsing ---------------
-  Cluster frozen(&w, kTpcwShopping, Policy::kMalbSC, config);
-  frozen.Advance(Seconds(1500.0));  // converge on shopping
-  frozen.FreezeAllocation();
-  frozen.SwitchMix(kTpcwBrowsing);
-  frozen.Advance(Seconds(300.0));
-  const ExperimentResult static_browsing = frozen.Measure(Seconds(1200.0));
+  const ScenarioResult frozen = ScenarioBuilder()
+                                    .Advance(Seconds(1500.0))  // converge on shopping
+                                    .FreezeAllocation()
+                                    .SwitchMix(kTpcwBrowsing)
+                                    .Advance(Seconds(300.0))
+                                    .Measure(Seconds(1200.0), "static-browsing")
+                                    .Run(w, kTpcwShopping, "MALB-SC", config);
+  const ExperimentResult& static_browsing = frozen.ByLabel("static-browsing");
 
   // --- LeastConnections reference under browsing --------------------------
-  Cluster lc(&w, kTpcwBrowsing, Policy::kLeastConnections, config);
-  const ExperimentResult lc_browsing = lc.Run(Seconds(400.0), Seconds(1200.0));
+  const ScenarioResult lc = ScenarioBuilder()
+                                .Warmup(Seconds(400.0))
+                                .Measure(Seconds(1200.0), "browsing")
+                                .Run(w, kTpcwBrowsing, "LeastConnections", config);
+  const ExperimentResult& lc_browsing = lc.ByLabel("browsing");
 
-  PrintHeader("Figure 6: dynamic reconfiguration (shopping -> browsing -> shopping)",
-              "MidDB 1.8GB, RAM 512MB, 16 replicas; 2000 s per phase");
-  PrintTpsRow("MALB-SC shopping (phase 1)", 76, shopping1, 0);
-  PrintTpsRow("MALB-SC browsing (phase 2)", 45, browsing, 0);
-  PrintTpsRow("MALB-SC shopping (phase 3)", 76, shopping2, 0);
-  PrintTpsRow("static shopping cfg, browsing", 19, static_browsing.tps,
-              static_browsing.mean_response_s);
-  PrintTpsRow("LeastConnections, browsing", 37, lc_browsing.tps, lc_browsing.mean_response_s);
-  PrintRatio("static / dynamic browsing (paper 0.42)", 19.0 / 45.0,
-             browsing > 0 ? static_browsing.tps / browsing : 0.0);
-
-  std::printf("\nthroughput timeline (30 s buckets, tps):\n");
-  for (size_t i = 0; i < timeline.timeline.size(); i += 4) {
-    std::printf("  t=%5.0fs  %6.1f tps\n", static_cast<double>(i) * 30.0,
-                timeline.timeline[i] / 30.0);
-  }
+  out.Begin("Figure 6: dynamic reconfiguration (shopping -> browsing -> shopping)",
+            "MidDB 1.8GB, RAM 512MB, 16 replicas; 2000 s per phase");
+  out.AddScalar("MALB-SC shopping phase 1 tps (paper 76)", shopping1);
+  out.AddScalar("MALB-SC browsing phase 2 tps (paper 45)", browsing);
+  out.AddScalar("MALB-SC shopping phase 3 tps (paper 76)", shopping2);
+  // The phase-3 measure window (full phase, transient included) as a run row.
+  out.AddRun(bench::Rec("MALB-SC shopping-return (phase 3 window)", "MALB-SC", w,
+                        kTpcwShopping, dynamic.ByLabel("shopping-return"), 76));
+  out.AddRun(bench::Rec("static shopping cfg, browsing", "MALB-SC", w, kTpcwBrowsing,
+                        static_browsing, 19));
+  out.AddRun(bench::Rec("LeastConnections, browsing", "LeastConnections", w, kTpcwBrowsing,
+                        lc_browsing, 37));
+  out.AddRatio("static / dynamic browsing (paper 0.42)", 19.0 / 45.0,
+               browsing > 0 ? static_browsing.tps / browsing : 0.0);
+  out.AddTimeline("MALB-SC throughput timeline", dynamic.timeline, dynamic.timeline_bucket);
 }
 
 }  // namespace
 }  // namespace tashkent
 
-int main() {
-  tashkent::Run();
+int main(int argc, char** argv) {
+  tashkent::bench::Harness harness(argc, argv, "fig6_dynamic_reconfig");
+  tashkent::Run(harness.out());
   return 0;
 }

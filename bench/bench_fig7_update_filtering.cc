@@ -8,34 +8,35 @@
 namespace tashkent {
 namespace {
 
-void Run() {
+void Run(ResultSink& out) {
   const Workload w = BuildTpcw(kTpcwMediumEbs);
   const ClusterConfig config = MakeClusterConfig(512 * kMiB);
   const int clients = CalibratedClients(w, kTpcwOrdering, config);
 
   const ExperimentResult single = RunStandalone(w, kTpcwOrdering, config, clients);
-  const auto lc = bench::RunPolicy(w, kTpcwOrdering, Policy::kLeastConnections, config, clients);
-  const auto lard = bench::RunPolicy(w, kTpcwOrdering, Policy::kLard, config, clients);
-  const auto malb = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, config, clients);
-  const auto uf = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC,
-                                   bench::WithFiltering(config), clients, Seconds(400.0));
+  const auto lc = bench::RunPolicy(w, kTpcwOrdering, "LeastConnections", config, clients);
+  const auto lard = bench::RunPolicy(w, kTpcwOrdering, "LARD", config, clients);
+  const auto malb = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", config, clients);
+  const auto uf = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", bench::WithFiltering(config),
+                                   clients, Seconds(400.0));
 
-  PrintHeader("Figure 7: TPC-W throughput of MALB-SC + UpdateFiltering",
-              "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix");
-  PrintTpsRow("Single", 3, single.tps, single.mean_response_s);
-  PrintTpsRow("LeastConnections", 37, lc.tps, lc.mean_response_s);
-  PrintTpsRow("LARD", 50, lard.tps, lard.mean_response_s);
-  PrintTpsRow("MALB-SC", 76, malb.tps, malb.mean_response_s);
-  PrintTpsRow("MALB-SC+UpdateFiltering", 113, uf.tps, uf.mean_response_s);
-  PrintRatio("UF / MALB-SC", 113.0 / 76.0, uf.tps / malb.tps);
-  PrintRatio("UF / LeastConnections", 113.0 / 37.0, uf.tps / lc.tps);
-  PrintRatio("UF / Single", 37.0, uf.tps / single.tps);
+  out.Begin("Figure 7: TPC-W throughput of MALB-SC + UpdateFiltering",
+            "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix");
+  out.AddRun(bench::Rec("Single", "", w, kTpcwOrdering, single, 3));
+  out.AddRun(bench::Rec("LeastConnections", "LeastConnections", w, kTpcwOrdering, lc, 37));
+  out.AddRun(bench::Rec("LARD", "LARD", w, kTpcwOrdering, lard, 50));
+  out.AddRun(bench::Rec("MALB-SC", "MALB-SC", w, kTpcwOrdering, malb, 76));
+  out.AddRun(bench::Rec("MALB-SC+UpdateFiltering", "MALB-SC", w, kTpcwOrdering, uf, 113));
+  out.AddRatio("UF / MALB-SC", 113.0 / 76.0, uf.tps / malb.tps);
+  out.AddRatio("UF / LeastConnections", 113.0 / 37.0, uf.tps / lc.tps);
+  out.AddRatio("UF / Single", 37.0, uf.tps / single.tps);
 }
 
 }  // namespace
 }  // namespace tashkent
 
-int main() {
-  tashkent::Run();
+int main(int argc, char** argv) {
+  tashkent::bench::Harness harness(argc, argv, "fig7_update_filtering");
+  tashkent::Run(harness.out());
   return 0;
 }

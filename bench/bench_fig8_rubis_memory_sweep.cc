@@ -10,34 +10,37 @@
 namespace tashkent {
 namespace {
 
-void Run() {
+void Run(ResultSink& out) {
   const Workload w = BuildRubis();
   const double paper_lc[3] = {18, 31, 42};
   const double paper_malb[3] = {23, 43, 44};
   const double paper_uf[3] = {24, 44, 44};
   const Bytes rams[3] = {256 * kMiB, 512 * kMiB, 1024 * kMiB};
 
-  PrintHeader("Figure 8: RUBiS bidding mix with update filtering",
-              "DB 2.2GB, RAM 256/512/1024 MB, 16 replicas");
+  out.Begin("Figure 8: RUBiS bidding mix with update filtering",
+            "DB 2.2GB, RAM 256/512/1024 MB, 16 replicas");
   for (int i = 0; i < 3; ++i) {
     const ClusterConfig config = MakeClusterConfig(rams[i]);
     const int clients = CalibratedClients(w, kRubisBidding, config);
-    const auto lc =
-        bench::RunPolicy(w, kRubisBidding, Policy::kLeastConnections, config, clients);
-    const auto malb = bench::RunPolicy(w, kRubisBidding, Policy::kMalbSC, config, clients);
-    const auto uf = bench::RunPolicy(w, kRubisBidding, Policy::kMalbSC,
-                                     bench::WithFiltering(config), clients, Seconds(400.0));
-    std::printf("RAM %4lld MB:\n", static_cast<long long>(rams[i] / kMiB));
-    PrintTpsRow("  LeastConnections", paper_lc[i], lc.tps, lc.mean_response_s);
-    PrintTpsRow("  MALB-SC", paper_malb[i], malb.tps, malb.mean_response_s);
-    PrintTpsRow("  MALB-SC+UpdateFiltering", paper_uf[i], uf.tps, uf.mean_response_s);
+    const auto lc = bench::RunPolicy(w, kRubisBidding, "LeastConnections", config, clients);
+    const auto malb = bench::RunPolicy(w, kRubisBidding, "MALB-SC", config, clients);
+    const auto uf = bench::RunPolicy(w, kRubisBidding, "MALB-SC", bench::WithFiltering(config),
+                                     clients, Seconds(400.0));
+    const std::string ram = std::to_string(static_cast<long long>(rams[i] / kMiB)) + "MB";
+    out.AddRun(bench::Rec("LeastConnections RAM " + ram, "LeastConnections", w, kRubisBidding,
+                          lc, paper_lc[i]));
+    out.AddRun(bench::Rec("MALB-SC RAM " + ram, "MALB-SC", w, kRubisBidding, malb,
+                          paper_malb[i]));
+    out.AddRun(bench::Rec("MALB-SC+UpdateFiltering RAM " + ram, "MALB-SC", w, kRubisBidding,
+                          uf, paper_uf[i]));
   }
 }
 
 }  // namespace
 }  // namespace tashkent
 
-int main() {
-  tashkent::Run();
+int main(int argc, char** argv) {
+  tashkent::bench::Harness harness(argc, argv, "fig8_rubis_memory_sweep");
+  tashkent::Run(harness.out());
   return 0;
 }

@@ -21,43 +21,42 @@ const char* Classify(double speedup) {
   return "no-gain";
 }
 
-void Run() {
-  std::printf("== Figure 9: database size vs memory size space ==\n");
-  std::printf("   cell = MALB-SC speedup over LeastConnections (ordering mix)\n\n");
+void Run(ResultSink& out) {
+  out.Begin("Figure 9: database size vs memory size space",
+            "cell = MALB-SC speedup over LeastConnections (ordering mix)");
   const int dbs[3] = {kTpcwSmallEbs, kTpcwMediumEbs, kTpcwLargeEbs};
-  const char* db_names[3] = {"SmallDB 0.7GB", "MidDB  1.8GB", "LargeDB 2.9GB"};
+  const char* db_names[3] = {"SmallDB-0.7GB", "MidDB-1.8GB", "LargeDB-2.9GB"};
   const Bytes rams[3] = {256 * kMiB, 512 * kMiB, 1024 * kMiB};
-
-  std::printf("%-15s", "");
-  for (Bytes ram : rams) {
-    std::printf(" %20lld MB", static_cast<long long>(ram / kMiB));
-  }
-  std::printf("\n");
 
   for (int d = 0; d < 3; ++d) {
     const Workload w = BuildTpcw(dbs[d]);
-    std::printf("%-15s", db_names[d]);
     for (int m = 0; m < 3; ++m) {
       const ClusterConfig config = MakeClusterConfig(rams[m]);
       const int clients = CalibratedClients(w, kTpcwOrdering, config);
-      const auto lc = bench::RunPolicy(w, kTpcwOrdering, Policy::kLeastConnections, config,
-                                       clients, Seconds(200.0), Seconds(200.0));
-      const auto malb = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, config, clients,
+      const auto lc = bench::RunPolicy(w, kTpcwOrdering, "LeastConnections", config, clients,
+                                       Seconds(200.0), Seconds(200.0));
+      const auto malb = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", config, clients,
                                          Seconds(200.0), Seconds(200.0));
       const double speedup = lc.tps > 0 ? malb.tps / lc.tps : 0.0;
-      std::printf(" %6.2fx %-16s", speedup, Classify(speedup));
+      const std::string cell =
+          std::string(db_names[d]) + " RAM " +
+          std::to_string(static_cast<long long>(rams[m] / kMiB)) + "MB";
+      out.AddRun(bench::Rec(cell + " LC", "LeastConnections", w, kTpcwOrdering, lc));
+      out.AddRun(bench::Rec(cell + " MALB-SC", "MALB-SC", w, kTpcwOrdering, malb));
+      out.AddScalar(cell + " speedup", speedup);
+      out.Note(cell + ": " + Classify(speedup));
     }
-    std::printf("\n");
   }
-  std::printf("\nExpected shape (paper): the diagonal band where working sets of groups fit\n"
-              "memory but their union does not shows the largest gains; tiny-DB/large-RAM\n"
-              "and huge-DB/tiny-RAM corners show little benefit.\n");
+  out.Note("Expected shape (paper): the diagonal band where working sets of groups fit "
+           "memory but their union does not shows the largest gains; tiny-DB/large-RAM "
+           "and huge-DB/tiny-RAM corners show little benefit.");
 }
 
 }  // namespace
 }  // namespace tashkent
 
-int main() {
-  tashkent::Run();
+int main(int argc, char** argv) {
+  tashkent::bench::Harness harness(argc, argv, "fig9_space_map");
+  tashkent::Run(harness.out());
   return 0;
 }

@@ -4,6 +4,9 @@
 // any simulated hardware.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "src/certifier/certifier.h"
 #include "src/common/rng.h"
 #include "src/core/bin_packing.h"
@@ -116,4 +119,38 @@ BENCHMARK(BM_EventQueue);
 }  // namespace
 }  // namespace tashkent
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): accepts the harness-wide
+// `--json [path]` flag by mapping it onto google-benchmark's JSON reporter,
+// so every bench binary shares one results-file convention.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  std::string json_path;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (i > 0 && arg == "--json") {
+      json_path = "BENCH_micro_core.json";
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        json_path = argv[++i];
+      }
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (!json_path.empty()) {
+    args.push_back("--benchmark_out=" + json_path);
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> cargs;
+  cargs.reserve(args.size());
+  for (auto& a : args) {
+    cargs.push_back(a.data());
+  }
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,34 +9,38 @@
 namespace tashkent {
 namespace {
 
-void Run() {
+void Run(ResultSink& out) {
   const Workload w = BuildTpcw(kTpcwMediumEbs);
   const ClusterConfig base = MakeClusterConfig(512 * kMiB);
   const int clients = CalibratedClients(w, kTpcwOrdering, base);
   const ExperimentResult single = RunStandalone(w, kTpcwOrdering, base, clients);
 
-  std::printf("== Scalability: TPC-W ordering, MidDB 1.8GB, RAM 512MB ==\n");
-  std::printf("standalone database: %.1f tps\n\n", single.tps);
-  std::printf("%9s %18s %18s %12s %12s\n", "replicas", "LeastConn (tps)", "MALB-SC (tps)",
-              "LC speedup", "MALB speedup");
+  out.Begin("Scalability: throughput vs replica count",
+            "TPC-W ordering, MidDB 1.8GB, RAM 512MB");
+  out.AddRun(bench::Rec("standalone database", "", w, kTpcwOrdering, single));
+
   for (size_t replicas : {2, 4, 8, 16}) {
     ClusterConfig config = base;
     config.replicas = replicas;
-    const auto lc =
-        bench::RunPolicy(w, kTpcwOrdering, Policy::kLeastConnections, config, clients);
-    const auto malb = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, config, clients);
-    std::printf("%9zu %18.1f %18.1f %11.1fx %11.1fx%s\n", replicas, lc.tps, malb.tps,
-                lc.tps / single.tps, malb.tps / single.tps,
-                malb.tps / single.tps > static_cast<double>(replicas) ? "  <- super-linear"
-                                                                      : "");
+    const auto lc = bench::RunPolicy(w, kTpcwOrdering, "LeastConnections", config, clients);
+    const auto malb = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", config, clients);
+    const std::string n = std::to_string(replicas);
+    out.AddRun(bench::Rec("LeastConnections x" + n, "LeastConnections", w, kTpcwOrdering, lc));
+    out.AddRun(bench::Rec("MALB-SC x" + n, "MALB-SC", w, kTpcwOrdering, malb));
+    out.AddScalar("LC speedup x" + n, lc.tps / single.tps);
+    out.AddScalar("MALB speedup x" + n, malb.tps / single.tps);
+    if (malb.tps / single.tps > static_cast<double>(replicas)) {
+      out.Note("MALB-SC super-linear at " + n + " replicas");
+    }
   }
-  std::printf("\npaper at 16 replicas: LC 12x, MALB-SC 25x, MALB-SC+filtering 37x\n");
+  out.Note("paper at 16 replicas: LC 12x, MALB-SC 25x, MALB-SC+filtering 37x");
 }
 
 }  // namespace
 }  // namespace tashkent
 
-int main() {
-  tashkent::Run();
+int main(int argc, char** argv) {
+  tashkent::bench::Harness harness(argc, argv, "scalability");
+  tashkent::Run(harness.out());
   return 0;
 }

@@ -6,6 +6,10 @@
 //      OrderDisplay: SCAP 1 MB vs SC 1600 MB vs measured 400-450 MB.
 //   2. Merging ablation: disabling the merging of under-utilized groups drops
 //      MALB-S from 73 to 66 tps and MALB-SC from 76 to 70 tps.
+//
+// The knee measurement drives a single bare replica (below the Cluster
+// layer), so it uses the simulator directly; the merging ablation is plain
+// registry-named RunPolicy scenarios.
 #include "bench/bench_common.h"
 #include "src/core/working_set.h"
 #include "src/workload/tpcw.h"
@@ -65,22 +69,23 @@ double MeasureWorkingSetMb(const Workload& w, const char* name) {
   return knee;
 }
 
-void Run() {
+void Run(ResultSink& out) {
   const Workload w = BuildTpcw(kTpcwMediumEbs);
   const auto ws = BuildWorkingSets(w.registry, w.schema);
 
-  PrintHeader("Section 5.3: working-set estimates vs measurement", "MidDB 1.8GB");
-  std::printf("%-14s %14s %14s %18s\n", "type", "SCAP est (MB)", "SC est (MB)",
-              "measured knee (MB)");
+  out.Begin("Section 5.3: working-set estimates vs measurement", "MidDB 1.8GB");
+  out.Note("paper: BestSeller SCAP 610 / SC 608 / measured 600-650 MB; "
+           "OrderDisplay SCAP 1 / SC 1600 / measured 400-450 MB");
   for (const char* name : {"BestSeller", "OrderDisplay"}) {
     const TxnTypeId id = w.registry.Find(name);
     const auto& t = ws[id];
-    const double scap = BytesToMiB(PagesToBytes(t.EstimatePages(EstimationMethod::kSizeContentAccess)));
-    const double sc = BytesToMiB(PagesToBytes(t.EstimatePages(EstimationMethod::kSizeContent)));
-    const double measured = MeasureWorkingSetMb(w, name);
-    std::printf("%-14s %14.0f %14.0f %18.0f\n", name, scap, sc, measured);
+    out.AddScalar(std::string(name) + " SCAP est MB",
+                  BytesToMiB(PagesToBytes(
+                      t.EstimatePages(EstimationMethod::kSizeContentAccess))));
+    out.AddScalar(std::string(name) + " SC est MB",
+                  BytesToMiB(PagesToBytes(t.EstimatePages(EstimationMethod::kSizeContent))));
+    out.AddScalar(std::string(name) + " measured knee MB", MeasureWorkingSetMb(w, name));
   }
-  std::printf("paper: BestSeller 610 / 608 / 600-650; OrderDisplay 1 / 1600 / 400-450\n");
 
   // --- Merging ablation ----------------------------------------------------
   const ClusterConfig config = MakeClusterConfig(512 * kMiB);
@@ -88,22 +93,23 @@ void Run() {
   ClusterConfig no_merge = config;
   no_merge.malb.enable_merging = false;
 
-  const auto sc_on = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, config, clients);
-  const auto sc_off = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, no_merge, clients);
-  const auto s_on = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbS, config, clients);
-  const auto s_off = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbS, no_merge, clients);
+  const auto sc_on = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", config, clients);
+  const auto sc_off = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", no_merge, clients);
+  const auto s_on = bench::RunPolicy(w, kTpcwOrdering, "MALB-S", config, clients);
+  const auto s_off = bench::RunPolicy(w, kTpcwOrdering, "MALB-S", no_merge, clients);
 
-  std::printf("\nmerging ablation (paper: MALB-S 73 -> 66 tps, MALB-SC 76 -> 70 tps):\n");
-  PrintTpsRow("MALB-S,  merging on", 73, s_on.tps, s_on.mean_response_s);
-  PrintTpsRow("MALB-S,  merging off", 66, s_off.tps, s_off.mean_response_s);
-  PrintTpsRow("MALB-SC, merging on", 76, sc_on.tps, sc_on.mean_response_s);
-  PrintTpsRow("MALB-SC, merging off", 70, sc_off.tps, sc_off.mean_response_s);
+  out.Note("merging ablation (paper: MALB-S 73 -> 66 tps, MALB-SC 76 -> 70 tps):");
+  out.AddRun(bench::Rec("MALB-S, merging on", "MALB-S", w, kTpcwOrdering, s_on, 73));
+  out.AddRun(bench::Rec("MALB-S, merging off", "MALB-S", w, kTpcwOrdering, s_off, 66));
+  out.AddRun(bench::Rec("MALB-SC, merging on", "MALB-SC", w, kTpcwOrdering, sc_on, 76));
+  out.AddRun(bench::Rec("MALB-SC, merging off", "MALB-SC", w, kTpcwOrdering, sc_off, 70));
 }
 
 }  // namespace
 }  // namespace tashkent
 
-int main() {
-  tashkent::Run();
+int main(int argc, char** argv) {
+  tashkent::bench::Harness harness(argc, argv, "sec53_working_sets");
+  tashkent::Run(harness.out());
   return 0;
 }

@@ -7,29 +7,32 @@
 namespace tashkent {
 namespace {
 
-void Run() {
+void Run(ResultSink& out) {
   const Workload w = BuildTpcw(kTpcwMediumEbs);
   const ClusterConfig config = MakeClusterConfig(512 * kMiB);
   const int clients = CalibratedClients(w, kTpcwOrdering, config);
 
-  const auto lc = bench::RunPolicy(w, kTpcwOrdering, Policy::kLeastConnections, config, clients);
-  const auto lard = bench::RunPolicy(w, kTpcwOrdering, Policy::kLard, config, clients);
-  const auto malb = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, config, clients);
+  const auto lc = bench::RunPolicy(w, kTpcwOrdering, "LeastConnections", config, clients);
+  const auto lard = bench::RunPolicy(w, kTpcwOrdering, "LARD", config, clients);
+  const auto malb = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", config, clients);
 
-  PrintHeader("Table 1: TPC-W average disk I/O per transaction",
-              "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix");
-  PrintIoRow("LeastConnections", 12, 72, lc.write_kb_per_txn, lc.read_kb_per_txn);
-  PrintIoRow("LARD", 12, 57, lard.write_kb_per_txn, lard.read_kb_per_txn);
-  PrintIoRow("MALB-SC", 12, 20, malb.write_kb_per_txn, malb.read_kb_per_txn);
-  std::printf("\nread fraction relative to LeastConnections:\n");
-  PrintRatio("LARD / LC (paper 0.79)", 0.79, lard.read_kb_per_txn / lc.read_kb_per_txn);
-  PrintRatio("MALB-SC / LC (paper 0.28)", 0.28, malb.read_kb_per_txn / lc.read_kb_per_txn);
+  out.Begin("Table 1: TPC-W average disk I/O per transaction",
+            "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix");
+  out.AddRun(
+      bench::Rec("LeastConnections", "LeastConnections", w, kTpcwOrdering, lc, 37, 12, 72));
+  out.AddRun(bench::Rec("LARD", "LARD", w, kTpcwOrdering, lard, 50, 12, 57));
+  out.AddRun(bench::Rec("MALB-SC", "MALB-SC", w, kTpcwOrdering, malb, 76, 12, 20));
+  out.AddRatio("LARD reads / LC reads (paper 0.79)", 0.79,
+               lard.read_kb_per_txn / lc.read_kb_per_txn);
+  out.AddRatio("MALB-SC reads / LC reads (paper 0.28)", 0.28,
+               malb.read_kb_per_txn / lc.read_kb_per_txn);
 }
 
 }  // namespace
 }  // namespace tashkent
 
-int main() {
-  tashkent::Run();
+int main(int argc, char** argv) {
+  tashkent::bench::Harness harness(argc, argv, "table1_tpcw_diskio");
+  tashkent::Run(harness.out());
   return 0;
 }

@@ -10,39 +10,47 @@
 namespace tashkent {
 namespace {
 
-void Run() {
+void Run(ResultSink& out) {
   const Workload w = BuildTpcw(kTpcwMediumEbs);
   const ClusterConfig config = MakeClusterConfig(512 * kMiB);
+
+  out.Begin("Table 2: TPC-W MALB-SC groupings", "MidDB 1.8GB, capacity 442MB, 16 replicas");
 
   // Static packing (what the balancer computes before any load exists).
   const auto ws = BuildWorkingSets(w.registry, w.schema);
   const Pages capacity = BytesToPages(config.replica.memory - config.replica.reserved);
   const auto packing = PackTransactionGroups(ws, capacity, EstimationMethod::kSizeContent);
-
-  PrintHeader("Table 2: TPC-W MALB-SC groupings", "MidDB 1.8GB, capacity 442MB, 16 replicas");
-  std::printf("static packing (%zu groups; paper: 6):\n", packing.groups.size());
+  out.AddScalar("static group count (paper 6)", static_cast<double>(packing.groups.size()));
+  std::vector<GroupReport> static_groups;
   for (const auto& g : packing.groups) {
-    std::printf("  [");
-    for (size_t i = 0; i < g.types.size(); ++i) {
-      std::printf("%s%s", i ? ", " : "", w.registry.Get(g.types[i]).name.c_str());
+    GroupReport gr;
+    for (TxnTypeId t : g.types) {
+      gr.types.push_back(w.registry.Get(t).name);
     }
-    std::printf("]  est=%.0f MB%s\n", BytesToMiB(PagesToBytes(g.estimate_pages)),
-                g.overflow ? " (overflow)" : "");
+    gr.replicas = 0;  // not yet allocated
+    static_groups.push_back(std::move(gr));
+    const std::string id = "static group " + std::to_string(static_groups.size());
+    out.AddScalar(id + " est MB", BytesToMiB(PagesToBytes(g.estimate_pages)));
+    if (g.overflow) {
+      out.Note(id + " overflows replica capacity (working set > memory)");
+    }
   }
+  out.AddGroups("static packing (replicas column all 0: not yet allocated)", static_groups);
 
   // Dynamic allocation after a converged run (paper's replica counts:
   // BestSeller 2, AdminResponse 4, BuyConfirm 7, others 1 each).
   const int clients = CalibratedClients(w, kTpcwOrdering, config);
-  const auto run = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, config, clients,
+  const auto run = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", config, clients,
                                     Seconds(400.0), Seconds(200.0));
-  std::printf("\nreplica allocation after convergence (ordering mix):\n");
-  PrintGroups(run.groups);
+  out.AddRun(bench::Rec("MALB-SC (converged)", "MALB-SC", w, kTpcwOrdering, run, 76));
+  out.AddGroups("replica allocation after convergence (ordering mix)", run.groups);
 }
 
 }  // namespace
 }  // namespace tashkent
 
-int main() {
-  tashkent::Run();
+int main(int argc, char** argv) {
+  tashkent::bench::Harness harness(argc, argv, "table2_tpcw_groupings");
+  tashkent::Run(harness.out());
   return 0;
 }

@@ -7,29 +7,32 @@
 namespace tashkent {
 namespace {
 
-void Run() {
+void Run(ResultSink& out) {
   const Workload w = BuildRubis();
   const ClusterConfig config = MakeClusterConfig(512 * kMiB);
   const int clients = CalibratedClients(w, kRubisBidding, config);
 
-  const auto lc = bench::RunPolicy(w, kRubisBidding, Policy::kLeastConnections, config, clients);
-  const auto lard = bench::RunPolicy(w, kRubisBidding, Policy::kLard, config, clients);
-  const auto malb = bench::RunPolicy(w, kRubisBidding, Policy::kMalbSC, config, clients);
+  const auto lc = bench::RunPolicy(w, kRubisBidding, "LeastConnections", config, clients);
+  const auto lard = bench::RunPolicy(w, kRubisBidding, "LARD", config, clients);
+  const auto malb = bench::RunPolicy(w, kRubisBidding, "MALB-SC", config, clients);
 
-  PrintHeader("Table 3: RUBiS average disk I/O per transaction",
-              "DB 2.2GB, RAM 512MB, 16 replicas, bidding mix");
-  PrintIoRow("LeastConnections", 11, 162, lc.write_kb_per_txn, lc.read_kb_per_txn);
-  PrintIoRow("LARD", 11, 149, lard.write_kb_per_txn, lard.read_kb_per_txn);
-  PrintIoRow("MALB-SC", 11, 111, malb.write_kb_per_txn, malb.read_kb_per_txn);
-  std::printf("\nread fraction relative to LeastConnections:\n");
-  PrintRatio("LARD / LC (paper 0.92)", 0.92, lard.read_kb_per_txn / lc.read_kb_per_txn);
-  PrintRatio("MALB-SC / LC (paper 0.69)", 0.69, malb.read_kb_per_txn / lc.read_kb_per_txn);
+  out.Begin("Table 3: RUBiS average disk I/O per transaction",
+            "DB 2.2GB, RAM 512MB, 16 replicas, bidding mix");
+  out.AddRun(
+      bench::Rec("LeastConnections", "LeastConnections", w, kRubisBidding, lc, 31, 11, 162));
+  out.AddRun(bench::Rec("LARD", "LARD", w, kRubisBidding, lard, 34, 11, 149));
+  out.AddRun(bench::Rec("MALB-SC", "MALB-SC", w, kRubisBidding, malb, 43, 11, 111));
+  out.AddRatio("LARD reads / LC reads (paper 0.92)", 0.92,
+               lard.read_kb_per_txn / lc.read_kb_per_txn);
+  out.AddRatio("MALB-SC reads / LC reads (paper 0.69)", 0.69,
+               malb.read_kb_per_txn / lc.read_kb_per_txn);
 }
 
 }  // namespace
 }  // namespace tashkent
 
-int main() {
-  tashkent::Run();
+int main(int argc, char** argv) {
+  tashkent::bench::Harness harness(argc, argv, "table3_rubis_diskio");
+  tashkent::Run(harness.out());
   return 0;
 }

@@ -11,36 +11,44 @@
 namespace tashkent {
 namespace {
 
-void Run() {
+void Run(ResultSink& out) {
   const Workload w = BuildRubis();
   const ClusterConfig config = MakeClusterConfig(512 * kMiB);
+
+  out.Begin("Table 4: RUBiS MALB-SC groupings", "DB 2.2GB, capacity 442MB, 16 replicas");
 
   const auto ws = BuildWorkingSets(w.registry, w.schema);
   const Pages capacity = BytesToPages(config.replica.memory - config.replica.reserved);
   const auto packing = PackTransactionGroups(ws, capacity, EstimationMethod::kSizeContent);
-
-  PrintHeader("Table 4: RUBiS MALB-SC groupings", "DB 2.2GB, capacity 442MB, 16 replicas");
-  std::printf("static packing (%zu groups; paper: 4):\n", packing.groups.size());
+  out.AddScalar("static group count (paper 4)", static_cast<double>(packing.groups.size()));
+  std::vector<GroupReport> static_groups;
   for (const auto& g : packing.groups) {
-    std::printf("  [");
-    for (size_t i = 0; i < g.types.size(); ++i) {
-      std::printf("%s%s", i ? ", " : "", w.registry.Get(g.types[i]).name.c_str());
+    GroupReport gr;
+    for (TxnTypeId t : g.types) {
+      gr.types.push_back(w.registry.Get(t).name);
     }
-    std::printf("]  est=%.0f MB%s\n", BytesToMiB(PagesToBytes(g.estimate_pages)),
-                g.overflow ? " (overflow)" : "");
+    gr.replicas = 0;  // not yet allocated
+    static_groups.push_back(std::move(gr));
+    const std::string id = "static group " + std::to_string(static_groups.size());
+    out.AddScalar(id + " est MB", BytesToMiB(PagesToBytes(g.estimate_pages)));
+    if (g.overflow) {
+      out.Note(id + " overflows replica capacity (working set > memory)");
+    }
   }
+  out.AddGroups("static packing (replicas column all 0: not yet allocated)", static_groups);
 
   const int clients = CalibratedClients(w, kRubisBidding, config);
-  const auto run = bench::RunPolicy(w, kRubisBidding, Policy::kMalbSC, config, clients,
+  const auto run = bench::RunPolicy(w, kRubisBidding, "MALB-SC", config, clients,
                                     Seconds(400.0), Seconds(200.0));
-  std::printf("\nreplica allocation after convergence (bidding mix):\n");
-  PrintGroups(run.groups);
+  out.AddRun(bench::Rec("MALB-SC (converged)", "MALB-SC", w, kRubisBidding, run, 43));
+  out.AddGroups("replica allocation after convergence (bidding mix)", run.groups);
 }
 
 }  // namespace
 }  // namespace tashkent
 
-int main() {
-  tashkent::Run();
+int main(int argc, char** argv) {
+  tashkent::bench::Harness harness(argc, argv, "table4_rubis_groupings");
+  tashkent::Run(harness.out());
   return 0;
 }

@@ -7,32 +7,34 @@
 namespace tashkent {
 namespace {
 
-void Run() {
+void Run(ResultSink& out) {
   const Workload w = BuildTpcw(kTpcwMediumEbs);
   const ClusterConfig config = MakeClusterConfig(512 * kMiB);
   const int clients = CalibratedClients(w, kTpcwOrdering, config);
 
-  const auto lc = bench::RunPolicy(w, kTpcwOrdering, Policy::kLeastConnections, config, clients);
-  const auto malb = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC, config, clients);
-  const auto uf = bench::RunPolicy(w, kTpcwOrdering, Policy::kMalbSC,
-                                   bench::WithFiltering(config), clients, Seconds(400.0));
+  const auto lc = bench::RunPolicy(w, kTpcwOrdering, "LeastConnections", config, clients);
+  const auto malb = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", config, clients);
+  const auto uf = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", bench::WithFiltering(config),
+                                   clients, Seconds(400.0));
 
-  PrintHeader("Table 5: TPC-W disk I/O per transaction with update filtering",
-              "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix");
-  PrintIoRow("LeastConnections", 12, 72, lc.write_kb_per_txn, lc.read_kb_per_txn);
-  PrintIoRow("MALB-SC", 12, 20, malb.write_kb_per_txn, malb.read_kb_per_txn);
-  PrintIoRow("MALB-SC+UpdateFiltering", 9, 18, uf.write_kb_per_txn, uf.read_kb_per_txn);
-  std::printf("\nfiltering effect:\n");
-  PrintRatio("UF writes / MALB writes (paper 0.75)", 0.75,
-             uf.write_kb_per_txn / malb.write_kb_per_txn);
-  PrintRatio("UF reads / MALB reads (paper 0.90)", 0.90,
-             uf.read_kb_per_txn / malb.read_kb_per_txn);
+  out.Begin("Table 5: TPC-W disk I/O per transaction with update filtering",
+            "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix");
+  out.AddRun(
+      bench::Rec("LeastConnections", "LeastConnections", w, kTpcwOrdering, lc, 37, 12, 72));
+  out.AddRun(bench::Rec("MALB-SC", "MALB-SC", w, kTpcwOrdering, malb, 76, 12, 20));
+  out.AddRun(
+      bench::Rec("MALB-SC+UpdateFiltering", "MALB-SC", w, kTpcwOrdering, uf, 113, 9, 18));
+  out.AddRatio("UF writes / MALB writes (paper 0.75)", 0.75,
+               uf.write_kb_per_txn / malb.write_kb_per_txn);
+  out.AddRatio("UF reads / MALB reads (paper 0.90)", 0.90,
+               uf.read_kb_per_txn / malb.read_kb_per_txn);
 }
 
 }  // namespace
 }  // namespace tashkent
 
-int main() {
-  tashkent::Run();
+int main(int argc, char** argv) {
+  tashkent::bench::Harness harness(argc, argv, "table5_diskio_filtering");
+  tashkent::Run(harness.out());
   return 0;
 }

@@ -34,7 +34,7 @@ int main() {
   config.replicas = 16;
   config.clients_per_replica = 6;
 
-  Cluster cluster(&w, kTpcwShopping, Policy::kMalbSC, config);
+  Cluster cluster(w, kTpcwShopping, "MALB-SC", config);
 
   cluster.Advance(Seconds(600.0));
   const ExperimentResult shopping = cluster.Measure(Seconds(300.0));

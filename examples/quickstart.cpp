@@ -46,10 +46,10 @@ int main() {
   config.clients_per_replica = 6;
 
   std::printf("\nrunning 8-replica cluster, ordering mix (50%% updates)...\n");
-  Cluster lc(&workload, kTpcwOrdering, Policy::kLeastConnections, config);
+  Cluster lc(workload, kTpcwOrdering, "LeastConnections", config);
   const ExperimentResult lc_result = lc.Run(Seconds(120.0), Seconds(120.0));
 
-  Cluster malb(&workload, kTpcwOrdering, Policy::kMalbSC, config);
+  Cluster malb(workload, kTpcwOrdering, "MALB-SC", config);
   const ExperimentResult malb_result = malb.Run(Seconds(120.0), Seconds(120.0));
 
   std::printf("  LeastConnections: %6.1f tps, %.2f s mean response, %.0f KB read/txn\n",

@@ -41,13 +41,13 @@ int main() {
   config.replicas = 16;
   config.clients_per_replica = 6;
 
-  Cluster plain(&w, kTpcwOrdering, Policy::kMalbSC, config);
+  Cluster plain(w, kTpcwOrdering, "MALB-SC", config);
   const ExperimentResult base = plain.Run(Seconds(300.0), Seconds(200.0));
   Report("MALB-SC", plain, base);
 
   config.malb.update_filtering = true;
   config.malb.stable_ticks_for_filtering = 3;
-  Cluster filtered(&w, kTpcwOrdering, Policy::kMalbSC, config);
+  Cluster filtered(w, kTpcwOrdering, "MALB-SC", config);
   const ExperimentResult uf = filtered.Run(Seconds(300.0), Seconds(200.0));
   Report("MALB-SC + update filtering", filtered, uf);
 

@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, and run the full test suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+cd build && ctest --output-on-failure -j"$(nproc)"

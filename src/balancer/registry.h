@@ -1,0 +1,66 @@
+// PolicyRegistry: string-keyed balancer factories.
+//
+// Balancers register by name with a factory that receives the wiring context
+// and the full cluster configuration; Cluster resolves the policy name at
+// construction time. Adding a balancer therefore never touches
+// src/cluster/cluster.h — register a factory (statically via RegisterPolicy
+// at namespace scope, or at runtime before building the Cluster) and the
+// whole experiment harness (ScenarioBuilder, benches, sinks) works with it.
+//
+// The six seed policies — RoundRobin, LeastConnections, LARD, MALB-S,
+// MALB-SC, MALB-SCAP — are registered by the registry itself, so they are
+// always available regardless of link order.
+#ifndef SRC_BALANCER_REGISTRY_H_
+#define SRC_BALANCER_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/balancer/balancer.h"
+
+namespace tashkent {
+
+struct ClusterConfig;  // src/cluster/cluster.h
+
+using PolicyFactory =
+    std::function<std::unique_ptr<LoadBalancer>(BalancerContext, const ClusterConfig&)>;
+
+class PolicyRegistry {
+ public:
+  // The process-wide registry (the seed policies are pre-registered).
+  static PolicyRegistry& Instance();
+
+  // Registers (or replaces) a factory under `name`.
+  void Register(const std::string& name, PolicyFactory factory);
+
+  // Builds the named balancer. Throws std::invalid_argument with the list of
+  // registered names when `name` is unknown.
+  std::unique_ptr<LoadBalancer> Create(const std::string& name, BalancerContext context,
+                                       const ClusterConfig& config) const;
+
+  bool Contains(const std::string& name) const;
+
+  // Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  PolicyRegistry();  // registers the seed policies
+
+  std::map<std::string, PolicyFactory> factories_;
+};
+
+// Convenience for static registration at namespace scope:
+//   static RegisterPolicy my_policy("MyPolicy", [](BalancerContext ctx,
+//                                                  const ClusterConfig&) { ... });
+struct RegisterPolicy {
+  RegisterPolicy(const std::string& name, PolicyFactory factory) {
+    PolicyRegistry::Instance().Register(name, std::move(factory));
+  }
+};
+
+}  // namespace tashkent
+
+#endif  // SRC_BALANCER_REGISTRY_H_

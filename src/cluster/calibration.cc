@@ -11,7 +11,7 @@ double StandaloneTps(const Workload& workload, const std::string& mix_name,
                      double* response_s) {
   config.replicas = 1;
   config.clients_per_replica = clients;
-  Cluster cluster(&workload, mix_name, Policy::kLeastConnections, config);
+  Cluster cluster(workload, mix_name, "LeastConnections", config);
   const ExperimentResult r = cluster.Run(warmup, measure);
   if (response_s != nullptr) {
     *response_s = r.mean_response_s;
@@ -61,7 +61,7 @@ ExperimentResult RunStandalone(const Workload& workload, const std::string& mix_
                                SimDuration measure) {
   config.replicas = 1;
   config.clients_per_replica = clients;
-  Cluster cluster(&workload, mix_name, Policy::kLeastConnections, config);
+  Cluster cluster(workload, mix_name, "LeastConnections", config);
   return cluster.Run(warmup, measure);
 }
 

@@ -2,37 +2,22 @@
 
 #include <utility>
 
+#include "src/balancer/registry.h"
+
 namespace tashkent {
 
-const char* PolicyName(Policy p) {
-  switch (p) {
-    case Policy::kRoundRobin:
-      return "RoundRobin";
-    case Policy::kLeastConnections:
-      return "LeastConnections";
-    case Policy::kLard:
-      return "LARD";
-    case Policy::kMalbS:
-      return "MALB-S";
-    case Policy::kMalbSC:
-      return "MALB-SC";
-    case Policy::kMalbSCAP:
-      return "MALB-SCAP";
-  }
-  return "?";
-}
-
-Cluster::Cluster(const Workload* workload, std::string mix_name, Policy policy,
+Cluster::Cluster(const Workload& workload, std::string mix_name, std::string policy,
                  ClusterConfig config)
-    : workload_(workload),
-      policy_(policy),
+    : workload_(&workload),
+      mix_name_(std::move(mix_name)),
+      policy_name_(std::move(policy)),
       config_(config),
       certifier_(config.certifier),
       timeline_(config.timeline_bucket) {
   Rng root(config_.seed);
 
   for (size_t r = 0; r < config_.replicas; ++r) {
-    replicas_.push_back(std::make_unique<Replica>(&sim_, &workload->schema,
+    replicas_.push_back(std::make_unique<Replica>(&sim_, &workload.schema,
                                                   static_cast<ReplicaId>(r), config_.replica,
                                                   root.Fork()));
     proxies_.push_back(
@@ -46,38 +31,17 @@ Cluster::Cluster(const Workload* workload, std::string mix_name, Policy policy,
 
   BalancerContext ctx;
   ctx.sim = &sim_;
-  ctx.registry = &workload->registry;
-  ctx.schema = &workload->schema;
+  ctx.registry = &workload.registry;
+  ctx.schema = &workload.schema;
   for (auto& p : proxies_) {
     ctx.proxies.push_back(p.get());
   }
 
-  switch (policy_) {
-    case Policy::kRoundRobin:
-      balancer_ = std::make_unique<RoundRobinBalancer>(std::move(ctx));
-      break;
-    case Policy::kLeastConnections:
-      balancer_ = std::make_unique<LeastConnectionsBalancer>(std::move(ctx));
-      break;
-    case Policy::kLard:
-      balancer_ = std::make_unique<LardBalancer>(std::move(ctx), config_.lard);
-      break;
-    case Policy::kMalbS:
-    case Policy::kMalbSC:
-    case Policy::kMalbSCAP: {
-      MalbConfig mc = config_.malb;
-      mc.method = policy_ == Policy::kMalbS     ? EstimationMethod::kSize
-                  : policy_ == Policy::kMalbSC  ? EstimationMethod::kSizeContent
-                                                : EstimationMethod::kSizeContentAccess;
-      auto malb = std::make_unique<MalbBalancer>(std::move(ctx), mc);
-      malb_ = malb.get();
-      balancer_ = std::move(malb);
-      break;
-    }
-  }
+  balancer_ = PolicyRegistry::Instance().Create(policy_name_, std::move(ctx), config_);
+  malb_ = dynamic_cast<MalbBalancer*>(balancer_.get());
 
   const size_t n_clients = static_cast<size_t>(config_.clients_per_replica) * config_.replicas;
-  clients_ = std::make_unique<ClientPool>(&sim_, workload_, &workload_->MixByName(mix_name),
+  clients_ = std::make_unique<ClientPool>(&sim_, workload_, &workload_->MixByName(mix_name_),
                                           n_clients, config_.mean_think, root.Fork());
   clients_->SetDispatch([this](const TxnType& type, std::function<void(bool)> done) {
     const size_t idx = balancer_->Route(type);
@@ -116,6 +80,7 @@ void Cluster::Advance(SimDuration d) {
 
 void Cluster::SwitchMix(const std::string& mix_name) {
   clients_->SetMix(&workload_->MixByName(mix_name));
+  mix_name_ = mix_name;
 }
 
 void Cluster::FreezeAllocation() {

@@ -5,6 +5,11 @@
 // paper reports — throughput (tps), response time, and per-replica disk
 // read/write KB per transaction (Tables 1/3/5), plus MALB groupings
 // (Tables 2/4) and a throughput timeline (Figure 6).
+//
+// The balancer is resolved by name through the PolicyRegistry
+// (src/balancer/registry.h): adding a policy never touches this header.
+// Multi-phase runs are scripted with ScenarioBuilder (src/cluster/scenario.h)
+// on top of the raw hooks below.
 #ifndef SRC_CLUSTER_CLUSTER_H_
 #define SRC_CLUSTER_CLUSTER_H_
 
@@ -15,7 +20,6 @@
 #include "src/balancer/balancer.h"
 #include "src/balancer/lard.h"
 #include "src/balancer/malb.h"
-#include "src/balancer/simple.h"
 #include "src/certifier/certifier.h"
 #include "src/common/stats.h"
 #include "src/proxy/proxy.h"
@@ -25,24 +29,13 @@
 
 namespace tashkent {
 
-enum class Policy {
-  kRoundRobin,
-  kLeastConnections,
-  kLard,
-  kMalbS,
-  kMalbSC,
-  kMalbSCAP,
-};
-
-const char* PolicyName(Policy p);
-
 struct ClusterConfig {
   size_t replicas = 16;
   ReplicaConfig replica;
   CertifierConfig certifier;
   ProxyConfig proxy;
   LardConfig lard;
-  MalbConfig malb;  // method is set from Policy
+  MalbConfig malb;  // method is overridden by the MALB-S/SC/SCAP factories
   // Clients per replica; 0 means the caller must calibrate (see
   // calibration.h) — the Cluster constructor requires a concrete value.
   int clients_per_replica = 6;
@@ -76,7 +69,13 @@ struct ExperimentResult {
 
 class Cluster {
  public:
-  Cluster(const Workload* workload, std::string mix_name, Policy policy, ClusterConfig config);
+  // `policy` names a PolicyRegistry entry; throws std::invalid_argument
+  // (listing the registered names) when unknown. The workload must outlive
+  // the Cluster — binding a temporary is rejected at compile time.
+  Cluster(const Workload& workload, std::string mix_name, std::string policy,
+          ClusterConfig config);
+  Cluster(const Workload&& workload, std::string mix_name, std::string policy,
+          ClusterConfig config) = delete;
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
@@ -85,6 +84,7 @@ class Cluster {
   ExperimentResult Run(SimDuration warmup, SimDuration measure);
 
   // --- Hooks used by multi-phase experiments (Figure 6) -------------------
+  // ScenarioBuilder drives these; they remain public for direct use.
   // Advances simulated time without collecting metrics.
   void Advance(SimDuration d);
   // Switches the client mix immediately.
@@ -101,22 +101,34 @@ class Cluster {
 
   Simulator& sim() { return sim_; }
   MalbBalancer* malb() { return malb_; }
+  LoadBalancer& balancer() { return *balancer_; }
   const std::vector<std::unique_ptr<Replica>>& replicas() const { return replicas_; }
   ClientPool& clients() { return *clients_; }
+
+  const Workload& workload() const { return *workload_; }
+  const std::string& policy_name() const { return policy_name_; }
+  // The currently active mix (tracks SwitchMix).
+  const std::string& mix_name() const { return mix_name_; }
+
+  // Whole-run throughput timeline (never reset by Measure), for scenario
+  // drivers that stitch phases together.
+  const std::vector<double>& timeline_buckets() const { return timeline_.buckets(); }
+  SimDuration timeline_bucket_width() const { return timeline_.bucket_width(); }
 
  private:
   void ResetMetrics();
   ExperimentResult Collect(SimDuration measure_window) const;
 
   const Workload* workload_;
-  Policy policy_;
+  std::string mix_name_;
+  std::string policy_name_;
   ClusterConfig config_;
   Simulator sim_;
   Certifier certifier_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<std::unique_ptr<Proxy>> proxies_;
   std::unique_ptr<LoadBalancer> balancer_;
-  MalbBalancer* malb_ = nullptr;  // non-owning view when policy is MALB
+  MalbBalancer* malb_ = nullptr;  // non-owning view when the balancer is MALB
   std::unique_ptr<ClientPool> clients_;
 
   // Measurement state.

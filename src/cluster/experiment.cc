@@ -2,6 +2,7 @@
 
 #include <map>
 #include <sstream>
+#include <stdexcept>
 
 namespace tashkent {
 
@@ -28,13 +29,46 @@ int CalibratedClients(const Workload& workload, const std::string& mix,
   return cal.clients_per_replica;
 }
 
+ExperimentResult RunExperiment(const Workload& workload, const std::string& mix,
+                               const std::string& policy, ClusterConfig config,
+                               int clients_per_replica, SimDuration warmup,
+                               SimDuration measure) {
+  config.clients_per_replica = clients_per_replica > 0
+                                   ? clients_per_replica
+                                   : CalibratedClients(workload, mix, config);
+  const ScenarioResult scenario = ScenarioBuilder()
+                                      .Warmup(warmup)
+                                      .Measure(measure, "measure")
+                                      .Run(workload, mix, policy, config);
+  return scenario.ByLabel("measure");
+}
+
+// --- Deprecated compatibility shim ------------------------------------------
+
+const char* PolicyName(Policy p) {
+  switch (p) {
+    case Policy::kRoundRobin:
+      return "RoundRobin";
+    case Policy::kLeastConnections:
+      return "LeastConnections";
+    case Policy::kLard:
+      return "LARD";
+    case Policy::kMalbS:
+      return "MALB-S";
+    case Policy::kMalbSC:
+      return "MALB-SC";
+    case Policy::kMalbSCAP:
+      return "MALB-SCAP";
+  }
+  return "?";
+}
+
 ExperimentResult RunExperiment(const ExperimentSpec& spec) {
-  ClusterConfig config = spec.config;
-  config.clients_per_replica = spec.clients_per_replica > 0
-                                   ? spec.clients_per_replica
-                                   : CalibratedClients(*spec.workload, spec.mix, config);
-  Cluster cluster(spec.workload, spec.mix, spec.policy, config);
-  return cluster.Run(spec.warmup, spec.measure);
+  if (spec.workload == nullptr) {
+    throw std::invalid_argument("ExperimentSpec.workload must be set");
+  }
+  return RunExperiment(*spec.workload, spec.mix, PolicyName(spec.policy), spec.config,
+                       spec.clients_per_replica, spec.warmup, spec.measure);
 }
 
 }  // namespace tashkent

@@ -1,21 +1,60 @@
 // High-level experiment driver shared by the benches and examples.
 //
-// An ExperimentSpec names a workload configuration (benchmark, mix, DB scale,
-// RAM) and a policy; Run() builds the cluster, auto-calibrates the client
-// population unless pinned, runs warmup + measurement, and returns the
-// metrics. RunComparison() runs several policies on the same configuration —
-// the building block for every bar chart in the paper.
+// The modern surface is string-named policies (PolicyRegistry) plus
+// ScenarioBuilder phases; RunExperiment(workload, mix, policy, ...) is the
+// one-shot warmup+measure convenience, implemented as a two-phase scenario.
+// RunComparison-style bar charts are a loop over policy names.
+//
+// The Policy enum below is a DEPRECATED compatibility shim for pre-registry
+// callers; new code should pass registry names ("RoundRobin",
+// "LeastConnections", "LARD", "MALB-S", "MALB-SC", "MALB-SCAP") directly.
 #ifndef SRC_CLUSTER_EXPERIMENT_H_
 #define SRC_CLUSTER_EXPERIMENT_H_
 
 #include <string>
 #include <vector>
 
+#include "src/balancer/registry.h"
 #include "src/cluster/calibration.h"
 #include "src/cluster/cluster.h"
+#include "src/cluster/scenario.h"
 
 namespace tashkent {
 
+// Runs one warmup+measure experiment: builds the cluster for the named
+// policy, auto-calibrates the client population when clients_per_replica is 0
+// (the paper's 85%-of-standalone-peak methodology), and returns the metrics.
+ExperimentResult RunExperiment(const Workload& workload, const std::string& mix,
+                               const std::string& policy, ClusterConfig config,
+                               int clients_per_replica = 0,
+                               SimDuration warmup = Seconds(240.0),
+                               SimDuration measure = Seconds(240.0));
+
+// Shared calibration: returns clients/replica for the configuration (cached
+// per process by workload name + mix + RAM + DB size).
+int CalibratedClients(const Workload& workload, const std::string& mix,
+                      const ClusterConfig& config);
+
+// Builds the standard replica config for a given RAM size.
+ClusterConfig MakeClusterConfig(Bytes ram, size_t replicas = 16, uint64_t seed = 42);
+
+// --- Deprecated compatibility shim ------------------------------------------
+// Pre-registry policy selector. Kept only so old call sites keep compiling;
+// it maps 1:1 onto registry names and will be removed once nothing uses it.
+enum class Policy {
+  kRoundRobin,
+  kLeastConnections,
+  kLard,
+  kMalbS,
+  kMalbSC,
+  kMalbSCAP,
+};
+
+// Deprecated: returns the PolicyRegistry name for an enum value.
+const char* PolicyName(Policy p);
+
+// Deprecated: enum-based spec; prefer RunExperiment(workload, mix, policy)
+// or ScenarioBuilder. `workload` must be non-null (asserted at Run).
 struct ExperimentSpec {
   const Workload* workload = nullptr;
   std::string mix;
@@ -27,15 +66,8 @@ struct ExperimentSpec {
   SimDuration measure = Seconds(240.0);
 };
 
+// Deprecated: forwards to the string-policy RunExperiment.
 ExperimentResult RunExperiment(const ExperimentSpec& spec);
-
-// Shared calibration: returns clients/replica for the configuration (cached
-// per process by workload name + mix + RAM + DB size).
-int CalibratedClients(const Workload& workload, const std::string& mix,
-                      const ClusterConfig& config);
-
-// Builds the standard replica config for a given RAM size.
-ClusterConfig MakeClusterConfig(Bytes ram, size_t replicas = 16, uint64_t seed = 42);
 
 }  // namespace tashkent
 

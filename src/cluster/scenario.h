@@ -1,0 +1,100 @@
+// ScenarioBuilder: phase-scripted experiment runs.
+//
+// The paper's results come in exactly two shapes: a single warmup+measure
+// window per policy (Figures 3-5, 7-10, all tables), and a timeline of
+// phases with mix switches, crashes, and allocation freezes (Figure 6).
+// ScenarioBuilder scripts both as an ordered phase list executed by one
+// driver:
+//
+//   const ScenarioResult r = ScenarioBuilder()
+//                                .Warmup(Seconds(240.0))
+//                                .Measure(Seconds(240.0), "steady")
+//                                .SwitchMix("browsing")
+//                                .Advance(Seconds(300.0))
+//                                .Measure(Seconds(240.0), "after-switch")
+//                                .Run(workload, "ordering", "MALB-SC", config);
+//   r.ByLabel("after-switch").tps;
+//
+// Each Measure phase resets the metric counters, runs for its duration, and
+// records one labeled ExperimentResult. The merged throughput timeline spans
+// the whole scenario (warmups included), bucketed per
+// ClusterConfig::timeline_bucket — the Figure 6 plot falls straight out.
+#ifndef SRC_CLUSTER_SCENARIO_H_
+#define SRC_CLUSTER_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+
+namespace tashkent {
+
+struct ScenarioPhase {
+  enum class Kind {
+    kWarmup,       // advance, metrics discarded (alias of kAdvance, named for intent)
+    kAdvance,      // advance, metrics discarded
+    kMeasure,      // reset counters, advance, record a labeled result
+    kSwitchMix,    // switch the client mix immediately
+    kCrashReplica,
+    kRestartReplica,
+    kFreezeAllocation,
+  };
+  Kind kind;
+  SimDuration duration = Seconds(0.0);  // kWarmup / kAdvance / kMeasure
+  std::string label;                    // kMeasure label or kSwitchMix mix name
+  size_t replica = 0;                   // kCrashReplica / kRestartReplica
+};
+
+struct MeasureRecord {
+  std::string label;
+  // Simulated time at which this measure window started (scenario-relative).
+  SimDuration start = Seconds(0.0);
+  ExperimentResult result;
+};
+
+struct ScenarioResult {
+  std::vector<MeasureRecord> measures;
+  // Whole-scenario committed-transactions timeline (warmups included).
+  std::vector<double> timeline;
+  SimDuration timeline_bucket = Seconds(30.0);
+  SimDuration total = Seconds(0.0);  // total simulated scenario time
+
+  // The result of the measure phase with the given label; throws
+  // std::invalid_argument when no such phase exists.
+  const ExperimentResult& ByLabel(const std::string& label) const;
+
+  // Mean tps over timeline buckets fully inside [from_s, to_s), skipping the
+  // first `skip_s` seconds (reconfiguration transients). The Figure 6
+  // phase-mean helper.
+  double PhaseMeanTps(double from_s, double to_s, double skip_s = 0.0) const;
+};
+
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder& Warmup(SimDuration d);
+  ScenarioBuilder& Measure(SimDuration d, std::string label);
+  ScenarioBuilder& SwitchMix(std::string mix_name);
+  ScenarioBuilder& CrashReplica(size_t index);
+  ScenarioBuilder& RestartReplica(size_t index);
+  ScenarioBuilder& FreezeAllocation();
+  ScenarioBuilder& Advance(SimDuration d);
+
+  const std::vector<ScenarioPhase>& phases() const { return phases_; }
+
+  // Executes the scripted phases on an existing cluster (which may already
+  // have run other phases; the merged timeline still covers its whole life).
+  ScenarioResult RunOn(Cluster& cluster) const;
+
+  // Builds a cluster for (workload, mix, policy, config) and executes the
+  // phases on it. config.clients_per_replica must be concrete (calibrate
+  // first; see experiment.h).
+  ScenarioResult Run(const Workload& workload, const std::string& mix_name,
+                     const std::string& policy, const ClusterConfig& config) const;
+
+ private:
+  std::vector<ScenarioPhase> phases_;
+};
+
+}  // namespace tashkent
+
+#endif  // SRC_CLUSTER_SCENARIO_H_

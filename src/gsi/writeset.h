@@ -30,7 +30,9 @@ struct WritesetItem {
   RelationId relation = kInvalidRelation;
   uint64_t row_key = 0;
 
-  bool operator==(const WritesetItem&) const = default;
+  bool operator==(const WritesetItem& other) const {
+    return relation == other.relation && row_key == other.row_key;
+  }
 };
 
 struct Writeset {

@@ -16,13 +16,13 @@ TEST(ClusterConfig, MakeClusterConfigSetsMemory) {
   EXPECT_EQ(c.seed, 7u);
 }
 
-TEST(ClusterConfig, PolicyNames) {
-  EXPECT_STREQ(PolicyName(Policy::kRoundRobin), "RoundRobin");
-  EXPECT_STREQ(PolicyName(Policy::kLeastConnections), "LeastConnections");
-  EXPECT_STREQ(PolicyName(Policy::kLard), "LARD");
-  EXPECT_STREQ(PolicyName(Policy::kMalbS), "MALB-S");
+TEST(ClusterConfig, DeprecatedPolicyShimMapsToRegistryNames) {
+  // The legacy enum must keep resolving to registered policies.
+  for (Policy p : {Policy::kRoundRobin, Policy::kLeastConnections, Policy::kLard,
+                   Policy::kMalbS, Policy::kMalbSC, Policy::kMalbSCAP}) {
+    EXPECT_TRUE(PolicyRegistry::Instance().Contains(PolicyName(p))) << PolicyName(p);
+  }
   EXPECT_STREQ(PolicyName(Policy::kMalbSC), "MALB-SC");
-  EXPECT_STREQ(PolicyName(Policy::kMalbSCAP), "MALB-SCAP");
 }
 
 TEST(Calibration, StandaloneRunProducesMetrics) {
@@ -65,7 +65,7 @@ TEST(Experiment, TimelineCoversRun) {
   const Workload w = BuildTpcw(kTpcwSmallEbs);
   ClusterConfig config = MakeClusterConfig(512 * kMiB, 4);
   config.clients_per_replica = 4;
-  Cluster cluster(&w, kTpcwShopping, Policy::kLeastConnections, config);
+  Cluster cluster(w, kTpcwShopping, "LeastConnections", config);
   const ExperimentResult r = cluster.Run(Seconds(60.0), Seconds(60.0));
   // 120 s of run, 30 s buckets: roughly 4 buckets recorded.
   EXPECT_GE(r.timeline.size(), 3u);
@@ -87,7 +87,7 @@ TEST(Experiment, AbortedTransactionsCounted) {
 
   ClusterConfig config = MakeClusterConfig(512 * kMiB, 4);
   config.clients_per_replica = 8;
-  Cluster cluster(&w, "only", Policy::kRoundRobin, config);
+  Cluster cluster(w, "only", "RoundRobin", config);
   const ExperimentResult r = cluster.Run(Seconds(20.0), Seconds(60.0));
   EXPECT_GT(r.committed, 0u);
   EXPECT_GT(r.aborted, 0u);  // concurrent hot-row writers must conflict
@@ -98,7 +98,7 @@ TEST(Spill, DisabledSpillKeepsTypesInGroup) {
   ClusterConfig config = MakeClusterConfig(512 * kMiB);
   config.clients_per_replica = 6;
   config.malb.spill_factor = 0.0;  // hard partitioning
-  Cluster cluster(&w, kTpcwOrdering, Policy::kMalbSC, config);
+  Cluster cluster(w, kTpcwOrdering, "MALB-SC", config);
   const ExperimentResult r = cluster.Run(Seconds(60.0), Seconds(60.0));
   EXPECT_GT(r.tps, 1.0);
 }
@@ -109,9 +109,9 @@ TEST(Spill, HelpsWhenDatabaseFitsMemory) {
   const Workload w = BuildTpcw(kTpcwSmallEbs);
   ClusterConfig config = MakeClusterConfig(1024 * kMiB);
   config.clients_per_replica = 10;
-  Cluster lc(&w, kTpcwOrdering, Policy::kLeastConnections, config);
+  Cluster lc(w, kTpcwOrdering, "LeastConnections", config);
   const double lc_tps = lc.Run(Seconds(120.0), Seconds(120.0)).tps;
-  Cluster malb(&w, kTpcwOrdering, Policy::kMalbSC, config);
+  Cluster malb(w, kTpcwOrdering, "MALB-SC", config);
   const double malb_tps = malb.Run(Seconds(120.0), Seconds(120.0)).tps;
   EXPECT_GT(malb_tps, 0.88 * lc_tps);
 }

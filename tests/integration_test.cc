@@ -19,7 +19,7 @@ ClusterConfig SmallConfig(uint64_t seed = 42) {
 
 TEST(Integration, LeastConnectionsClusterMakesProgress) {
   const Workload w = BuildTpcw(kTpcwMediumEbs);
-  Cluster cluster(&w, kTpcwOrdering, Policy::kLeastConnections, SmallConfig());
+  Cluster cluster(w, kTpcwOrdering, "LeastConnections", SmallConfig());
   const ExperimentResult r = cluster.Run(Seconds(30.0), Seconds(60.0));
   EXPECT_GT(r.tps, 1.0);
   EXPECT_GT(r.committed, 60u);
@@ -34,9 +34,9 @@ TEST(Integration, MalbScBeatsLeastConnectionsUnderContention) {
   ClusterConfig config;
   config.replicas = 16;
   config.clients_per_replica = 8;
-  Cluster lc(&w, kTpcwOrdering, Policy::kLeastConnections, config);
+  Cluster lc(w, kTpcwOrdering, "LeastConnections", config);
   const double lc_tps = lc.Run(Seconds(180.0), Seconds(180.0)).tps;
-  Cluster malb(&w, kTpcwOrdering, Policy::kMalbSC, config);
+  Cluster malb(w, kTpcwOrdering, "MALB-SC", config);
   const double malb_tps = malb.Run(Seconds(180.0), Seconds(180.0)).tps;
   EXPECT_GT(malb_tps, 1.2 * lc_tps);
 }
@@ -46,14 +46,14 @@ TEST(Integration, UpdateFilteringReducesWriteTraffic) {
   ClusterConfig config;
   config.replicas = 16;
   config.clients_per_replica = 6;
-  Cluster plain(&w, kTpcwOrdering, Policy::kMalbSC, config);
+  Cluster plain(w, kTpcwOrdering, "MALB-SC", config);
   const ExperimentResult base = plain.Run(Seconds(400.0), Seconds(200.0));
 
   // Filtering engages once the allocation converges (the paper enables it
   // only after the system stabilizes).
   config.malb.update_filtering = true;
   config.malb.stable_ticks_for_filtering = 3;
-  Cluster filtered(&w, kTpcwOrdering, Policy::kMalbSC, config);
+  Cluster filtered(w, kTpcwOrdering, "MALB-SC", config);
   const ExperimentResult uf = filtered.Run(Seconds(400.0), Seconds(200.0));
 
   ASSERT_NE(filtered.malb(), nullptr);
@@ -64,8 +64,8 @@ TEST(Integration, UpdateFilteringReducesWriteTraffic) {
 
 TEST(Integration, DeterministicGivenSeed) {
   const Workload w = BuildTpcw(kTpcwMediumEbs);
-  Cluster a(&w, kTpcwShopping, Policy::kMalbSC, SmallConfig(7));
-  Cluster b(&w, kTpcwShopping, Policy::kMalbSC, SmallConfig(7));
+  Cluster a(w, kTpcwShopping, "MALB-SC", SmallConfig(7));
+  Cluster b(w, kTpcwShopping, "MALB-SC", SmallConfig(7));
   const ExperimentResult ra = a.Run(Seconds(30.0), Seconds(30.0));
   const ExperimentResult rb = b.Run(Seconds(30.0), Seconds(30.0));
   EXPECT_EQ(ra.committed, rb.committed);
@@ -75,8 +75,8 @@ TEST(Integration, DeterministicGivenSeed) {
 
 TEST(Integration, DifferentSeedsCloseThroughput) {
   const Workload w = BuildTpcw(kTpcwMediumEbs);
-  Cluster a(&w, kTpcwShopping, Policy::kLeastConnections, SmallConfig(1));
-  Cluster b(&w, kTpcwShopping, Policy::kLeastConnections, SmallConfig(2));
+  Cluster a(w, kTpcwShopping, "LeastConnections", SmallConfig(1));
+  Cluster b(w, kTpcwShopping, "LeastConnections", SmallConfig(2));
   const double ta = a.Run(Seconds(60.0), Seconds(90.0)).tps;
   const double tb = b.Run(Seconds(60.0), Seconds(90.0)).tps;
   EXPECT_NEAR(ta, tb, 0.35 * std::max(ta, tb));
@@ -87,7 +87,7 @@ TEST(Integration, MixSwitchTriggersReallocation) {
   ClusterConfig config;
   config.replicas = 16;
   config.clients_per_replica = 6;
-  Cluster cluster(&w, kTpcwOrdering, Policy::kMalbSC, config);
+  Cluster cluster(w, kTpcwOrdering, "MALB-SC", config);
   cluster.Advance(Seconds(400.0));
   ASSERT_NE(cluster.malb(), nullptr);
   const auto before = cluster.malb()->GroupReplicaCounts();
@@ -99,7 +99,7 @@ TEST(Integration, MixSwitchTriggersReallocation) {
 
 TEST(Integration, RubisBiddingRuns) {
   const Workload w = BuildRubis();
-  Cluster cluster(&w, kRubisBidding, Policy::kMalbSC, SmallConfig());
+  Cluster cluster(w, kRubisBidding, "MALB-SC", SmallConfig());
   const ExperimentResult r = cluster.Run(Seconds(30.0), Seconds(60.0));
   EXPECT_GT(r.tps, 1.0);
   EXPECT_EQ(r.groups.size(), 4u);
@@ -109,7 +109,7 @@ TEST(Integration, CertificationKeepsReplicasConsistent) {
   // After a run, every proxy's applied version must be close to the
   // certifier head (within the in-flight window).
   const Workload w = BuildTpcw(kTpcwMediumEbs);
-  Cluster cluster(&w, kTpcwOrdering, Policy::kLeastConnections, SmallConfig());
+  Cluster cluster(w, kTpcwOrdering, "LeastConnections", SmallConfig());
   cluster.Advance(Seconds(60.0));
   // Let in-flight work drain: stop new arrivals by advancing little.
   cluster.Advance(Seconds(5.0));
