@@ -1,5 +1,5 @@
-// Ablation study of the MALB design choices (beyond the paper's own merging
-// ablation):
+// Campaign "ablation" — ablation study of the MALB design choices (beyond
+// the paper's own merging ablation):
 //   * fast reallocation (balance equations) on/off;
 //   * queue-pressure load extension on/off;
 //   * update-filtering mode: dynamic (our extension) vs freeze (paper) —
@@ -11,62 +11,65 @@
 namespace tashkent {
 namespace {
 
-void Run(ResultSink& out) {
-  const Workload w = BuildTpcw(kTpcwMediumEbs);
-  const ClusterConfig base = MakeClusterConfig(512 * kMiB);
-  const int clients = CalibratedClients(w, kTpcwOrdering, base);
+constexpr int kMplSweep[] = {2, 4, 8, 16, 32};
 
+Workload Mid() { return BuildTpcw(kTpcwMediumEbs); }
+
+std::vector<CampaignCell> Cells() {
+  std::vector<CampaignCell> cells;
+  cells.push_back(bench::PolicyCell("reference", Mid, kTpcwOrdering, "MALB-SC"));
+
+  bench::CellOptions no_fast;
+  no_fast.tweak = [](ClusterConfig& c) { c.malb.enable_fast_realloc = false; };
+  cells.push_back(bench::PolicyCell("no-fast-realloc", Mid, kTpcwOrdering, "MALB-SC", no_fast));
+
+  bench::CellOptions no_queue;
+  no_queue.tweak = [](ClusterConfig& c) { c.malb.queue_pressure_weight = 0.0; };
+  cells.push_back(bench::PolicyCell("no-queue-pressure", Mid, kTpcwOrdering, "MALB-SC", no_queue));
+
+  bench::CellOptions no_merge;
+  no_merge.tweak = [](ClusterConfig& c) { c.malb.enable_merging = false; };
+  cells.push_back(bench::PolicyCell("no-merging", Mid, kTpcwOrdering, "MALB-SC", no_merge));
+
+  bench::CellOptions uf_dynamic;
+  uf_dynamic.filtering = true;
+  uf_dynamic.warmup = Seconds(400.0);
+  cells.push_back(bench::PolicyCell("uf-dynamic", Mid, kTpcwOrdering, "MALB-SC", uf_dynamic));
+
+  bench::CellOptions uf_freeze = uf_dynamic;
+  uf_freeze.tweak = [](ClusterConfig& c) {
+    c.malb.filtering_mode = FilteringMode::kFreezeWhenStable;
+  };
+  cells.push_back(bench::PolicyCell("uf-freeze", Mid, kTpcwOrdering, "MALB-SC", uf_freeze));
+
+  for (int mpl : kMplSweep) {
+    bench::CellOptions opts;
+    opts.tweak = [mpl](ClusterConfig& c) { c.proxy.max_in_flight = mpl; };
+    cells.push_back(bench::PolicyCell("mpl/" + std::to_string(mpl), Mid, kTpcwOrdering,
+                                      "MALB-SC", opts));
+  }
+  return cells;
+}
+
+void Report(const CampaignOutputs& r, ResultSink& out) {
   out.Begin("Ablation: MALB design choices",
             "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix");
-
-  const auto reference = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", base, clients);
-  out.AddRun(bench::Rec("MALB-SC (reference)", "MALB-SC", w, kTpcwOrdering, reference, 76));
-
-  {
-    ClusterConfig c = base;
-    c.malb.enable_fast_realloc = false;
-    const auto r = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", c, clients);
-    out.AddRun(bench::Rec("fast reallocation off", "MALB-SC", w, kTpcwOrdering, r));
-  }
-  {
-    ClusterConfig c = base;
-    c.malb.queue_pressure_weight = 0.0;
-    const auto r = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", c, clients);
-    out.AddRun(bench::Rec("queue-pressure off", "MALB-SC", w, kTpcwOrdering, r));
-  }
-  {
-    ClusterConfig c = base;
-    c.malb.enable_merging = false;
-    const auto r = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", c, clients);
-    out.AddRun(bench::Rec("merging off", "MALB-SC", w, kTpcwOrdering, r, 70));
-  }
-  {
-    ClusterConfig c = bench::WithFiltering(base);
-    const auto r = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", c, clients, Seconds(400.0));
-    out.AddRun(bench::Rec("+filtering (dynamic mode)", "MALB-SC", w, kTpcwOrdering, r, 113));
-  }
-  {
-    ClusterConfig c = bench::WithFiltering(base);
-    c.malb.filtering_mode = FilteringMode::kFreezeWhenStable;
-    const auto r = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", c, clients, Seconds(400.0));
-    out.AddRun(bench::Rec("+filtering (freeze mode)", "MALB-SC", w, kTpcwOrdering, r, 113));
-  }
+  out.AddRun(bench::RecOf("MALB-SC (reference)", r.Get("reference"), 76));
+  out.AddRun(bench::RecOf("fast reallocation off", r.Get("no-fast-realloc")));
+  out.AddRun(bench::RecOf("queue-pressure off", r.Get("no-queue-pressure")));
+  out.AddRun(bench::RecOf("merging off", r.Get("no-merging"), 70));
+  out.AddRun(bench::RecOf("+filtering (dynamic mode)", r.Get("uf-dynamic"), 113));
+  out.AddRun(bench::RecOf("+filtering (freeze mode)", r.Get("uf-freeze"), 113));
 
   out.Note("Gatekeeper admission limit sweep (MALB-SC):");
-  for (int mpl : {2, 4, 8, 16, 32}) {
-    ClusterConfig c = base;
-    c.proxy.max_in_flight = mpl;
-    const auto r = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", c, clients);
-    out.AddRun(
-        bench::Rec("MPL " + std::to_string(mpl), "MALB-SC", w, kTpcwOrdering, r));
+  for (int mpl : kMplSweep) {
+    out.AddRun(bench::RecOf("MPL " + std::to_string(mpl), r.Get("mpl/" + std::to_string(mpl))));
   }
 }
+
+RegisterCampaign ablation{{"ablation", "", "Ablation: MALB design choices",
+                           "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix", Cells,
+                           Report}};
 
 }  // namespace
 }  // namespace tashkent
-
-int main(int argc, char** argv) {
-  tashkent::bench::Harness harness(argc, argv, "ablation_malb");
-  tashkent::Run(harness.out());
-  return 0;
-}

@@ -1,28 +1,32 @@
-// Shared helpers for the per-figure/table bench binaries.
+// Shared helpers for the campaign files behind the `tashkent_bench` binary.
 //
-// Every bench binary follows the same shape (see DESIGN.md for the API
-// overview and the old-call -> new-call migration table):
+// Every paper figure/table is a registered Campaign (src/cluster/campaign.h):
+// a cells() factory expanding the sweep grid into independent cells and a
+// report() stage emitting the paper-vs-measured tables. A campaign file is a
+// translation unit of the shape
 //
-//   void Run(ResultSink& out) { ... out.AddRun(...); ... }
-//   int main(int argc, char** argv) {
-//     tashkent::bench::Harness harness(argc, argv, "<bench-name>");
-//     tashkent::Run(harness.out());
-//     return 0;
+//   static std::vector<CampaignCell> Cells() {
+//     return {bench::PolicyCell("lc", &Mid, kTpcwOrdering, "LeastConnections"), ...};
 //   }
+//   static void Report(const CampaignOutputs& r, ResultSink& out) {
+//     out.Begin("Figure 3: ...", "MidDB 1.8GB, ...");
+//     out.AddRun(bench::RecOf("LeastConnections", r.Get("lc"), 37, 12, 72));
+//     ...
+//   }
+//   static RegisterCampaign fig3{{"fig3", "Figure 3", "<title>", "<setup>", Cells, Report}};
 //
-// Harness always attaches a ConsoleSink (the paper-vs-measured tables) and,
-// when the binary is invoked with `--json [path]`, a JsonSink writing
-// BENCH_<bench-name>.json (or the given path).
+// The helpers below build the common cell shapes. Cell `run` lambdas execute
+// on worker threads: they derive every stream from the seed they are handed
+// and share no mutable state (see the determinism contract in campaign.h).
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
-#include <cstdio>
-#include <cstdlib>
-#include <memory>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/cluster/campaign.h"
 #include "src/cluster/experiment.h"
 #include "src/cluster/scenario.h"
 #include "src/cluster/sink.h"
@@ -30,29 +34,33 @@
 namespace tashkent {
 namespace bench {
 
-// Runs one policy on a configuration with the calibrated client count: a
-// two-phase (warmup + measure) scenario.
-inline ExperimentResult RunPolicy(const Workload& w, const std::string& mix,
-                                  const std::string& policy, ClusterConfig config, int clients,
-                                  SimDuration warmup = Seconds(240.0),
-                                  SimDuration measure = Seconds(240.0)) {
-  return RunExperiment(w, mix, policy, std::move(config), clients, warmup, measure);
-}
+// Builds the cell's workload inside the worker (Workload is cheap to build
+// and cells must not share one across threads). Plain function pointers like
+// `+[]{ return BuildTpcw(kTpcwMediumEbs); }` are the common case.
+using WorkloadFactory = std::function<Workload()>;
 
-// Builds a RunRecord for sink output.
-inline RunRecord Rec(std::string label, std::string policy, const Workload& w, std::string mix,
-                     ExperimentResult result, double paper_tps = 0.0,
-                     double paper_write_kb = 0.0, double paper_read_kb = 0.0) {
-  RunRecord r;
-  r.label = std::move(label);
-  r.policy = std::move(policy);
-  r.workload = w.name;
-  r.mix = std::move(mix);
-  r.paper_tps = paper_tps;
-  r.paper_write_kb = paper_write_kb;
-  r.paper_read_kb = paper_read_kb;
-  r.result = std::move(result);
-  return r;
+// Knobs shared by the cell builders; defaults are the paper's standard
+// configuration (512 MB replicas, 16 of them, 240 s + 240 s windows,
+// calibrated client population).
+struct CellOptions {
+  Bytes ram = 512 * kMiB;
+  size_t replicas = 16;
+  bool filtering = false;  // enable MALB update filtering (dynamic mode)
+  SimDuration warmup = Seconds(240.0);
+  SimDuration measure = Seconds(240.0);
+  int clients = 0;  // 0 = calibrate per the paper's 85%-of-peak methodology
+  // Mix used for calibration when it must differ from the cell's running mix
+  // (empty = same). Figure 6 compares a browsing run against cells calibrated
+  // on shopping, so all three share one client population.
+  std::string calibrate_mix;
+  // Last-chance config hook for one-off knobs (ablations).
+  std::function<void(ClusterConfig&)> tweak;
+};
+
+// "512MB"-style label used in cell ids and table rows; campaigns must share
+// one spelling because cell ids are derived from it.
+inline std::string RamLabel(Bytes ram) {
+  return std::to_string(static_cast<long long>(ram / kMiB)) + "MB";
 }
 
 // Enables update filtering on a config (dynamic-allocation variant; see
@@ -63,45 +71,131 @@ inline ClusterConfig WithFiltering(ClusterConfig config) {
   return config;
 }
 
-// Per-binary CLI harness: owns the sink list (console always; JSON behind
-// `--json [path]`) and flushes it on destruction. Unknown flags exit with
-// usage — a multi-minute bench must not run on a typo'd invocation.
-class Harness {
- public:
-  Harness(int argc, char** argv, std::string bench_name) : name_(std::move(bench_name)) {
-    sinks_.Add(std::make_unique<ConsoleSink>());
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      if (arg == "--json") {
-        std::string path = "BENCH_" + name_ + ".json";
-        if (i + 1 < argc && argv[i + 1][0] != '-') {
-          path = argv[++i];
-        }
-        auto sink = std::make_unique<JsonSink>(std::move(path));
-        json_ = sink.get();
-        sinks_.Add(std::move(sink));
-      } else {
-        std::fprintf(stderr, "usage: %s [--json [path]]\n", argv[0]);
-        std::exit(2);
-      }
-    }
+inline ClusterConfig CellConfig(uint64_t seed, const CellOptions& opts) {
+  ClusterConfig config = MakeClusterConfig(opts.ram, opts.replicas, seed);
+  if (opts.filtering) {
+    config = WithFiltering(config);
   }
-
-  ~Harness() {
-    sinks_.Finish();
-    if (json_ != nullptr && json_->write_ok()) {
-      std::printf("\nJSON results: %s\n", json_->path().c_str());
-    }
+  if (opts.tweak) {
+    opts.tweak(config);
   }
+  return config;
+}
 
-  SinkList& out() { return sinks_; }
-  const std::string& name() const { return name_; }
+// One warmup+measure run of `policy`; the result is labeled "measure".
+inline CampaignCell PolicyCell(std::string id, WorkloadFactory wf, std::string mix,
+                               std::string policy, CellOptions opts = {}) {
+  CampaignCell cell;
+  cell.id = std::move(id);
+  cell.run = [wf = std::move(wf), mix = std::move(mix), policy = std::move(policy),
+              opts = std::move(opts)](uint64_t seed) {
+    const Workload w = wf();
+    ClusterConfig config = CellConfig(seed, opts);
+    config.clients_per_replica =
+        opts.clients > 0
+            ? opts.clients
+            : CalibratedClients(w, opts.calibrate_mix.empty() ? mix : opts.calibrate_mix,
+                                config);
+    CellOutput out;
+    out.workload = w.name;
+    out.mix = mix;
+    out.policy = policy;
+    out.scenario = ScenarioBuilder()
+                       .Warmup(opts.warmup)
+                       .Measure(opts.measure, "measure")
+                       .Run(w, mix, policy, config);
+    return out;
+  };
+  return cell;
+}
 
- private:
-  std::string name_;
-  JsonSink* json_ = nullptr;  // owned by sinks_
-  SinkList sinks_;
-};
+// One standalone-database run (the "Single" bar of Figures 3, 4 and 7),
+// wrapped into a single-measure scenario so reports read it like any cell.
+inline CampaignCell StandaloneCell(std::string id, WorkloadFactory wf, std::string mix,
+                                   CellOptions opts = {}) {
+  CampaignCell cell;
+  cell.id = std::move(id);
+  cell.run = [wf = std::move(wf), mix = std::move(mix), opts = std::move(opts)](uint64_t seed) {
+    const Workload w = wf();
+    ClusterConfig config = CellConfig(seed, opts);
+    const int clients =
+        opts.clients > 0
+            ? opts.clients
+            : CalibratedClients(w, opts.calibrate_mix.empty() ? mix : opts.calibrate_mix,
+                                config);
+    CellOutput out;
+    out.workload = w.name;
+    out.mix = mix;
+    ExperimentResult r =
+        RunStandalone(w, mix, config, clients, opts.warmup, opts.measure);
+    out.scenario.timeline = r.timeline;
+    out.scenario.timeline_bucket = r.timeline_bucket;
+    out.scenario.total = opts.warmup + opts.measure;
+    out.scenario.measures.push_back({"measure", opts.warmup, std::move(r)});
+    return out;
+  };
+  return cell;
+}
+
+// A scripted multi-phase run (Figure 6 shapes). `mix` is the starting mix
+// (used for calibration and cluster construction); the scenario's phases may
+// switch it. Results carry the scenario's own measure labels.
+inline CampaignCell ScenarioCell(std::string id, WorkloadFactory wf, std::string mix,
+                                 std::string policy, ScenarioBuilder scenario,
+                                 CellOptions opts = {}) {
+  CampaignCell cell;
+  cell.id = std::move(id);
+  cell.run = [wf = std::move(wf), mix = std::move(mix), policy = std::move(policy),
+              scenario = std::move(scenario), opts = std::move(opts)](uint64_t seed) {
+    const Workload w = wf();
+    ClusterConfig config = CellConfig(seed, opts);
+    config.clients_per_replica =
+        opts.clients > 0
+            ? opts.clients
+            : CalibratedClients(w, opts.calibrate_mix.empty() ? mix : opts.calibrate_mix,
+                                config);
+    CellOutput out;
+    out.workload = w.name;
+    out.mix = mix;
+    out.policy = policy;
+    out.scenario = scenario.Run(w, mix, policy, config);
+    return out;
+  };
+  return cell;
+}
+
+// Builds the RunRecord table row for a cell's measure window.
+inline RunRecord RecOf(std::string label, const CellOutput& cell, double paper_tps = 0.0,
+                       double paper_write_kb = 0.0, double paper_read_kb = 0.0,
+                       const std::string& measure_label = "measure") {
+  RunRecord r;
+  r.label = std::move(label);
+  r.policy = cell.policy;
+  r.workload = cell.workload;
+  r.mix = cell.mix;
+  r.paper_tps = paper_tps;
+  r.paper_write_kb = paper_write_kb;
+  r.paper_read_kb = paper_read_kb;
+  r.result = cell.Result(measure_label);
+  return r;
+}
+
+// Builds a RunRecord from loose pieces (cells that measure below the Cluster
+// layer, e.g. the Section 5.3 knee rig).
+inline RunRecord Rec(std::string label, std::string policy, std::string workload,
+                     std::string mix, ExperimentResult result, double paper_tps = 0.0,
+                     double paper_write_kb = 0.0, double paper_read_kb = 0.0) {
+  RunRecord r;
+  r.label = std::move(label);
+  r.policy = std::move(policy);
+  r.workload = std::move(workload);
+  r.mix = std::move(mix);
+  r.paper_tps = paper_tps;
+  r.paper_write_kb = paper_write_kb;
+  r.paper_read_kb = paper_read_kb;
+  r.result = std::move(result);
+  return r;
+}
 
 }  // namespace bench
 }  // namespace tashkent

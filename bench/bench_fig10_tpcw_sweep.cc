@@ -1,5 +1,5 @@
-// Figure 10: the full TPC-W configuration sweep — 3 database sizes x 3 mixes
-// x 3 memory sizes x 3 methods (81 experiments).
+// Campaign "fig10" — Figure 10: the full TPC-W configuration sweep — 3
+// database sizes x 3 mixes x 3 memory sizes x 3 methods (81 experiments).
 // Each chart of the figure is one (DB, mix) cell with RAM on the x-axis and
 // bars for LeastConnections / MALB-SC / MALB-SC+UpdateFiltering.
 //
@@ -21,7 +21,7 @@
 namespace tashkent {
 namespace {
 
-struct Cell {
+struct Chart {
   const char* db_name;
   int ebs;
   const char* mix;
@@ -33,7 +33,7 @@ struct Cell {
 
 constexpr std::array<Bytes, 3> kRams = {256 * kMiB, 512 * kMiB, 1024 * kMiB};
 
-const Cell kCells[] = {
+const Chart kCharts[] = {
     {"LargeDB", kTpcwLargeEbs, kTpcwOrdering, {17, 24, 39}, {19, 42, 110}, {21, 56, 147}},
     {"LargeDB", kTpcwLargeEbs, kTpcwShopping, {10, 22, 51}, {15, 35, 60}, {15, 36, 61}},
     {"LargeDB", kTpcwLargeEbs, kTpcwBrowsing, {5, 16, 27}, {7, 19, 27}, {7, 19, 27}},
@@ -45,39 +45,52 @@ const Cell kCells[] = {
     {"SmallDB", kTpcwSmallEbs, kTpcwBrowsing, {295, 299, 295}, {300, 299, 305}, {300, 299, 305}},
 };
 
-void Run(ResultSink& out) {
+using bench::RamLabel;
+
+std::vector<CampaignCell> Cells() {
+  std::vector<CampaignCell> cells;
+  for (const Chart& chart : kCharts) {
+    const int ebs = chart.ebs;
+    auto wf = [ebs]() { return BuildTpcw(ebs); };
+    const std::string prefix = std::string(chart.db_name) + "-" + chart.mix;
+    for (size_t i = 0; i < kRams.size(); ++i) {
+      bench::CellOptions opts;
+      opts.ram = kRams[i];
+      opts.warmup = Seconds(200.0);
+      opts.measure = Seconds(200.0);
+      bench::CellOptions uf = opts;
+      uf.filtering = true;
+      uf.warmup = Seconds(300.0);
+      const std::string coord = prefix + "/" + RamLabel(kRams[i]);
+      cells.push_back(bench::PolicyCell("lc/" + coord, wf, chart.mix, "LeastConnections", opts));
+      cells.push_back(bench::PolicyCell("malb-sc/" + coord, wf, chart.mix, "MALB-SC", opts));
+      cells.push_back(bench::PolicyCell("malb-sc-uf/" + coord, wf, chart.mix, "MALB-SC", uf));
+    }
+  }
+  return cells;
+}
+
+void Report(const CampaignOutputs& r, ResultSink& out) {
   out.Begin("Figure 10: TPC-W throughput sweep (81 experiments)",
             "3 DB sizes x 3 mixes x 3 RAM sizes x LC / MALB-SC / MALB-SC+UF");
-  for (const Cell& cell : kCells) {
-    const Workload w = BuildTpcw(cell.ebs);
-    const std::string prefix = std::string(cell.db_name) + "-" + cell.mix;
-    for (int i = 0; i < 3; ++i) {
-      const ClusterConfig config = MakeClusterConfig(kRams[i]);
-      const int clients = CalibratedClients(w, cell.mix, config);
-      const auto lc = bench::RunPolicy(w, cell.mix, "LeastConnections", config, clients,
-                                       Seconds(200.0), Seconds(200.0));
-      const auto malb = bench::RunPolicy(w, cell.mix, "MALB-SC", config, clients,
-                                         Seconds(200.0), Seconds(200.0));
-      const auto uf = bench::RunPolicy(w, cell.mix, "MALB-SC", bench::WithFiltering(config),
-                                       clients, Seconds(300.0), Seconds(200.0));
-      const std::string ram =
-          " RAM " + std::to_string(static_cast<long long>(kRams[i] / kMiB)) + "MB";
-      out.AddRun(bench::Rec(prefix + ram + " LC", "LeastConnections", w, cell.mix, lc,
-                            cell.paper_lc[i]));
+  for (const Chart& chart : kCharts) {
+    const std::string prefix = std::string(chart.db_name) + "-" + chart.mix;
+    for (size_t i = 0; i < kRams.size(); ++i) {
+      const std::string coord = prefix + "/" + RamLabel(kRams[i]);
+      const std::string ram = " RAM " + RamLabel(kRams[i]);
       out.AddRun(
-          bench::Rec(prefix + ram + " MALB-SC", "MALB-SC", w, cell.mix, malb,
-                     cell.paper_malb[i]));
-      out.AddRun(bench::Rec(prefix + ram + " MALB-SC+UF", "MALB-SC", w, cell.mix, uf,
-                            cell.paper_uf[i]));
+          bench::RecOf(prefix + ram + " LC", r.Get("lc/" + coord), chart.paper_lc[i]));
+      out.AddRun(bench::RecOf(prefix + ram + " MALB-SC", r.Get("malb-sc/" + coord),
+                              chart.paper_malb[i]));
+      out.AddRun(bench::RecOf(prefix + ram + " MALB-SC+UF", r.Get("malb-sc-uf/" + coord),
+                              chart.paper_uf[i]));
     }
   }
 }
 
+RegisterCampaign fig10{{"fig10", "Figure 10", "TPC-W throughput sweep (81 experiments)",
+                        "3 DB sizes x 3 mixes x 3 RAM sizes x LC / MALB-SC / MALB-SC+UF",
+                        Cells, Report}};
+
 }  // namespace
 }  // namespace tashkent
-
-int main(int argc, char** argv) {
-  tashkent::bench::Harness harness(argc, argv, "fig10_tpcw_sweep");
-  tashkent::Run(harness.out());
-  return 0;
-}

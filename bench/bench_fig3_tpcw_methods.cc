@@ -1,4 +1,4 @@
-// Figure 3: TPC-W comparison of load-balancing methods.
+// Campaign "fig3" — Figure 3: TPC-W comparison of load-balancing methods.
 // MidDB 1.8 GB, RAM 512 MB, 16 replicas, ordering mix.
 // Paper: Single 3, LeastConnections 37 (2.2 s), LARD 50 (1.4 s),
 //        MALB-SC 76 (0.81 s) tps.
@@ -8,26 +8,29 @@
 namespace tashkent {
 namespace {
 
-void Run(ResultSink& out) {
-  const Workload w = BuildTpcw(kTpcwMediumEbs);
-  const ClusterConfig config = MakeClusterConfig(512 * kMiB);
+Workload Mid() { return BuildTpcw(kTpcwMediumEbs); }
 
-  const int clients = CalibratedClients(w, kTpcwOrdering, config);
-  out.Note("calibrated clients/replica: " + std::to_string(clients));
+std::vector<CampaignCell> Cells() {
+  return {
+      bench::StandaloneCell("single", Mid, kTpcwOrdering),
+      bench::PolicyCell("lc", Mid, kTpcwOrdering, "LeastConnections"),
+      bench::PolicyCell("lard", Mid, kTpcwOrdering, "LARD"),
+      bench::PolicyCell("malb-sc", Mid, kTpcwOrdering, "MALB-SC"),
+  };
+}
 
-  const ExperimentResult single =
-      RunStandalone(w, kTpcwOrdering, config, clients, Seconds(240.0), Seconds(240.0));
-  const auto lc = bench::RunPolicy(w, kTpcwOrdering, "LeastConnections", config, clients);
-  const auto lard = bench::RunPolicy(w, kTpcwOrdering, "LARD", config, clients);
-  const auto malb = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", config, clients);
+void Report(const CampaignOutputs& r, ResultSink& out) {
+  const ExperimentResult& single = r.Result("single");
+  const ExperimentResult& lc = r.Result("lc");
+  const ExperimentResult& lard = r.Result("lard");
+  const ExperimentResult& malb = r.Result("malb-sc");
 
   out.Begin("Figure 3: TPC-W comparison of methods",
             "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix");
-  out.AddRun(bench::Rec("Single", "", w, kTpcwOrdering, single, 3));
-  out.AddRun(
-      bench::Rec("LeastConnections", "LeastConnections", w, kTpcwOrdering, lc, 37, 12, 72));
-  out.AddRun(bench::Rec("LARD", "LARD", w, kTpcwOrdering, lard, 50, 12, 57));
-  out.AddRun(bench::Rec("MALB-SC", "MALB-SC", w, kTpcwOrdering, malb, 76, 12, 20));
+  out.AddRun(bench::RecOf("Single", r.Get("single"), 3));
+  out.AddRun(bench::RecOf("LeastConnections", r.Get("lc"), 37, 12, 72));
+  out.AddRun(bench::RecOf("LARD", r.Get("lard"), 50, 12, 57));
+  out.AddRun(bench::RecOf("MALB-SC", r.Get("malb-sc"), 76, 12, 20));
   out.AddRatio("MALB-SC / LeastConnections", 76.0 / 37.0, malb.tps / lc.tps);
   out.AddRatio("MALB-SC / LARD", 76.0 / 50.0, malb.tps / lard.tps);
   out.AddRatio("LARD / LeastConnections", 50.0 / 37.0, lard.tps / lc.tps);
@@ -35,11 +38,8 @@ void Run(ResultSink& out) {
   out.AddGroups("MALB-SC groupings (cf. Table 2)", malb.groups);
 }
 
+RegisterCampaign fig3{{"fig3", "Figure 3", "TPC-W comparison of methods",
+                       "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix", Cells, Report}};
+
 }  // namespace
 }  // namespace tashkent
-
-int main(int argc, char** argv) {
-  tashkent::bench::Harness harness(argc, argv, "fig3_tpcw_methods");
-  tashkent::Run(harness.out());
-  return 0;
-}

@@ -1,4 +1,4 @@
-// Figure 4: RUBiS comparison of load-balancing methods.
+// Campaign "fig4" — Figure 4: RUBiS comparison of load-balancing methods.
 // DB 2.2 GB, RAM 512 MB, 16 replicas, bidding mix.
 // Paper: Single 3, LeastConnections 31, LARD 34, MALB-SC 43 tps
 //        (MALB-SC +39% over LC, +26% over LARD).
@@ -8,32 +8,35 @@
 namespace tashkent {
 namespace {
 
-void Run(ResultSink& out) {
-  const Workload w = BuildRubis();
-  const ClusterConfig config = MakeClusterConfig(512 * kMiB);
-  const int clients = CalibratedClients(w, kRubisBidding, config);
+Workload Rubis() { return BuildRubis(); }
 
-  const ExperimentResult single = RunStandalone(w, kRubisBidding, config, clients);
-  const auto lc = bench::RunPolicy(w, kRubisBidding, "LeastConnections", config, clients);
-  const auto lard = bench::RunPolicy(w, kRubisBidding, "LARD", config, clients);
-  const auto malb = bench::RunPolicy(w, kRubisBidding, "MALB-SC", config, clients);
+std::vector<CampaignCell> Cells() {
+  return {
+      bench::StandaloneCell("single", Rubis, kRubisBidding),
+      bench::PolicyCell("lc", Rubis, kRubisBidding, "LeastConnections"),
+      bench::PolicyCell("lard", Rubis, kRubisBidding, "LARD"),
+      bench::PolicyCell("malb-sc", Rubis, kRubisBidding, "MALB-SC"),
+  };
+}
+
+void Report(const CampaignOutputs& r, ResultSink& out) {
+  const ExperimentResult& lc = r.Result("lc");
+  const ExperimentResult& lard = r.Result("lard");
+  const ExperimentResult& malb = r.Result("malb-sc");
 
   out.Begin("Figure 4: RUBiS comparison of methods",
             "DB 2.2GB, RAM 512MB, 16 replicas, bidding mix");
-  out.AddRun(bench::Rec("Single", "", w, kRubisBidding, single, 3));
-  out.AddRun(bench::Rec("LeastConnections", "LeastConnections", w, kRubisBidding, lc, 31));
-  out.AddRun(bench::Rec("LARD", "LARD", w, kRubisBidding, lard, 34));
-  out.AddRun(bench::Rec("MALB-SC", "MALB-SC", w, kRubisBidding, malb, 43));
+  out.AddRun(bench::RecOf("Single", r.Get("single"), 3));
+  out.AddRun(bench::RecOf("LeastConnections", r.Get("lc"), 31));
+  out.AddRun(bench::RecOf("LARD", r.Get("lard"), 34));
+  out.AddRun(bench::RecOf("MALB-SC", r.Get("malb-sc"), 43));
   out.AddRatio("MALB-SC / LeastConnections", 43.0 / 31.0, malb.tps / lc.tps);
   out.AddRatio("MALB-SC / LARD", 43.0 / 34.0, malb.tps / lard.tps);
   out.AddGroups("MALB-SC groupings (cf. Table 4)", malb.groups);
 }
 
+RegisterCampaign fig4{{"fig4", "Figure 4", "RUBiS comparison of methods",
+                       "DB 2.2GB, RAM 512MB, 16 replicas, bidding mix", Cells, Report}};
+
 }  // namespace
 }  // namespace tashkent
-
-int main(int argc, char** argv) {
-  tashkent::bench::Harness harness(argc, argv, "fig4_rubis_methods");
-  tashkent::Run(harness.out());
-  return 0;
-}

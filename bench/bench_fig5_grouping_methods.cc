@@ -1,4 +1,4 @@
-// Figure 5: throughput of the three grouping methods.
+// Campaign "fig5" — Figure 5: throughput of the three grouping methods.
 // MidDB 1.8 GB, RAM 512 MB, 16 replicas, ordering mix.
 // Paper: LeastConnections 37, LARD 50, MALB-SCAP 57, MALB-S 73, MALB-SC 76.
 // MALB-SCAP under-estimates working sets and over-packs (more disk I/O);
@@ -10,28 +10,37 @@
 namespace tashkent {
 namespace {
 
-void Run(ResultSink& out) {
-  const Workload w = BuildTpcw(kTpcwMediumEbs);
-  const ClusterConfig config = MakeClusterConfig(512 * kMiB);
-  const int clients = CalibratedClients(w, kTpcwOrdering, config);
+Workload Mid() { return BuildTpcw(kTpcwMediumEbs); }
 
-  const auto lc = bench::RunPolicy(w, kTpcwOrdering, "LeastConnections", config, clients);
-  const auto lard = bench::RunPolicy(w, kTpcwOrdering, "LARD", config, clients);
-  const auto scap = bench::RunPolicy(w, kTpcwOrdering, "MALB-SCAP", config, clients);
-  const auto s = bench::RunPolicy(w, kTpcwOrdering, "MALB-S", config, clients);
-  const auto sc = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", config, clients);
+std::vector<CampaignCell> Cells() {
+  return {
+      bench::PolicyCell("lc", Mid, kTpcwOrdering, "LeastConnections"),
+      bench::PolicyCell("lard", Mid, kTpcwOrdering, "LARD"),
+      bench::PolicyCell("malb-scap", Mid, kTpcwOrdering, "MALB-SCAP"),
+      bench::PolicyCell("malb-s", Mid, kTpcwOrdering, "MALB-S"),
+      bench::PolicyCell("malb-sc", Mid, kTpcwOrdering, "MALB-SC"),
+  };
+}
+
+void Report(const CampaignOutputs& r, ResultSink& out) {
+  const ExperimentResult& scap = r.Result("malb-scap");
+  const ExperimentResult& s = r.Result("malb-s");
+  const ExperimentResult& sc = r.Result("malb-sc");
 
   out.Begin("Figure 5: throughput of grouping methods",
             "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix");
-  out.AddRun(bench::Rec("LeastConnections", "LeastConnections", w, kTpcwOrdering, lc, 37));
-  out.AddRun(bench::Rec("LARD", "LARD", w, kTpcwOrdering, lard, 50));
-  out.AddRun(bench::Rec("MALB-SCAP", "MALB-SCAP", w, kTpcwOrdering, scap, 57));
-  out.AddRun(bench::Rec("MALB-S", "MALB-S", w, kTpcwOrdering, s, 73));
-  out.AddRun(bench::Rec("MALB-SC", "MALB-SC", w, kTpcwOrdering, sc, 76));
+  out.AddRun(bench::RecOf("LeastConnections", r.Get("lc"), 37));
+  out.AddRun(bench::RecOf("LARD", r.Get("lard"), 50));
+  out.AddRun(bench::RecOf("MALB-SCAP", r.Get("malb-scap"), 57));
+  out.AddRun(bench::RecOf("MALB-S", r.Get("malb-s"), 73));
+  out.AddRun(bench::RecOf("MALB-SC", r.Get("malb-sc"), 76));
   out.AddRatio("MALB-SC / MALB-SCAP", 76.0 / 57.0, sc.tps / scap.tps);
   out.AddRatio("MALB-SC / MALB-S", 76.0 / 73.0, sc.tps / s.tps);
 
-  // Group counts per method (paper: SCAP 4, SC 6, S 7).
+  // Group counts per method (paper: SCAP 4, SC 6, S 7). Pure static packing —
+  // computed here on the main thread, no cluster run needed.
+  const Workload w = Mid();
+  const ClusterConfig config = MakeClusterConfig(512 * kMiB);
   const auto ws = BuildWorkingSets(w.registry, w.schema);
   const Pages capacity = BytesToPages(config.replica.memory - config.replica.reserved);
   out.AddScalar(
@@ -51,11 +60,8 @@ void Run(ResultSink& out) {
   out.AddScalar("MALB-SC read KB/txn", sc.read_kb_per_txn);
 }
 
+RegisterCampaign fig5{{"fig5", "Figure 5", "throughput of grouping methods",
+                       "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix", Cells, Report}};
+
 }  // namespace
 }  // namespace tashkent
-
-int main(int argc, char** argv) {
-  tashkent::bench::Harness harness(argc, argv, "fig5_grouping_methods");
-  tashkent::Run(harness.out());
-  return 0;
-}

@@ -1,12 +1,12 @@
-// Figure 6: dynamic reconfiguration under a workload mix change.
+// Campaign "fig6" — Figure 6: dynamic reconfiguration under a mix change.
 // TPC-W switches shopping -> browsing -> shopping every 2000 s.
 // Paper: MALB-SC tracks ~76 tps under shopping and ~45 tps under browsing;
 // a static shopping configuration forced to run browsing achieves only
 // 19 tps — worse than LeastConnections' 37 — so dynamic allocation is
 // necessary.
 //
-// The whole experiment is three ScenarioBuilder scripts — no hand-rolled
-// phase loop; phase means are read off the merged scenario timeline.
+// Three independent ScenarioCell scripts; phase means are read off the
+// merged scenario timelines in the report stage.
 #include "bench/bench_common.h"
 #include "src/workload/tpcw.h"
 
@@ -18,39 +18,47 @@ constexpr SimDuration kPhase = Seconds(2000.0);
 // transient does not dilute the steady-state number.
 constexpr double kTransientSkipS = 300.0;
 
-void Run(ResultSink& out) {
-  const Workload w = BuildTpcw(kTpcwMediumEbs);
-  ClusterConfig config = MakeClusterConfig(512 * kMiB);
-  config.clients_per_replica = CalibratedClients(w, kTpcwShopping, config);
+Workload Mid() { return BuildTpcw(kTpcwMediumEbs); }
 
-  // --- Dynamic MALB-SC through the mix switches ---------------------------
-  const ScenarioResult dynamic = ScenarioBuilder()
-                                     .Advance(kPhase)
-                                     .SwitchMix(kTpcwBrowsing)
-                                     .Advance(kPhase)
-                                     .SwitchMix(kTpcwShopping)
-                                     .Measure(kPhase, "shopping-return")
-                                     .Run(w, kTpcwShopping, "MALB-SC", config);
+std::vector<CampaignCell> Cells() {
+  return {
+      // Dynamic MALB-SC through the mix switches.
+      bench::ScenarioCell("dynamic", Mid, kTpcwShopping, "MALB-SC",
+                          ScenarioBuilder()
+                              .Advance(kPhase)
+                              .SwitchMix(kTpcwBrowsing)
+                              .Advance(kPhase)
+                              .SwitchMix(kTpcwShopping)
+                              .Measure(kPhase, "shopping-return")),
+      // Static shopping configuration forced to run browsing.
+      bench::ScenarioCell("frozen", Mid, kTpcwShopping, "MALB-SC",
+                          ScenarioBuilder()
+                              .Advance(Seconds(1500.0))  // converge on shopping
+                              .FreezeAllocation()
+                              .SwitchMix(kTpcwBrowsing)
+                              .Advance(Seconds(300.0))
+                              .Measure(Seconds(1200.0), "static-browsing")),
+      // LeastConnections reference under browsing. Calibrated on shopping
+      // like the other two cells (the paper drives the whole figure with one
+      // client population).
+      bench::ScenarioCell("lc-browsing", Mid, kTpcwBrowsing, "LeastConnections",
+                          ScenarioBuilder()
+                              .Warmup(Seconds(400.0))
+                              .Measure(Seconds(1200.0), "browsing"),
+                          [] {
+                            bench::CellOptions opts;
+                            opts.calibrate_mix = kTpcwShopping;
+                            return opts;
+                          }()),
+  };
+}
+
+void Report(const CampaignOutputs& r, ResultSink& out) {
+  const ScenarioResult& dynamic = r.Get("dynamic").scenario;
   const double shopping1 = dynamic.PhaseMeanTps(0, 2000, kTransientSkipS);
   const double browsing = dynamic.PhaseMeanTps(2000, 4000, kTransientSkipS);
   const double shopping2 = dynamic.PhaseMeanTps(4000, 6000, kTransientSkipS);
-
-  // --- Static shopping configuration forced to run browsing ---------------
-  const ScenarioResult frozen = ScenarioBuilder()
-                                    .Advance(Seconds(1500.0))  // converge on shopping
-                                    .FreezeAllocation()
-                                    .SwitchMix(kTpcwBrowsing)
-                                    .Advance(Seconds(300.0))
-                                    .Measure(Seconds(1200.0), "static-browsing")
-                                    .Run(w, kTpcwShopping, "MALB-SC", config);
-  const ExperimentResult& static_browsing = frozen.ByLabel("static-browsing");
-
-  // --- LeastConnections reference under browsing --------------------------
-  const ScenarioResult lc = ScenarioBuilder()
-                                .Warmup(Seconds(400.0))
-                                .Measure(Seconds(1200.0), "browsing")
-                                .Run(w, kTpcwBrowsing, "LeastConnections", config);
-  const ExperimentResult& lc_browsing = lc.ByLabel("browsing");
+  const ExperimentResult& static_browsing = r.Result("frozen", "static-browsing");
 
   out.Begin("Figure 6: dynamic reconfiguration (shopping -> browsing -> shopping)",
             "MidDB 1.8GB, RAM 512MB, 16 replicas; 2000 s per phase");
@@ -58,22 +66,21 @@ void Run(ResultSink& out) {
   out.AddScalar("MALB-SC browsing phase 2 tps (paper 45)", browsing);
   out.AddScalar("MALB-SC shopping phase 3 tps (paper 76)", shopping2);
   // The phase-3 measure window (full phase, transient included) as a run row.
-  out.AddRun(bench::Rec("MALB-SC shopping-return (phase 3 window)", "MALB-SC", w,
-                        kTpcwShopping, dynamic.ByLabel("shopping-return"), 76));
-  out.AddRun(bench::Rec("static shopping cfg, browsing", "MALB-SC", w, kTpcwBrowsing,
-                        static_browsing, 19));
-  out.AddRun(bench::Rec("LeastConnections, browsing", "LeastConnections", w, kTpcwBrowsing,
-                        lc_browsing, 37));
+  out.AddRun(bench::RecOf("MALB-SC shopping-return (phase 3 window)", r.Get("dynamic"), 76,
+                          0, 0, "shopping-return"));
+  out.AddRun(bench::RecOf("static shopping cfg, browsing", r.Get("frozen"), 19, 0, 0,
+                          "static-browsing"));
+  out.AddRun(
+      bench::RecOf("LeastConnections, browsing", r.Get("lc-browsing"), 37, 0, 0, "browsing"));
   out.AddRatio("static / dynamic browsing (paper 0.42)", 19.0 / 45.0,
                browsing > 0 ? static_browsing.tps / browsing : 0.0);
   out.AddTimeline("MALB-SC throughput timeline", dynamic.timeline, dynamic.timeline_bucket);
 }
 
+RegisterCampaign fig6{{"fig6", "Figure 6",
+                       "dynamic reconfiguration (shopping -> browsing -> shopping)",
+                       "MidDB 1.8GB, RAM 512MB, 16 replicas; 2000 s per phase", Cells,
+                       Report}};
+
 }  // namespace
 }  // namespace tashkent
-
-int main(int argc, char** argv) {
-  tashkent::bench::Harness harness(argc, argv, "fig6_dynamic_reconfig");
-  tashkent::Run(harness.out());
-  return 0;
-}

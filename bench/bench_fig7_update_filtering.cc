@@ -1,5 +1,5 @@
-// Figure 7: TPC-W throughput with MALB-SC + update filtering.
-// MidDB 1.8 GB, RAM 512 MB, 16 replicas, ordering mix.
+// Campaign "fig7" — Figure 7: TPC-W throughput with MALB-SC + update
+// filtering. MidDB 1.8 GB, RAM 512 MB, 16 replicas, ordering mix.
 // Paper: Single 3, LeastConnections 37, LARD 50, MALB-SC 76,
 //        MALB-SC+UpdateFiltering 113 tps (0.349 s response).
 #include "bench/bench_common.h"
@@ -8,35 +8,41 @@
 namespace tashkent {
 namespace {
 
-void Run(ResultSink& out) {
-  const Workload w = BuildTpcw(kTpcwMediumEbs);
-  const ClusterConfig config = MakeClusterConfig(512 * kMiB);
-  const int clients = CalibratedClients(w, kTpcwOrdering, config);
+Workload Mid() { return BuildTpcw(kTpcwMediumEbs); }
 
-  const ExperimentResult single = RunStandalone(w, kTpcwOrdering, config, clients);
-  const auto lc = bench::RunPolicy(w, kTpcwOrdering, "LeastConnections", config, clients);
-  const auto lard = bench::RunPolicy(w, kTpcwOrdering, "LARD", config, clients);
-  const auto malb = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", config, clients);
-  const auto uf = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", bench::WithFiltering(config),
-                                   clients, Seconds(400.0));
+std::vector<CampaignCell> Cells() {
+  bench::CellOptions uf;
+  uf.filtering = true;
+  uf.warmup = Seconds(400.0);
+  return {
+      bench::StandaloneCell("single", Mid, kTpcwOrdering),
+      bench::PolicyCell("lc", Mid, kTpcwOrdering, "LeastConnections"),
+      bench::PolicyCell("lard", Mid, kTpcwOrdering, "LARD"),
+      bench::PolicyCell("malb-sc", Mid, kTpcwOrdering, "MALB-SC"),
+      bench::PolicyCell("malb-sc-uf", Mid, kTpcwOrdering, "MALB-SC", uf),
+  };
+}
+
+void Report(const CampaignOutputs& r, ResultSink& out) {
+  const ExperimentResult& single = r.Result("single");
+  const ExperimentResult& lc = r.Result("lc");
+  const ExperimentResult& malb = r.Result("malb-sc");
+  const ExperimentResult& uf = r.Result("malb-sc-uf");
 
   out.Begin("Figure 7: TPC-W throughput of MALB-SC + UpdateFiltering",
             "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix");
-  out.AddRun(bench::Rec("Single", "", w, kTpcwOrdering, single, 3));
-  out.AddRun(bench::Rec("LeastConnections", "LeastConnections", w, kTpcwOrdering, lc, 37));
-  out.AddRun(bench::Rec("LARD", "LARD", w, kTpcwOrdering, lard, 50));
-  out.AddRun(bench::Rec("MALB-SC", "MALB-SC", w, kTpcwOrdering, malb, 76));
-  out.AddRun(bench::Rec("MALB-SC+UpdateFiltering", "MALB-SC", w, kTpcwOrdering, uf, 113));
+  out.AddRun(bench::RecOf("Single", r.Get("single"), 3));
+  out.AddRun(bench::RecOf("LeastConnections", r.Get("lc"), 37));
+  out.AddRun(bench::RecOf("LARD", r.Get("lard"), 50));
+  out.AddRun(bench::RecOf("MALB-SC", r.Get("malb-sc"), 76));
+  out.AddRun(bench::RecOf("MALB-SC+UpdateFiltering", r.Get("malb-sc-uf"), 113));
   out.AddRatio("UF / MALB-SC", 113.0 / 76.0, uf.tps / malb.tps);
   out.AddRatio("UF / LeastConnections", 113.0 / 37.0, uf.tps / lc.tps);
   out.AddRatio("UF / Single", 37.0, uf.tps / single.tps);
 }
 
+RegisterCampaign fig7{{"fig7", "Figure 7", "TPC-W throughput of MALB-SC + UpdateFiltering",
+                       "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix", Cells, Report}};
+
 }  // namespace
 }  // namespace tashkent
-
-int main(int argc, char** argv) {
-  tashkent::bench::Harness harness(argc, argv, "fig7_update_filtering");
-  tashkent::Run(harness.out());
-  return 0;
-}

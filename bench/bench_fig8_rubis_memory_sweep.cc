@@ -1,4 +1,4 @@
-// Figure 8: RUBiS bidding mix across replica memory sizes.
+// Campaign "fig8" — Figure 8: RUBiS bidding mix across replica memory sizes.
 // DB 2.2 GB, RAM 256/512/1024 MB, 16 replicas.
 // Paper (tps): LeastConnections 18/31/42, MALB-SC 23/43/44,
 //              MALB-SC+UpdateFiltering 24/44/44.
@@ -10,37 +10,49 @@
 namespace tashkent {
 namespace {
 
-void Run(ResultSink& out) {
-  const Workload w = BuildRubis();
+constexpr Bytes kRams[3] = {256 * kMiB, 512 * kMiB, 1024 * kMiB};
+
+Workload Rubis() { return BuildRubis(); }
+
+using bench::RamLabel;
+
+std::vector<CampaignCell> Cells() {
+  std::vector<CampaignCell> cells;
+  for (Bytes ram : kRams) {
+    bench::CellOptions opts;
+    opts.ram = ram;
+    bench::CellOptions uf = opts;
+    uf.filtering = true;
+    uf.warmup = Seconds(400.0);
+    const std::string suffix = "/" + RamLabel(ram);
+    cells.push_back(
+        bench::PolicyCell("lc" + suffix, Rubis, kRubisBidding, "LeastConnections", opts));
+    cells.push_back(
+        bench::PolicyCell("malb-sc" + suffix, Rubis, kRubisBidding, "MALB-SC", opts));
+    cells.push_back(
+        bench::PolicyCell("malb-sc-uf" + suffix, Rubis, kRubisBidding, "MALB-SC", uf));
+  }
+  return cells;
+}
+
+void Report(const CampaignOutputs& r, ResultSink& out) {
   const double paper_lc[3] = {18, 31, 42};
   const double paper_malb[3] = {23, 43, 44};
   const double paper_uf[3] = {24, 44, 44};
-  const Bytes rams[3] = {256 * kMiB, 512 * kMiB, 1024 * kMiB};
 
   out.Begin("Figure 8: RUBiS bidding mix with update filtering",
             "DB 2.2GB, RAM 256/512/1024 MB, 16 replicas");
   for (int i = 0; i < 3; ++i) {
-    const ClusterConfig config = MakeClusterConfig(rams[i]);
-    const int clients = CalibratedClients(w, kRubisBidding, config);
-    const auto lc = bench::RunPolicy(w, kRubisBidding, "LeastConnections", config, clients);
-    const auto malb = bench::RunPolicy(w, kRubisBidding, "MALB-SC", config, clients);
-    const auto uf = bench::RunPolicy(w, kRubisBidding, "MALB-SC", bench::WithFiltering(config),
-                                     clients, Seconds(400.0));
-    const std::string ram = std::to_string(static_cast<long long>(rams[i] / kMiB)) + "MB";
-    out.AddRun(bench::Rec("LeastConnections RAM " + ram, "LeastConnections", w, kRubisBidding,
-                          lc, paper_lc[i]));
-    out.AddRun(bench::Rec("MALB-SC RAM " + ram, "MALB-SC", w, kRubisBidding, malb,
-                          paper_malb[i]));
-    out.AddRun(bench::Rec("MALB-SC+UpdateFiltering RAM " + ram, "MALB-SC", w, kRubisBidding,
-                          uf, paper_uf[i]));
+    const std::string ram = RamLabel(kRams[i]);
+    out.AddRun(bench::RecOf("LeastConnections RAM " + ram, r.Get("lc/" + ram), paper_lc[i]));
+    out.AddRun(bench::RecOf("MALB-SC RAM " + ram, r.Get("malb-sc/" + ram), paper_malb[i]));
+    out.AddRun(bench::RecOf("MALB-SC+UpdateFiltering RAM " + ram,
+                            r.Get("malb-sc-uf/" + ram), paper_uf[i]));
   }
 }
 
+RegisterCampaign fig8{{"fig8", "Figure 8", "RUBiS bidding mix with update filtering",
+                       "DB 2.2GB, RAM 256/512/1024 MB, 16 replicas", Cells, Report}};
+
 }  // namespace
 }  // namespace tashkent
-
-int main(int argc, char** argv) {
-  tashkent::bench::Harness harness(argc, argv, "fig8_rubis_memory_sweep");
-  tashkent::Run(harness.out());
-  return 0;
-}

@@ -1,8 +1,8 @@
-// Figure 9: the database-size vs memory-size space.
+// Campaign "fig9" — Figure 9: the database-size vs memory-size space.
 // Qualitative region map: when the working sets exceed memory everywhere,
 // partitioning cannot help; when the database fits in memory, it is not
 // needed; in between, partitioning and filtering improve performance.
-// This bench derives the map empirically from MALB-SC vs LeastConnections
+// This campaign derives the map empirically from MALB-SC vs LeastConnections
 // runs over the (DB, RAM) grid on the ordering mix, classifying each cell by
 // the measured speedup.
 #include "bench/bench_common.h"
@@ -10,6 +10,12 @@
 
 namespace tashkent {
 namespace {
+
+constexpr int kDbs[3] = {kTpcwSmallEbs, kTpcwMediumEbs, kTpcwLargeEbs};
+const char* const kDbNames[3] = {"SmallDB-0.7GB", "MidDB-1.8GB", "LargeDB-2.9GB"};
+constexpr Bytes kRams[3] = {256 * kMiB, 512 * kMiB, 1024 * kMiB};
+
+using bench::RamLabel;
 
 const char* Classify(double speedup) {
   if (speedup >= 1.25) {
@@ -21,28 +27,39 @@ const char* Classify(double speedup) {
   return "no-gain";
 }
 
-void Run(ResultSink& out) {
+std::vector<CampaignCell> Cells() {
+  std::vector<CampaignCell> cells;
+  for (int d = 0; d < 3; ++d) {
+    const int ebs = kDbs[d];
+    auto wf = [ebs]() { return BuildTpcw(ebs); };
+    for (int m = 0; m < 3; ++m) {
+      bench::CellOptions opts;
+      opts.ram = kRams[m];
+      opts.warmup = Seconds(200.0);
+      opts.measure = Seconds(200.0);
+      const std::string coord = std::string(kDbNames[d]) + "/" + RamLabel(kRams[m]);
+      cells.push_back(
+          bench::PolicyCell("lc/" + coord, wf, kTpcwOrdering, "LeastConnections", opts));
+      cells.push_back(
+          bench::PolicyCell("malb-sc/" + coord, wf, kTpcwOrdering, "MALB-SC", opts));
+    }
+  }
+  return cells;
+}
+
+void Report(const CampaignOutputs& r, ResultSink& out) {
   out.Begin("Figure 9: database size vs memory size space",
             "cell = MALB-SC speedup over LeastConnections (ordering mix)");
-  const int dbs[3] = {kTpcwSmallEbs, kTpcwMediumEbs, kTpcwLargeEbs};
-  const char* db_names[3] = {"SmallDB-0.7GB", "MidDB-1.8GB", "LargeDB-2.9GB"};
-  const Bytes rams[3] = {256 * kMiB, 512 * kMiB, 1024 * kMiB};
-
   for (int d = 0; d < 3; ++d) {
-    const Workload w = BuildTpcw(dbs[d]);
     for (int m = 0; m < 3; ++m) {
-      const ClusterConfig config = MakeClusterConfig(rams[m]);
-      const int clients = CalibratedClients(w, kTpcwOrdering, config);
-      const auto lc = bench::RunPolicy(w, kTpcwOrdering, "LeastConnections", config, clients,
-                                       Seconds(200.0), Seconds(200.0));
-      const auto malb = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", config, clients,
-                                         Seconds(200.0), Seconds(200.0));
+      const std::string coord = std::string(kDbNames[d]) + "/" + RamLabel(kRams[m]);
+      const ExperimentResult& lc = r.Result("lc/" + coord);
+      const ExperimentResult& malb = r.Result("malb-sc/" + coord);
       const double speedup = lc.tps > 0 ? malb.tps / lc.tps : 0.0;
       const std::string cell =
-          std::string(db_names[d]) + " RAM " +
-          std::to_string(static_cast<long long>(rams[m] / kMiB)) + "MB";
-      out.AddRun(bench::Rec(cell + " LC", "LeastConnections", w, kTpcwOrdering, lc));
-      out.AddRun(bench::Rec(cell + " MALB-SC", "MALB-SC", w, kTpcwOrdering, malb));
+          std::string(kDbNames[d]) + " RAM " + RamLabel(kRams[m]);
+      out.AddRun(bench::RecOf(cell + " LC", r.Get("lc/" + coord)));
+      out.AddRun(bench::RecOf(cell + " MALB-SC", r.Get("malb-sc/" + coord)));
       out.AddScalar(cell + " speedup", speedup);
       out.Note(cell + ": " + Classify(speedup));
     }
@@ -52,11 +69,9 @@ void Run(ResultSink& out) {
            "and huge-DB/tiny-RAM corners show little benefit.");
 }
 
+RegisterCampaign fig9{{"fig9", "Figure 9", "database size vs memory size space",
+                       "TPC-W ordering; 3 DB sizes x 3 RAM sizes, MALB-SC vs LC", Cells,
+                       Report}};
+
 }  // namespace
 }  // namespace tashkent
-
-int main(int argc, char** argv) {
-  tashkent::bench::Harness harness(argc, argv, "fig9_space_map");
-  tashkent::Run(harness.out());
-  return 0;
-}

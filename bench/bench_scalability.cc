@@ -1,32 +1,44 @@
-// Scalability: cluster throughput vs replica count (the paper's super-linear
-// speedup claim). With MALB the cluster's aggregate memory acts as one large
-// partitioned cache, so speedup over a standalone database can exceed the
-// replica count (the paper reports 25x at 16 replicas for MALB-SC and 37x
-// with update filtering on the ordering mix).
+// Campaign "scalability" — cluster throughput vs replica count (the paper's
+// super-linear speedup claim). With MALB the cluster's aggregate memory acts
+// as one large partitioned cache, so speedup over a standalone database can
+// exceed the replica count (the paper reports 25x at 16 replicas for MALB-SC
+// and 37x with update filtering on the ordering mix).
 #include "bench/bench_common.h"
 #include "src/workload/tpcw.h"
 
 namespace tashkent {
 namespace {
 
-void Run(ResultSink& out) {
-  const Workload w = BuildTpcw(kTpcwMediumEbs);
-  const ClusterConfig base = MakeClusterConfig(512 * kMiB);
-  const int clients = CalibratedClients(w, kTpcwOrdering, base);
-  const ExperimentResult single = RunStandalone(w, kTpcwOrdering, base, clients);
+constexpr size_t kReplicaCounts[] = {2, 4, 8, 16};
+
+Workload Mid() { return BuildTpcw(kTpcwMediumEbs); }
+
+std::vector<CampaignCell> Cells() {
+  std::vector<CampaignCell> cells;
+  cells.push_back(bench::StandaloneCell("single", Mid, kTpcwOrdering));
+  for (size_t replicas : kReplicaCounts) {
+    bench::CellOptions opts;
+    opts.replicas = replicas;
+    const std::string n = std::to_string(replicas);
+    cells.push_back(bench::PolicyCell("lc/x" + n, Mid, kTpcwOrdering, "LeastConnections", opts));
+    cells.push_back(bench::PolicyCell("malb-sc/x" + n, Mid, kTpcwOrdering, "MALB-SC", opts));
+  }
+  return cells;
+}
+
+void Report(const CampaignOutputs& r, ResultSink& out) {
+  const ExperimentResult& single = r.Result("single");
 
   out.Begin("Scalability: throughput vs replica count",
             "TPC-W ordering, MidDB 1.8GB, RAM 512MB");
-  out.AddRun(bench::Rec("standalone database", "", w, kTpcwOrdering, single));
+  out.AddRun(bench::RecOf("standalone database", r.Get("single")));
 
-  for (size_t replicas : {2, 4, 8, 16}) {
-    ClusterConfig config = base;
-    config.replicas = replicas;
-    const auto lc = bench::RunPolicy(w, kTpcwOrdering, "LeastConnections", config, clients);
-    const auto malb = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", config, clients);
+  for (size_t replicas : kReplicaCounts) {
     const std::string n = std::to_string(replicas);
-    out.AddRun(bench::Rec("LeastConnections x" + n, "LeastConnections", w, kTpcwOrdering, lc));
-    out.AddRun(bench::Rec("MALB-SC x" + n, "MALB-SC", w, kTpcwOrdering, malb));
+    const ExperimentResult& lc = r.Result("lc/x" + n);
+    const ExperimentResult& malb = r.Result("malb-sc/x" + n);
+    out.AddRun(bench::RecOf("LeastConnections x" + n, r.Get("lc/x" + n)));
+    out.AddRun(bench::RecOf("MALB-SC x" + n, r.Get("malb-sc/x" + n)));
     out.AddScalar("LC speedup x" + n, lc.tps / single.tps);
     out.AddScalar("MALB speedup x" + n, malb.tps / single.tps);
     if (malb.tps / single.tps > static_cast<double>(replicas)) {
@@ -36,11 +48,8 @@ void Run(ResultSink& out) {
   out.Note("paper at 16 replicas: LC 12x, MALB-SC 25x, MALB-SC+filtering 37x");
 }
 
+RegisterCampaign scalability{{"scalability", "", "Scalability: throughput vs replica count",
+                              "TPC-W ordering, MidDB 1.8GB, RAM 512MB", Cells, Report}};
+
 }  // namespace
 }  // namespace tashkent
-
-int main(int argc, char** argv) {
-  tashkent::bench::Harness harness(argc, argv, "scalability");
-  tashkent::Run(harness.out());
-  return 0;
-}

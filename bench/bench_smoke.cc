@@ -1,0 +1,61 @@
+// Campaign "smoke" — a fast end-to-end exercise of the campaign machinery
+// for CI: small cluster, short windows, fixed client population (no
+// calibration sweep). It touches every cell shape — policy cells, a
+// standalone cell, and a scripted scenario with a mix switch — so a green
+// smoke run means the grid expansion, worker pool, sinks, and manifest all
+// work. Not a paper reproduction; expect no particular numbers.
+#include "bench/bench_common.h"
+#include "src/workload/tpcw.h"
+
+namespace tashkent {
+namespace {
+
+Workload Small() { return BuildTpcw(kTpcwSmallEbs); }
+
+bench::CellOptions SmokeOptions() {
+  bench::CellOptions opts;
+  opts.ram = 256 * kMiB;
+  opts.replicas = 4;
+  opts.clients = 4;  // fixed: smoke must not pay the calibration sweep
+  opts.warmup = Seconds(30.0);
+  opts.measure = Seconds(60.0);
+  return opts;
+}
+
+std::vector<CampaignCell> Cells() {
+  const bench::CellOptions opts = SmokeOptions();
+  return {
+      bench::StandaloneCell("single", Small, kTpcwOrdering, opts),
+      bench::PolicyCell("lc", Small, kTpcwOrdering, "LeastConnections", opts),
+      bench::PolicyCell("malb-sc", Small, kTpcwOrdering, "MALB-SC", opts),
+      bench::ScenarioCell("mix-switch", Small, kTpcwOrdering, "MALB-SC",
+                          ScenarioBuilder()
+                              .Warmup(Seconds(30.0))
+                              .Measure(Seconds(60.0), "ordering")
+                              .SwitchMix(kTpcwBrowsing)
+                              .Advance(Seconds(30.0))
+                              .Measure(Seconds(60.0), "browsing"),
+                          opts),
+  };
+}
+
+void Report(const CampaignOutputs& r, ResultSink& out) {
+  const ExperimentResult& lc = r.Result("lc");
+  const ExperimentResult& malb = r.Result("malb-sc");
+
+  out.Begin("Smoke: campaign machinery end-to-end",
+            "SmallDB 0.7GB, RAM 256MB, 4 replicas, 4 clients/replica");
+  out.AddRun(bench::RecOf("Single", r.Get("single")));
+  out.AddRun(bench::RecOf("LeastConnections", r.Get("lc")));
+  out.AddRun(bench::RecOf("MALB-SC", r.Get("malb-sc")));
+  out.AddRun(bench::RecOf("MALB-SC ordering window", r.Get("mix-switch"), 0, 0, 0, "ordering"));
+  out.AddRun(bench::RecOf("MALB-SC browsing window", r.Get("mix-switch"), 0, 0, 0, "browsing"));
+  out.AddScalar("MALB-SC / LC speedup", lc.tps > 0 ? malb.tps / lc.tps : 0.0);
+}
+
+RegisterCampaign smoke{{"smoke", "", "Smoke: campaign machinery end-to-end",
+                        "SmallDB 0.7GB, RAM 256MB, 4 replicas, 4 clients/replica", Cells,
+                        Report}};
+
+}  // namespace
+}  // namespace tashkent

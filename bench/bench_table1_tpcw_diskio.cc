@@ -1,5 +1,5 @@
-// Table 1: TPC-W average disk I/O per transaction (per replica).
-// Paper: write 12 KB for all methods; reads 72 / 57 / 20 KB
+// Campaign "table1" — Table 1: TPC-W average disk I/O per transaction (per
+// replica). Paper: write 12 KB for all methods; reads 72 / 57 / 20 KB
 // (LeastConnections / LARD / MALB-SC); read fraction 1.00 / 0.79 / 0.28.
 #include "bench/bench_common.h"
 #include "src/workload/tpcw.h"
@@ -7,32 +7,35 @@
 namespace tashkent {
 namespace {
 
-void Run(ResultSink& out) {
-  const Workload w = BuildTpcw(kTpcwMediumEbs);
-  const ClusterConfig config = MakeClusterConfig(512 * kMiB);
-  const int clients = CalibratedClients(w, kTpcwOrdering, config);
+Workload Mid() { return BuildTpcw(kTpcwMediumEbs); }
 
-  const auto lc = bench::RunPolicy(w, kTpcwOrdering, "LeastConnections", config, clients);
-  const auto lard = bench::RunPolicy(w, kTpcwOrdering, "LARD", config, clients);
-  const auto malb = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", config, clients);
+std::vector<CampaignCell> Cells() {
+  return {
+      bench::PolicyCell("lc", Mid, kTpcwOrdering, "LeastConnections"),
+      bench::PolicyCell("lard", Mid, kTpcwOrdering, "LARD"),
+      bench::PolicyCell("malb-sc", Mid, kTpcwOrdering, "MALB-SC"),
+  };
+}
+
+void Report(const CampaignOutputs& r, ResultSink& out) {
+  const ExperimentResult& lc = r.Result("lc");
+  const ExperimentResult& lard = r.Result("lard");
+  const ExperimentResult& malb = r.Result("malb-sc");
 
   out.Begin("Table 1: TPC-W average disk I/O per transaction",
             "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix");
-  out.AddRun(
-      bench::Rec("LeastConnections", "LeastConnections", w, kTpcwOrdering, lc, 37, 12, 72));
-  out.AddRun(bench::Rec("LARD", "LARD", w, kTpcwOrdering, lard, 50, 12, 57));
-  out.AddRun(bench::Rec("MALB-SC", "MALB-SC", w, kTpcwOrdering, malb, 76, 12, 20));
+  out.AddRun(bench::RecOf("LeastConnections", r.Get("lc"), 37, 12, 72));
+  out.AddRun(bench::RecOf("LARD", r.Get("lard"), 50, 12, 57));
+  out.AddRun(bench::RecOf("MALB-SC", r.Get("malb-sc"), 76, 12, 20));
   out.AddRatio("LARD reads / LC reads (paper 0.79)", 0.79,
                lard.read_kb_per_txn / lc.read_kb_per_txn);
   out.AddRatio("MALB-SC reads / LC reads (paper 0.28)", 0.28,
                malb.read_kb_per_txn / lc.read_kb_per_txn);
 }
 
+RegisterCampaign table1{{"table1", "Table 1", "TPC-W average disk I/O per transaction",
+                         "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix", Cells,
+                         Report}};
+
 }  // namespace
 }  // namespace tashkent
-
-int main(int argc, char** argv) {
-  tashkent::bench::Harness harness(argc, argv, "table1_tpcw_diskio");
-  tashkent::Run(harness.out());
-  return 0;
-}

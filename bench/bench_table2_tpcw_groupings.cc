@@ -1,4 +1,5 @@
-// Table 2: TPC-W MALB-SC transaction groupings and replica allocation.
+// Campaign "table2" — Table 2: TPC-W MALB-SC transaction groupings and
+// replica allocation.
 // Paper: [BestSeller] 2, [AdminRespo] 4, [BuyConfirm] 7,
 //        [BuyRequest, ShopinCart] 1,
 //        [ExecSearch, OrderDispl, OrderInqur, ProducDet] 1,
@@ -10,17 +11,26 @@
 namespace tashkent {
 namespace {
 
-void Run(ResultSink& out) {
-  const Workload w = BuildTpcw(kTpcwMediumEbs);
-  const ClusterConfig config = MakeClusterConfig(512 * kMiB);
+Workload Mid() { return BuildTpcw(kTpcwMediumEbs); }
 
-  out.Begin("Table 2: TPC-W MALB-SC groupings", "MidDB 1.8GB, capacity 442MB, 16 replicas");
+std::vector<CampaignCell> Cells() {
+  bench::CellOptions converged;
+  converged.warmup = Seconds(400.0);
+  converged.measure = Seconds(200.0);
+  return {
+      bench::PolicyCell("malb-sc", Mid, kTpcwOrdering, "MALB-SC", converged),
+  };
+}
 
-  // Static packing (what the balancer computes before any load exists).
+// Static packing (what the balancer computes before any load exists) is a
+// pure computation — emitted from the report stage, no cluster run needed.
+void ReportStaticPacking(const Workload& w, const ClusterConfig& config, ResultSink& out,
+                         double paper_group_count) {
   const auto ws = BuildWorkingSets(w.registry, w.schema);
   const Pages capacity = BytesToPages(config.replica.memory - config.replica.reserved);
   const auto packing = PackTransactionGroups(ws, capacity, EstimationMethod::kSizeContent);
-  out.AddScalar("static group count (paper 6)", static_cast<double>(packing.groups.size()));
+  out.AddScalar("static group count (paper " + std::to_string(static_cast<int>(paper_group_count)) + ")",
+                static_cast<double>(packing.groups.size()));
   std::vector<GroupReport> static_groups;
   for (const auto& g : packing.groups) {
     GroupReport gr;
@@ -36,21 +46,21 @@ void Run(ResultSink& out) {
     }
   }
   out.AddGroups("static packing (replicas column all 0: not yet allocated)", static_groups);
+}
+
+void Report(const CampaignOutputs& r, ResultSink& out) {
+  out.Begin("Table 2: TPC-W MALB-SC groupings", "MidDB 1.8GB, capacity 442MB, 16 replicas");
+  ReportStaticPacking(Mid(), MakeClusterConfig(512 * kMiB), out, 6);
 
   // Dynamic allocation after a converged run (paper's replica counts:
   // BestSeller 2, AdminResponse 4, BuyConfirm 7, others 1 each).
-  const int clients = CalibratedClients(w, kTpcwOrdering, config);
-  const auto run = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", config, clients,
-                                    Seconds(400.0), Seconds(200.0));
-  out.AddRun(bench::Rec("MALB-SC (converged)", "MALB-SC", w, kTpcwOrdering, run, 76));
-  out.AddGroups("replica allocation after convergence (ordering mix)", run.groups);
+  const CellOutput& run = r.Get("malb-sc");
+  out.AddRun(bench::RecOf("MALB-SC (converged)", run, 76));
+  out.AddGroups("replica allocation after convergence (ordering mix)", run.Result().groups);
 }
+
+RegisterCampaign table2{{"table2", "Table 2", "TPC-W MALB-SC groupings",
+                         "MidDB 1.8GB, capacity 442MB, 16 replicas", Cells, Report}};
 
 }  // namespace
 }  // namespace tashkent
-
-int main(int argc, char** argv) {
-  tashkent::bench::Harness harness(argc, argv, "table2_tpcw_groupings");
-  tashkent::Run(harness.out());
-  return 0;
-}

@@ -1,5 +1,5 @@
-// Table 3: RUBiS average disk I/O per transaction (per replica).
-// Paper: writes 11 KB all methods; reads 162 / 149 / 111 KB
+// Campaign "table3" — Table 3: RUBiS average disk I/O per transaction (per
+// replica). Paper: writes 11 KB all methods; reads 162 / 149 / 111 KB
 // (LeastConnections / LARD / MALB-SC); read fraction 1.00 / 0.92 / 0.69.
 #include "bench/bench_common.h"
 #include "src/workload/rubis.h"
@@ -7,32 +7,34 @@
 namespace tashkent {
 namespace {
 
-void Run(ResultSink& out) {
-  const Workload w = BuildRubis();
-  const ClusterConfig config = MakeClusterConfig(512 * kMiB);
-  const int clients = CalibratedClients(w, kRubisBidding, config);
+Workload Rubis() { return BuildRubis(); }
 
-  const auto lc = bench::RunPolicy(w, kRubisBidding, "LeastConnections", config, clients);
-  const auto lard = bench::RunPolicy(w, kRubisBidding, "LARD", config, clients);
-  const auto malb = bench::RunPolicy(w, kRubisBidding, "MALB-SC", config, clients);
+std::vector<CampaignCell> Cells() {
+  return {
+      bench::PolicyCell("lc", Rubis, kRubisBidding, "LeastConnections"),
+      bench::PolicyCell("lard", Rubis, kRubisBidding, "LARD"),
+      bench::PolicyCell("malb-sc", Rubis, kRubisBidding, "MALB-SC"),
+  };
+}
+
+void Report(const CampaignOutputs& r, ResultSink& out) {
+  const ExperimentResult& lc = r.Result("lc");
+  const ExperimentResult& lard = r.Result("lard");
+  const ExperimentResult& malb = r.Result("malb-sc");
 
   out.Begin("Table 3: RUBiS average disk I/O per transaction",
             "DB 2.2GB, RAM 512MB, 16 replicas, bidding mix");
-  out.AddRun(
-      bench::Rec("LeastConnections", "LeastConnections", w, kRubisBidding, lc, 31, 11, 162));
-  out.AddRun(bench::Rec("LARD", "LARD", w, kRubisBidding, lard, 34, 11, 149));
-  out.AddRun(bench::Rec("MALB-SC", "MALB-SC", w, kRubisBidding, malb, 43, 11, 111));
+  out.AddRun(bench::RecOf("LeastConnections", r.Get("lc"), 31, 11, 162));
+  out.AddRun(bench::RecOf("LARD", r.Get("lard"), 34, 11, 149));
+  out.AddRun(bench::RecOf("MALB-SC", r.Get("malb-sc"), 43, 11, 111));
   out.AddRatio("LARD reads / LC reads (paper 0.92)", 0.92,
                lard.read_kb_per_txn / lc.read_kb_per_txn);
   out.AddRatio("MALB-SC reads / LC reads (paper 0.69)", 0.69,
                malb.read_kb_per_txn / lc.read_kb_per_txn);
 }
 
+RegisterCampaign table3{{"table3", "Table 3", "RUBiS average disk I/O per transaction",
+                         "DB 2.2GB, RAM 512MB, 16 replicas, bidding mix", Cells, Report}};
+
 }  // namespace
 }  // namespace tashkent
-
-int main(int argc, char** argv) {
-  tashkent::bench::Harness harness(argc, argv, "table3_rubis_diskio");
-  tashkent::Run(harness.out());
-  return 0;
-}

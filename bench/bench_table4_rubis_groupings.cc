@@ -1,4 +1,5 @@
-// Table 4: RUBiS MALB-SC transaction groupings and replica allocation.
+// Campaign "table4" — Table 4: RUBiS MALB-SC transaction groupings and
+// replica allocation.
 // Paper: [AboutMe] 9,
 //        [PutBid, StoreComment, ViewBidHistory, ViewUserInfo] 4,
 //        [Auth, BrowseCategories, BrowseRegions, BuyNow, PutComment,
@@ -11,12 +12,22 @@
 namespace tashkent {
 namespace {
 
-void Run(ResultSink& out) {
-  const Workload w = BuildRubis();
-  const ClusterConfig config = MakeClusterConfig(512 * kMiB);
+Workload Rubis() { return BuildRubis(); }
 
+std::vector<CampaignCell> Cells() {
+  bench::CellOptions converged;
+  converged.warmup = Seconds(400.0);
+  converged.measure = Seconds(200.0);
+  return {
+      bench::PolicyCell("malb-sc", Rubis, kRubisBidding, "MALB-SC", converged),
+  };
+}
+
+void Report(const CampaignOutputs& r, ResultSink& out) {
   out.Begin("Table 4: RUBiS MALB-SC groupings", "DB 2.2GB, capacity 442MB, 16 replicas");
 
+  const Workload w = Rubis();
+  const ClusterConfig config = MakeClusterConfig(512 * kMiB);
   const auto ws = BuildWorkingSets(w.registry, w.schema);
   const Pages capacity = BytesToPages(config.replica.memory - config.replica.reserved);
   const auto packing = PackTransactionGroups(ws, capacity, EstimationMethod::kSizeContent);
@@ -37,18 +48,13 @@ void Run(ResultSink& out) {
   }
   out.AddGroups("static packing (replicas column all 0: not yet allocated)", static_groups);
 
-  const int clients = CalibratedClients(w, kRubisBidding, config);
-  const auto run = bench::RunPolicy(w, kRubisBidding, "MALB-SC", config, clients,
-                                    Seconds(400.0), Seconds(200.0));
-  out.AddRun(bench::Rec("MALB-SC (converged)", "MALB-SC", w, kRubisBidding, run, 43));
-  out.AddGroups("replica allocation after convergence (bidding mix)", run.groups);
+  const CellOutput& run = r.Get("malb-sc");
+  out.AddRun(bench::RecOf("MALB-SC (converged)", run, 43));
+  out.AddGroups("replica allocation after convergence (bidding mix)", run.Result().groups);
 }
+
+RegisterCampaign table4{{"table4", "Table 4", "RUBiS MALB-SC groupings",
+                         "DB 2.2GB, capacity 442MB, 16 replicas", Cells, Report}};
 
 }  // namespace
 }  // namespace tashkent
-
-int main(int argc, char** argv) {
-  tashkent::bench::Harness harness(argc, argv, "table4_rubis_groupings");
-  tashkent::Run(harness.out());
-  return 0;
-}

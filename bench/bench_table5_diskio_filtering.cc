@@ -1,4 +1,5 @@
-// Table 5: TPC-W average disk I/O per transaction including update filtering.
+// Campaign "table5" — Table 5: TPC-W average disk I/O per transaction
+// including update filtering.
 // Paper: MALB-SC writes 12 KB / reads 20 KB; MALB-SC+UpdateFiltering writes
 // 9 KB (-25%) / reads 18 KB.
 #include "bench/bench_common.h"
@@ -7,34 +8,38 @@
 namespace tashkent {
 namespace {
 
-void Run(ResultSink& out) {
-  const Workload w = BuildTpcw(kTpcwMediumEbs);
-  const ClusterConfig config = MakeClusterConfig(512 * kMiB);
-  const int clients = CalibratedClients(w, kTpcwOrdering, config);
+Workload Mid() { return BuildTpcw(kTpcwMediumEbs); }
 
-  const auto lc = bench::RunPolicy(w, kTpcwOrdering, "LeastConnections", config, clients);
-  const auto malb = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", config, clients);
-  const auto uf = bench::RunPolicy(w, kTpcwOrdering, "MALB-SC", bench::WithFiltering(config),
-                                   clients, Seconds(400.0));
+std::vector<CampaignCell> Cells() {
+  bench::CellOptions uf;
+  uf.filtering = true;
+  uf.warmup = Seconds(400.0);
+  return {
+      bench::PolicyCell("lc", Mid, kTpcwOrdering, "LeastConnections"),
+      bench::PolicyCell("malb-sc", Mid, kTpcwOrdering, "MALB-SC"),
+      bench::PolicyCell("malb-sc-uf", Mid, kTpcwOrdering, "MALB-SC", uf),
+  };
+}
+
+void Report(const CampaignOutputs& r, ResultSink& out) {
+  const ExperimentResult& malb = r.Result("malb-sc");
+  const ExperimentResult& uf = r.Result("malb-sc-uf");
 
   out.Begin("Table 5: TPC-W disk I/O per transaction with update filtering",
             "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix");
-  out.AddRun(
-      bench::Rec("LeastConnections", "LeastConnections", w, kTpcwOrdering, lc, 37, 12, 72));
-  out.AddRun(bench::Rec("MALB-SC", "MALB-SC", w, kTpcwOrdering, malb, 76, 12, 20));
-  out.AddRun(
-      bench::Rec("MALB-SC+UpdateFiltering", "MALB-SC", w, kTpcwOrdering, uf, 113, 9, 18));
+  out.AddRun(bench::RecOf("LeastConnections", r.Get("lc"), 37, 12, 72));
+  out.AddRun(bench::RecOf("MALB-SC", r.Get("malb-sc"), 76, 12, 20));
+  out.AddRun(bench::RecOf("MALB-SC+UpdateFiltering", r.Get("malb-sc-uf"), 113, 9, 18));
   out.AddRatio("UF writes / MALB writes (paper 0.75)", 0.75,
                uf.write_kb_per_txn / malb.write_kb_per_txn);
   out.AddRatio("UF reads / MALB reads (paper 0.90)", 0.90,
                uf.read_kb_per_txn / malb.read_kb_per_txn);
 }
 
+RegisterCampaign table5{{"table5", "Table 5",
+                         "TPC-W disk I/O per transaction with update filtering",
+                         "MidDB 1.8GB, RAM 512MB, 16 replicas, ordering mix", Cells,
+                         Report}};
+
 }  // namespace
 }  // namespace tashkent
-
-int main(int argc, char** argv) {
-  tashkent::bench::Harness harness(argc, argv, "table5_diskio_filtering");
-  tashkent::Run(harness.out());
-  return 0;
-}

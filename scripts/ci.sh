@@ -1,7 +1,34 @@
 #!/usr/bin/env bash
-# Tier-1 verify: configure, build, and run the full test suite.
+# Tier-1 verify: configure, build, run the full test suite, then exercise the
+# campaign runner (smoke campaign) and check the docs cover every campaign.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
 cmake -B build -S .
 cmake --build build -j"$(nproc)"
-cd build && ctest --output-on-failure -j"$(nproc)"
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+# --- smoke campaign ----------------------------------------------------------
+# A short parallel run through the real binary: grid expansion, worker pool,
+# JSON sinks, and the merged manifest all have to work.
+rm -rf build/bench-out
+mkdir -p build/bench-out
+./build/tashkent_bench run smoke --jobs 2 --json build/bench-out
+test -s build/bench-out/BENCH_smoke.json
+test -s build/bench-out/BENCH_campaign.json
+
+# --- docs check --------------------------------------------------------------
+# Every campaign the binary registers must appear in docs/REPRODUCING.md, so
+# the reproduction guide can never silently fall behind the binary.
+missing=0
+while IFS= read -r name; do
+  if ! grep -q "\b${name}\b" docs/REPRODUCING.md; then
+    echo "ci: campaign '${name}' is not documented in docs/REPRODUCING.md" >&2
+    missing=1
+  fi
+done < <(./build/tashkent_bench list --names)
+if [ "${missing}" -ne 0 ]; then
+  exit 1
+fi
+
+echo "ci: OK"

@@ -10,6 +10,28 @@
 // The six seed policies — RoundRobin, LeastConnections, LARD, MALB-S,
 // MALB-SC, MALB-SCAP — are registered by the registry itself, so they are
 // always available regardless of link order.
+//
+// Registration lifecycle:
+//   1. Instance() lazily constructs the process-wide registry on first use
+//      (C++ magic static: thread-safe, and immune to static-init-order
+//      problems because the seed policies are registered inside the
+//      constructor, not by per-TU initializers).
+//   2. `static RegisterPolicy reg("Name", factory);` at namespace scope adds
+//      a policy during static initialization of its TU — but only if that TU
+//      is linked into the binary. Object files in a static library that
+//      nothing references are dropped by the linker, registration included;
+//      campaign/bench files avoid this by being compiled directly into the
+//      tashkent_bench executable.
+//   3. Runtime Register() calls may add or replace entries (last write wins
+//      — tests use this to shadow a policy) at any point BEFORE clusters are
+//      built on worker threads.
+//   4. Factories must be stateless or share only immutable state: one
+//      factory instance builds balancers for many concurrent Clusters.
+//
+// Thread-safety contract: Register() mutates an unguarded map and must
+// finish before any concurrent Create()/Contains()/Names() — in practice,
+// register at static-init time or at the top of main(), before the campaign
+// worker pool starts. Concurrent reads after that point are safe.
 #ifndef SRC_BALANCER_REGISTRY_H_
 #define SRC_BALANCER_REGISTRY_H_
 

@@ -31,7 +31,13 @@ ExperimentResult RunExperiment(const Workload& workload, const std::string& mix,
                                SimDuration measure = Seconds(240.0));
 
 // Shared calibration: returns clients/replica for the configuration (cached
-// per process by workload name + mix + RAM + DB size).
+// per process by workload name + mix + RAM + DB size). Thread-safe:
+// concurrent campaign cells share one cache entry per key (the first caller
+// computes, the rest wait on it). The sweep runs against a canonical config
+// rebuilt from the key fields only — config tweaks the key does not capture
+// (seed, proxy limits, MALB knobs, replica count) are ignored — so the
+// cached value is independent of which cell calibrates first and `--jobs N`
+// stays bit-identical to `--jobs 1`.
 int CalibratedClients(const Workload& workload, const std::string& mix,
                       const ClusterConfig& config);
 

@@ -15,10 +15,36 @@
 //                                .Run(workload, "ordering", "MALB-SC", config);
 //   r.ByLabel("after-switch").tps;
 //
+// Phase semantics (executed strictly in list order):
+//   * Warmup(d) / Advance(d) — advance simulated time by d; anything measured
+//     during the window is discarded. The two are aliases; Warmup names
+//     intent at the start of a script, Advance mid-script (e.g. letting MALB
+//     re-converge after a mix switch).
+//   * Measure(d, label)      — reset the metric counters, advance by d, and
+//     record one ExperimentResult under `label`. Labels are the lookup key
+//     for ScenarioResult::ByLabel and should be unique per script; duplicate
+//     labels are not rejected, ByLabel returns the first.
+//   * SwitchMix(name)        — switch every client to the named mix at the
+//     current instant (takes effect for each client's next transaction).
+//     Zero duration.
+//   * CrashReplica(i) / RestartReplica(i) — fail-stop replica i / bring it
+//     back with a cold cache (it catches up from the certifier log). Zero
+//     duration.
+//   * FreezeAllocation()     — pin MALB's current allocation (the paper's
+//     static-configuration baseline); no-op for non-MALB policies. Zero
+//     duration.
+//
 // Each Measure phase resets the metric counters, runs for its duration, and
 // records one labeled ExperimentResult. The merged throughput timeline spans
 // the whole scenario (warmups included), bucketed per
 // ClusterConfig::timeline_bucket — the Figure 6 plot falls straight out.
+// MeasureRecord::start is scenario-relative simulated time (the sum of the
+// durations executed before the window), so PhaseMeanTps windows line up
+// with the script.
+//
+// A ScenarioBuilder holds no cluster state: the same script can Run against
+// any (workload, mix, policy, config), or RunOn an existing Cluster to
+// continue its life — campaign cells rely on this to stay independent.
 #ifndef SRC_CLUSTER_SCENARIO_H_
 #define SRC_CLUSTER_SCENARIO_H_
 

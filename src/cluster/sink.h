@@ -5,9 +5,34 @@
 // — against a ResultSink. ConsoleSink renders them through the report.h
 // table printers (the paper-vs-measured tables the reproduction is judged
 // on); JsonSink accumulates everything and writes a BENCH_<name>.json record
-// (policy, mix, tps, p95, read/write KB/txn, groupings, ...) that the perf
-// harness tracks across PRs. SinkList fans out to several sinks so a bench
-// emits the console table and the JSON file from the same calls.
+// that the perf harness tracks across PRs. SinkList fans out to several
+// sinks so a bench emits the console table and the JSON file from the same
+// calls.
+//
+// JsonSink document schema (one JSON object per bench/campaign; every event
+// type maps to one top-level key, arrays in emission order):
+//
+//   {
+//     "bench":  <Begin title>,
+//     "setup":  <Begin setup line>,
+//     "runs":   [{"label", "policy", "workload", "mix",
+//                 "paper_tps", "paper_write_kb", "paper_read_kb",   // 0 = no reference
+//                 "tps", "mean_response_s", "p95_response_s",
+//                 "committed", "aborted",                            // integers
+//                 "read_kb_per_txn", "write_kb_per_txn",
+//                 "groups": [{"replicas": N, "types": [name...]}]}],
+//     "ratios": [{"label", "paper", "measured"}],
+//     "scalars": {<key>: <value>, ...},                              // AddScalar calls
+//     "groupings": [{"label", "groups": [{"replicas", "types"}]}],
+//     "timelines": [{"label", "bucket_s",
+//                    "buckets": [committed-per-bucket...]}],         // divide by bucket_s for tps
+//     "notes":  [<string>...]
+//   }
+//
+// Doubles are rendered with max_digits10, so the document parses back to
+// exactly the measured values (src/common/json.h round-trips it); strings
+// are escaped per JSON with control characters as \u00XX. Consumers should
+// tolerate new keys appearing in future PRs.
 #ifndef SRC_CLUSTER_SINK_H_
 #define SRC_CLUSTER_SINK_H_
 

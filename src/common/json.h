@@ -1,0 +1,93 @@
+// Minimal JSON document model: parse, dump, compare.
+//
+// The campaign manifest (BENCH_campaign.json) and the per-bench JSON results
+// need to round-trip — the perf harness and tests read them back. This is a
+// small recursive-descent implementation covering the JSON we emit: objects,
+// arrays, strings (with escapes), doubles, bools, null. Numbers are stored as
+// double and rendered with max_digits10 so a Parse(Dump(v)) round-trip is
+// exact for every value we produce. Object keys are kept in insertion order
+// (the manifest is diffed by humans); equality is order-insensitive for
+// objects, order-sensitive for arrays.
+#ifndef SRC_COMMON_JSON_H_
+#define SRC_COMMON_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tashkent {
+namespace json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : type_(Type::kNull) {}
+  Value(bool b) : type_(Type::kBool), bool_(b) {}                   // NOLINT
+  Value(double n) : type_(Type::kNumber), number_(n) {}             // NOLINT
+  Value(int n) : type_(Type::kNumber), number_(n) {}                // NOLINT
+  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Value(const char* s) : type_(Type::kString), string_(s) {}        // NOLINT
+
+  static Value Array() {
+    Value v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static Value Object() {
+    Value v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  // Parses a complete JSON document; throws std::invalid_argument (with a
+  // byte offset) on malformed input or trailing garbage.
+  static Value Parse(const std::string& text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; throw std::logic_error on type mismatch.
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const std::vector<Value>& Items() const;                          // array
+  const std::vector<std::pair<std::string, Value>>& Members() const;  // object
+
+  // Array append.
+  void Append(Value v);
+  // Object insert-or-replace (keeps first-insertion position on replace).
+  void Set(const std::string& key, Value v);
+  // Object lookup; throws std::out_of_range when the key is absent.
+  const Value& At(const std::string& key) const;
+  // Object lookup; returns nullptr when absent (or not an object).
+  const Value* Find(const std::string& key) const;
+
+  size_t size() const;
+
+  // Serializes the document. indent > 0 pretty-prints with that many spaces
+  // per level; indent == 0 renders compactly on one line.
+  std::string Dump(int indent = 0) const;
+
+  // Structural equality: arrays ordered, objects unordered, numbers exact.
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+}  // namespace json
+}  // namespace tashkent
+
+#endif  // SRC_COMMON_JSON_H_

@@ -1,0 +1,41 @@
+#include "src/common/worker_pool.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace tashkent {
+
+void ParallelFor(int jobs, size_t count, const std::function<void(size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  if (jobs <= 1 || count == 1) {
+    for (size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  const size_t workers = std::min(static_cast<size_t>(jobs), count);
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) {
+        return;
+      }
+      fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (size_t t = 1; t < workers; ++t) {
+    threads.emplace_back(worker);
+  }
+  worker();  // the calling thread is worker 0
+  for (std::thread& t : threads) {
+    t.join();
+  }
+}
+
+}  // namespace tashkent

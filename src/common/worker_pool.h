@@ -1,0 +1,29 @@
+// Bounded fork-join parallelism for embarrassingly parallel index spaces.
+//
+// The campaign runner executes independent simulation cells (each Cluster
+// owns its own Simulator, so cells share no mutable state) on a fixed-size
+// std::thread pool. ParallelFor is the whole surface: a work-stealing-free
+// atomic-counter loop — items are claimed in index order, so with jobs == 1
+// execution order equals index order, and with jobs > 1 only the
+// interleaving changes, never the per-item inputs.
+#ifndef SRC_COMMON_WORKER_POOL_H_
+#define SRC_COMMON_WORKER_POOL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace tashkent {
+
+// Invokes fn(i) for every i in [0, count) on up to `jobs` worker threads
+// (clamped to [1, count]; jobs <= 1 runs inline on the caller's thread with
+// no thread spawned). Blocks until every item has completed.
+//
+// Contract: fn must be safe to call concurrently for distinct indices and
+// must not throw — an escaping exception would terminate the worker thread
+// and the process. Callers that can fail capture errors into their per-index
+// result slot instead (see campaign.cc).
+void ParallelFor(int jobs, size_t count, const std::function<void(size_t)>& fn);
+
+}  // namespace tashkent
+
+#endif  // SRC_COMMON_WORKER_POOL_H_
