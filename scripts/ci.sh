@@ -31,4 +31,47 @@ if [ "${missing}" -ne 0 ]; then
   exit 1
 fi
 
+# Every ClusterMutator verb must appear in the operator's handbook. The verb
+# list is extracted from the `// verb: <Name>` tags on the declarations in
+# mutator.h, so adding a verb without documenting it fails here.
+# `|| true` keeps set -e from killing the script before the empty-list
+# diagnostic below can fire.
+verbs=$(grep -oE 'verb: [A-Za-z]+' src/cluster/mutator.h | awk '{print $2}' | sort -u || true)
+if [ -z "${verbs}" ]; then
+  echo "ci: no 'verb:' tags found in src/cluster/mutator.h" >&2
+  exit 1
+fi
+for verb in ${verbs}; do
+  if ! grep -q "\b${verb}\b" docs/OPERATIONS.md; then
+    echo "ci: ClusterMutator verb '${verb}' is not documented in docs/OPERATIONS.md" >&2
+    missing=1
+  fi
+done
+if [ "${missing}" -ne 0 ]; then
+  exit 1
+fi
+
+# --- markdown link check -----------------------------------------------------
+# Every relative link in README.md and docs/*.md must resolve to a file that
+# exists (anchors and external URLs are skipped).
+broken=0
+for md in README.md docs/*.md; do
+  dir=$(dirname "${md}")
+  # Extract (target) parts of [text](target) links, strip #fragments.
+  while IFS= read -r target; do
+    case "${target}" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "${path}" ] && continue
+    if [ ! -e "${dir}/${path}" ]; then
+      echo "ci: broken link in ${md}: ${target}" >&2
+      broken=1
+    fi
+  done < <(grep -oE '\]\([^)[:space:]]+\)' "${md}" | sed -e 's/^](//' -e 's/)$//')
+done
+if [ "${broken}" -ne 0 ]; then
+  exit 1
+fi
+
 echo "ci: OK"

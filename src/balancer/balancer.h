@@ -44,6 +44,19 @@ class LoadBalancer {
     (void)type;
   }
 
+  // --- Topology hooks (ClusterMutator verbs) -------------------------------
+  // A replica joined the cluster at runtime (AddReplica). The default appends
+  // it to the routable proxy list and signals a topology change; policies
+  // with derived state extend OnTopologyChange rather than this.
+  virtual void OnReplicaAdded(Proxy* proxy) {
+    context_.proxies.push_back(proxy);
+    OnTopologyChange();
+  }
+  // Replica capacities or count changed (AddReplica / ResizeMemory). Policies
+  // that precompute against the topology (MALB's packing) refresh here;
+  // connection-count policies need nothing.
+  virtual void OnTopologyChange() {}
+
   virtual std::string name() const = 0;
 
   size_t replica_count() const { return context_.proxies.size(); }

@@ -12,8 +12,116 @@ MalbBalancer::MalbBalancer(BalancerContext context, MalbConfig config)
   if (context_.proxies.empty()) {
     throw std::invalid_argument("MALB requires at least one replica");
   }
-  const ReplicaConfig& rc = context_.proxies.front()->replica().config();
-  capacity_pages_ = BytesToPages(rc.memory - rc.reserved);
+  RefreshCapacities();
+}
+
+void MalbBalancer::RefreshCapacities() {
+  // Per-replica capacity, not proxies.front()'s: replicas may be resized at
+  // runtime or configured heterogeneously, and silently packing every bin to
+  // replica 0's size would mis-place groups on smaller machines.
+  capacity_pages_.clear();
+  capacity_pages_.reserve(context_.proxies.size());
+  for (const Proxy* proxy : context_.proxies) {
+    const ReplicaConfig& rc = proxy->replica().config();
+    if (rc.memory <= rc.reserved) {
+      throw std::invalid_argument(
+          "MALB: replica " + std::to_string(proxy->replica_id()) + " has memory " +
+          std::to_string(rc.memory / kMiB) + " MB <= reserved " +
+          std::to_string(rc.reserved / kMiB) +
+          " MB; no pages would remain for packing");
+    }
+    capacity_pages_.push_back(BytesToPages(rc.memory - rc.reserved));
+  }
+}
+
+Pages MalbBalancer::GroupNeedPages(const RuntimeGroup& group) const {
+  // A replica hosting a merged group accepts cache contention by design
+  // (splitting undoes it), so feasibility asks for the largest single packed
+  // group, not the merged sum.
+  Pages need = 0;
+  for (size_t p : group.packed) {
+    need = std::max(need, packing_.groups[p].estimate_pages);
+  }
+  return need;
+}
+
+bool MalbBalancer::Fits(size_t replica, const RuntimeGroup& group) const {
+  const Pages need = GroupNeedPages(group);
+  if (need <= capacity_pages_[replica]) {
+    return true;
+  }
+  // A group NO replica can host (a true overflow type) is hosted at a loss
+  // wherever it lands, so it is "feasible" everywhere. A group that merely
+  // exceeds THIS replica but fits a larger one must wait for a big replica —
+  // the packer's per-bin overflow flag is not consulted here, because a
+  // group seeded into a small bin can still have hosts among the large
+  // replicas.
+  const Pages max_capacity =
+      *std::max_element(capacity_pages_.begin(), capacity_pages_.end());
+  return need > max_capacity;
+}
+
+size_t MalbBalancer::ThinnestFeasibleGroup(size_t replica) const {
+  size_t thinnest = groups_.size();
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    if (!Fits(replica, groups_[g])) {
+      continue;
+    }
+    if (thinnest == groups_.size() ||
+        groups_[g].replicas.size() < groups_[thinnest].replicas.size()) {
+      thinnest = g;
+    }
+  }
+  if (thinnest != groups_.size()) {
+    return thinnest;
+  }
+  // The replica fits nothing (it is smaller than every group's working set):
+  // park it on the group that needs the least memory rather than idling it.
+  size_t smallest = 0;
+  for (size_t g = 1; g < groups_.size(); ++g) {
+    if (GroupNeedPages(groups_[g]) < GroupNeedPages(groups_[smallest])) {
+      smallest = g;
+    }
+  }
+  return smallest;
+}
+
+void MalbBalancer::OnTopologyChange() {
+  RefreshCapacities();
+  if (groups_.empty() || config_.freeze_allocation || filtering_installed_) {
+    // Not started yet, pinned (Figure 6 baseline), or filtering froze the
+    // grouping; membership fixes still happen on the next allocation tick.
+    return;
+  }
+  // Re-pack against the new capacity vector; same signature-gated rebuild as
+  // the periodic regroup. When the packing is unchanged, just re-home
+  // replicas that no longer fit their group (or are new).
+  if (!RepackIfChanged()) {
+    PruneAndAdoptReplicas();
+  }
+}
+
+bool MalbBalancer::RepackIfChanged() {
+  // Re-read catalog sizes and capacities; if the packing changed (table
+  // growth or a capacity change moved a type across a bin boundary), rebuild
+  // groups and start over with an even allocation.
+  std::vector<TypeWorkingSet> fresh = BuildWorkingSets(*context_.registry, *context_.schema);
+  PackingResult repacked = PackTransactionGroups(fresh, capacity_pages_, config_.method);
+  if (PackingSignature(repacked) == packing_signature_) {
+    return false;
+  }
+  working_sets_ = std::move(fresh);
+  packing_ = std::move(repacked);
+  packing_signature_ = PackingSignature(packing_);
+  groups_.clear();
+  groups_.resize(packing_.groups.size());
+  for (size_t g = 0; g < packing_.groups.size(); ++g) {
+    groups_[g].packed = {g};
+  }
+  RebuildTypeMap();
+  InitialAllocation();
+  stable_ticks_ = 0;
+  return true;
 }
 
 std::string MalbBalancer::name() const {
@@ -75,10 +183,33 @@ void MalbBalancer::InitialAllocation() {
   if (groups_.empty()) {
     return;
   }
+  // Replicas visit in capacity-descending order (stable: index breaks ties),
+  // each taking the next group in the round-robin it can actually host —
+  // aligning big replicas with big groups. With homogeneous capacities every
+  // group fits every replica and this is exactly the plain round-robin.
+  std::vector<size_t> replica_order(n_replicas);
+  for (size_t i = 0; i < n_replicas; ++i) {
+    replica_order[i] = i;
+  }
+  std::stable_sort(replica_order.begin(), replica_order.end(),
+                   [this](size_t a, size_t b) {
+                     return capacity_pages_[a] > capacity_pages_[b];
+                   });
   size_t next = 0;
-  for (size_t r = 0; r < n_replicas; ++r) {
-    groups_[order[next]].replicas.push_back(r);
-    next = (next + 1) % order.size();
+  for (size_t r : replica_order) {
+    bool placed = false;
+    for (size_t k = 0; k < order.size(); ++k) {
+      const size_t g = order[(next + k) % order.size()];
+      if (Fits(r, groups_[g])) {
+        groups_[g].replicas.push_back(r);
+        next = (next + k + 1) % order.size();
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      groups_[ThinnestFeasibleGroup(r)].replicas.push_back(r);
+    }
   }
 }
 
@@ -224,12 +355,15 @@ bool MalbBalancer::PruneAndAdoptReplicas() {
   std::vector<bool> assigned(context_.proxies.size(), false);
   for (auto& g : groups_) {
     for (size_t i = 0; i < g.replicas.size();) {
-      if (!context_.proxies[g.replicas[i]]->available()) {
+      const size_t r = g.replicas[i];
+      // Drop crashed replicas, and replicas a resize left too small for
+      // their group (they re-home through the adoption pass below).
+      if (!context_.proxies[r]->available() || !Fits(r, g)) {
         g.replicas[i] = g.replicas.back();
         g.replicas.pop_back();
         changed = true;
       } else {
-        assigned[g.replicas[i]] = true;
+        assigned[r] = true;
         ++i;
       }
     }
@@ -238,14 +372,9 @@ bool MalbBalancer::PruneAndAdoptReplicas() {
     if (assigned[r] || !context_.proxies[r]->available()) {
       continue;
     }
-    // A restarted (or never-assigned) replica joins the thinnest group.
-    size_t thinnest = 0;
-    for (size_t g = 1; g < groups_.size(); ++g) {
-      if (groups_[g].replicas.size() < groups_[thinnest].replicas.size()) {
-        thinnest = g;
-      }
-    }
-    groups_[thinnest].replicas.push_back(r);
+    // A recovered (or newly added / resized / never-assigned) replica joins
+    // the thinnest group it can host.
+    groups_[ThinnestFeasibleGroup(r)].replicas.push_back(r);
     changed = true;
   }
   return changed;
@@ -279,12 +408,15 @@ bool MalbBalancer::TrySplitMostLoaded(const std::vector<GroupLoad>& loads) {
   }
 
   // Split: the merged group's packed halves become two runtime groups; the
-  // first keeps the existing replicas, the second takes one from the donor.
-  RuntimeGroup& merged = groups_[most];
+  // first keeps the existing replicas, the second takes one from the donor —
+  // which must be able to host the split-off half.
   RuntimeGroup second;
-  second.packed.assign(merged.packed.begin() + 1, merged.packed.end());
-  merged.packed.resize(1);
-  const size_t stolen = PickDonorReplica(groups_[donor]);
+  second.packed.assign(groups_[most].packed.begin() + 1, groups_[most].packed.end());
+  const size_t stolen = PickDonorReplica(groups_[donor], &second);
+  if (stolen == SIZE_MAX) {
+    return false;  // no donor replica fits the split-off group
+  }
+  groups_[most].packed.resize(1);
   second.replicas.push_back(stolen);
   groups_.push_back(std::move(second));
   RebuildTypeMap();
@@ -308,26 +440,55 @@ bool MalbBalancer::TryMerge(const std::vector<GroupLoad>& loads) {
   if (most == a || most == b) {
     return false;  // nothing would gain from the reclaimed replica
   }
+  // a's replicas must be able to host the union of both groups' working
+  // sets; on a heterogeneous cluster merging a big group onto a small
+  // replica would thrash and be undone next tick.
+  {
+    RuntimeGroup merged_preview = groups_[a];
+    merged_preview.packed.insert(merged_preview.packed.end(), groups_[b].packed.begin(),
+                                 groups_[b].packed.end());
+    for (size_t r : groups_[a].replicas) {
+      if (!Fits(r, merged_preview)) {
+        return false;
+      }
+    }
+  }
   RuntimeGroup& ga = groups_[a];
   RuntimeGroup& gb = groups_[b];
   ga.packed.insert(ga.packed.end(), gb.packed.begin(), gb.packed.end());
-  groups_[most].replicas.push_back(gb.replicas.front());
+  const size_t freed = gb.replicas.front();
+  // Erase b before re-homing the freed replica so fallback group indices are
+  // valid (most != a and most != b, checked above).
+  const size_t most_after = most > b ? most - 1 : most;
   groups_.erase(groups_.begin() + static_cast<std::ptrdiff_t>(b));
+  if (Fits(freed, groups_[most_after])) {
+    groups_[most_after].replicas.push_back(freed);
+  } else {
+    groups_[ThinnestFeasibleGroup(freed)].replicas.push_back(freed);
+  }
   RebuildTypeMap();
   return true;
 }
 
-size_t MalbBalancer::PickDonorReplica(RuntimeGroup& donor) {
-  // Take the replica with the fewest outstanding transactions; in-flight work
-  // drains where it is, new work routes to the new group immediately.
-  size_t best_idx = 0;
-  size_t best_out = context_.proxies[donor.replicas[0]]->outstanding();
-  for (size_t i = 1; i < donor.replicas.size(); ++i) {
-    const size_t out = context_.proxies[donor.replicas[i]]->outstanding();
+size_t MalbBalancer::PickDonorReplica(RuntimeGroup& donor, const RuntimeGroup* target) {
+  // Take the replica with the fewest outstanding transactions (in-flight work
+  // drains where it is, new work routes to the new group immediately) among
+  // those able to host the target group. SIZE_MAX when none can.
+  size_t best_idx = donor.replicas.size();
+  size_t best_out = SIZE_MAX;
+  for (size_t i = 0; i < donor.replicas.size(); ++i) {
+    const size_t r = donor.replicas[i];
+    if (target != nullptr && !Fits(r, *target)) {
+      continue;
+    }
+    const size_t out = context_.proxies[r]->outstanding();
     if (out < best_out) {
       best_idx = i;
       best_out = out;
     }
+  }
+  if (best_idx == donor.replicas.size()) {
+    return SIZE_MAX;
   }
   const size_t replica = donor.replicas[best_idx];
   donor.replicas.erase(donor.replicas.begin() + static_cast<std::ptrdiff_t>(best_idx));
@@ -338,24 +499,32 @@ void MalbBalancer::MoveReplica(size_t from_group, size_t to_group) {
   if (groups_[from_group].replicas.size() <= 1) {
     return;  // never strand a group
   }
-  const size_t replica = PickDonorReplica(groups_[from_group]);
+  const size_t replica = PickDonorReplica(groups_[from_group], &groups_[to_group]);
+  if (replica == SIZE_MAX) {
+    return;  // no donor replica can host the destination group
+  }
   groups_[to_group].replicas.push_back(replica);
 }
 
 void MalbBalancer::ApplyFastTargets(const std::vector<int>& targets) {
   // Collect surplus replicas from groups above target, hand them to groups
-  // below target, largest deficit first.
+  // below target, largest deficit first; a needy group only receives pool
+  // replicas that can host it.
   std::vector<size_t> pool;
   for (size_t g = 0; g < groups_.size(); ++g) {
     while (static_cast<int>(groups_[g].replicas.size()) > targets[g] &&
            groups_[g].replicas.size() > 1) {
-      pool.push_back(PickDonorReplica(groups_[g]));
+      pool.push_back(PickDonorReplica(groups_[g], nullptr));
     }
   }
+  std::vector<bool> unsatisfiable(groups_.size(), false);
   while (!pool.empty()) {
     size_t needy = groups_.size();
     int worst_deficit = 0;
     for (size_t g = 0; g < groups_.size(); ++g) {
+      if (unsatisfiable[g]) {
+        continue;
+      }
       const int deficit = targets[g] - static_cast<int>(groups_[g].replicas.size());
       if (deficit > worst_deficit) {
         worst_deficit = deficit;
@@ -363,14 +532,27 @@ void MalbBalancer::ApplyFastTargets(const std::vector<int>& targets) {
       }
     }
     if (needy == groups_.size()) {
-      // Targets met; return leftovers to the first group (should not happen
-      // when targets sum to the replica count).
-      groups_.front().replicas.push_back(pool.back());
+      // Targets met (or unmeetable): re-home leftovers to any group they fit.
+      const size_t replica = pool.back();
       pool.pop_back();
+      groups_[ThinnestFeasibleGroup(replica)].replicas.push_back(replica);
       continue;
     }
-    groups_[needy].replicas.push_back(pool.back());
-    pool.pop_back();
+    // Newest pool entry first (preserves the homogeneous pop_back order),
+    // skipping replicas too small for the needy group.
+    size_t take = pool.size();
+    for (size_t i = pool.size(); i-- > 0;) {
+      if (Fits(pool[i], groups_[needy])) {
+        take = i;
+        break;
+      }
+    }
+    if (take == pool.size()) {
+      unsatisfiable[needy] = true;  // nothing in the pool can host it
+      continue;
+    }
+    groups_[needy].replicas.push_back(pool[take]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(take));
   }
 }
 
@@ -378,25 +560,7 @@ void MalbBalancer::RegroupTick() {
   if (filtering_installed_ || config_.freeze_allocation) {
     return;
   }
-  // Re-read catalog sizes; if packing changes (table growth/shrinkage moved a
-  // type across a bin boundary), rebuild groups and start over with an even
-  // allocation.
-  std::vector<TypeWorkingSet> fresh = BuildWorkingSets(*context_.registry, *context_.schema);
-  PackingResult repacked = PackTransactionGroups(fresh, capacity_pages_, config_.method);
-  if (PackingSignature(repacked) == packing_signature_) {
-    return;
-  }
-  working_sets_ = std::move(fresh);
-  packing_ = std::move(repacked);
-  packing_signature_ = PackingSignature(packing_);
-  groups_.clear();
-  groups_.resize(packing_.groups.size());
-  for (size_t g = 0; g < packing_.groups.size(); ++g) {
-    groups_[g].packed = {g};
-  }
-  RebuildTypeMap();
-  InitialAllocation();
-  stable_ticks_ = 0;
+  RepackIfChanged();
 }
 
 uint64_t MalbBalancer::PackingSignature(const PackingResult& packing) const {

@@ -2,8 +2,9 @@
 //
 // On Start() the balancer builds working sets from plan + catalog facts
 // (src/core/working_set.h), packs them into transaction groups
-// (src/core/bin_packing.h) against the replica memory available after the
-// 70 MB system reservation, and spreads replicas over the groups. A periodic
+// (src/core/bin_packing.h) against each replica's memory available after the
+// 70 MB system reservation (replicas may differ in size — heterogeneous bin
+// packing), and spreads replicas over the groups they can host. A periodic
 // allocation tick then:
 //   1. refreshes per-group loads from the replica monitors (smoothed CPU and
 //      disk utilizations, MAX as the bottleneck measure);
@@ -102,6 +103,21 @@ class MalbBalancer : public LoadBalancer {
   const std::vector<RuntimeGroup>& runtime_groups() const { return groups_; }
   bool filtering_installed() const { return filtering_installed_; }
 
+  // Per-replica usable memory in pages (memory - reserved), by proxy index.
+  // Heterogeneous clusters have differing entries; allocation only places a
+  // replica in a group it can host (see Fits).
+  const std::vector<Pages>& capacity_pages() const { return capacity_pages_; }
+
+  // True when replica `replica` can host runtime group `group`: the largest
+  // packed estimate fits the replica's capacity. Groups exceeding EVERY
+  // replica's capacity (true overflow types) are feasible everywhere — they
+  // are hosted at a loss wherever they land, as in the paper.
+  bool Fits(size_t replica, const RuntimeGroup& group) const;
+
+  // Capacities or replica count changed (AddReplica / ResizeMemory): re-read
+  // per-replica memory, re-validate it, and re-pack if the packing changed.
+  void OnTopologyChange() override;
+
   // Group sizes/types for reporting (Tables 2 and 4).
   std::vector<std::vector<TxnTypeId>> GroupTypeIds() const;
   std::vector<int> GroupReplicaCounts() const;
@@ -121,14 +137,26 @@ class MalbBalancer : public LoadBalancer {
   }
 
  private:
+  void RefreshCapacities();
+  Pages GroupNeedPages(const RuntimeGroup& group) const;
+  // The feasible group with the fewest replicas (unassigned-replica adoption
+  // and infeasible-move fallbacks); falls back to the smallest-need group
+  // when the replica fits nothing.
+  size_t ThinnestFeasibleGroup(size_t replica) const;
   void BuildGroups();
   void InitialAllocation();
   void AllocationTick();
   void RegroupTick();
+  // Shared by RegroupTick and OnTopologyChange: re-derive working sets and
+  // packing; on a signature change, rebuild groups + allocation and return
+  // true.
+  bool RepackIfChanged();
   void RebuildTypeMap();
   void MoveReplica(size_t from_group, size_t to_group);
   bool PruneAndAdoptReplicas();
-  size_t PickDonorReplica(RuntimeGroup& donor);
+  // Removes and returns the donor's least-busy replica that fits `target`
+  // (nullptr = no feasibility constraint); SIZE_MAX when none fits.
+  size_t PickDonorReplica(RuntimeGroup& donor, const RuntimeGroup* target);
   void ApplyFastTargets(const std::vector<int>& targets);
   bool TrySplitMostLoaded(const std::vector<GroupLoad>& loads);
   bool TryMerge(const std::vector<GroupLoad>& loads);
@@ -138,7 +166,7 @@ class MalbBalancer : public LoadBalancer {
   uint64_t PackingSignature(const PackingResult& packing) const;
 
   MalbConfig config_;
-  Pages capacity_pages_ = 0;
+  std::vector<Pages> capacity_pages_;  // usable pages per proxy index
   std::vector<TypeWorkingSet> working_sets_;
   PackingResult packing_;
   std::vector<RuntimeGroup> groups_;

@@ -1,5 +1,6 @@
 #include "src/cluster/cluster.h"
 
+#include <stdexcept>
 #include <utility>
 
 #include "src/balancer/registry.h"
@@ -16,9 +17,18 @@ Cluster::Cluster(const Workload& workload, std::string mix_name, std::string pol
       timeline_(config.timeline_bucket) {
   Rng root(config_.seed);
 
+  if (!config_.replica_memory.empty() && config_.replica_memory.size() != config_.replicas) {
+    throw std::invalid_argument(
+        "ClusterConfig.replica_memory has " + std::to_string(config_.replica_memory.size()) +
+        " entries but the cluster has " + std::to_string(config_.replicas) + " replicas");
+  }
   for (size_t r = 0; r < config_.replicas; ++r) {
+    ReplicaConfig rc = config_.replica;
+    if (!config_.replica_memory.empty()) {
+      rc.memory = config_.replica_memory[r];
+    }
     replicas_.push_back(std::make_unique<Replica>(&sim_, &workload.schema,
-                                                  static_cast<ReplicaId>(r), config_.replica,
+                                                  static_cast<ReplicaId>(r), rc,
                                                   root.Fork()));
     proxies_.push_back(
         std::make_unique<Proxy>(&sim_, replicas_.back().get(), &certifier_, config_.proxy));
@@ -61,6 +71,8 @@ Cluster::Cluster(const Workload& workload, std::string mix_name, std::string pol
     (void)type;
     ++aborted_;
   });
+
+  topology_rng_ = root.Fork();
 }
 
 void Cluster::Advance(SimDuration d) {
@@ -90,9 +102,38 @@ void Cluster::FreezeAllocation() {
   }
 }
 
-void Cluster::CrashReplica(size_t index) { proxies_.at(index)->Crash(); }
+void Cluster::KillReplica(size_t index) { proxies_.at(index)->Crash(); }
 
-void Cluster::RestartReplica(size_t index) { proxies_.at(index)->Restart(); }
+void Cluster::RecoverReplica(size_t index) { proxies_.at(index)->Recover(); }
+
+size_t Cluster::AddReplica(Bytes memory) {
+  ReplicaConfig rc = config_.replica;
+  if (memory > 0) {
+    rc.memory = memory;
+  }
+  const ReplicaId id = static_cast<ReplicaId>(replicas_.size());
+  replicas_.push_back(std::make_unique<Replica>(&sim_, &workload_->schema, id, rc,
+                                                topology_rng_.Fork()));
+  proxies_.push_back(
+      std::make_unique<Proxy>(&sim_, replicas_.back().get(), &certifier_, config_.proxy));
+  Proxy* proxy = proxies_.back().get();
+  if (started_) {
+    replicas_.back()->StartDaemons();
+    proxy->StartDaemons();
+  }
+  // The balancer learns about the proxy before it joins, so routing state is
+  // ready the moment recovery completes.
+  balancer_->OnReplicaAdded(proxy);
+  // A new replica starts from an empty database: it replays the entire
+  // certifier log (filtered by any subscription) before serving.
+  proxy->JoinAsNew();
+  return proxies_.size() - 1;
+}
+
+void Cluster::ResizeMemory(size_t index, Bytes memory) {
+  replicas_.at(index)->ResizeMemory(memory);
+  balancer_->OnTopologyChange();
+}
 
 void Cluster::ResetMetrics() {
   committed_ = 0;
@@ -133,6 +174,21 @@ ExperimentResult Cluster::Collect(SimDuration measure_window) const {
     reads += r->stats().disk_read_bytes + r->stats().apply_read_bytes;
     writes += r->stats().disk_write_bytes;
   }
+
+  double recovery_time_s = 0.0;
+  for (const auto& p : proxies_) {
+    out.rejected += p->stats().rejected;
+    out.recoveries += p->stats().recoveries;
+    recovery_time_s += p->stats().recovery_time_s;
+    out.replay_applied += p->stats().replay_applied;
+    out.replay_filtered += p->stats().replay_filtered;
+  }
+  // Client-visible attempts = commits + aborts (the abort count includes the
+  // rejections, since a refused submission reports as an abort to its client).
+  const double attempts = static_cast<double>(committed_ + aborted_);
+  out.availability = attempts > 0 ? 1.0 - static_cast<double>(out.rejected) / attempts : 1.0;
+  out.recovery_lag_s =
+      out.recoveries > 0 ? recovery_time_s / static_cast<double>(out.recoveries) : 0.0;
   if (committed_ > 0) {
     const double denom =
         static_cast<double>(committed_) * static_cast<double>(replicas_.size());

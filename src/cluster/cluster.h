@@ -32,6 +32,11 @@ namespace tashkent {
 struct ClusterConfig {
   size_t replicas = 16;
   ReplicaConfig replica;
+  // Per-replica RAM overrides for heterogeneous clusters: when non-empty it
+  // must have exactly `replicas` entries and replica i gets replica_memory[i]
+  // instead of replica.memory (everything else in `replica` still applies).
+  // The constructor throws std::invalid_argument on a size mismatch.
+  std::vector<Bytes> replica_memory;
   CertifierConfig certifier;
   ProxyConfig proxy;
   LardConfig lard;
@@ -65,6 +70,20 @@ struct ExperimentResult {
   // warmup), for Figure 6.
   std::vector<double> timeline;
   SimDuration timeline_bucket = Seconds(30.0);
+
+  // --- churn metrics (docs/OPERATIONS.md has the glossary) -----------------
+  // Submissions refused by down/recovering replicas during the window.
+  uint64_t rejected = 0;
+  // Fraction of client attempts not lost to unavailability:
+  // 1 - rejected / (committed + client-visible aborts). 1.0 when idle.
+  double availability = 1.0;
+  // Recoveries completed inside the window and their mean replay time.
+  uint64_t recoveries = 0;
+  double recovery_lag_s = 0.0;
+  // Writesets applied vs filtered during recovery replay (update filtering is
+  // what shrinks replay volume — the Section 3 claim under churn).
+  uint64_t replay_applied = 0;
+  uint64_t replay_filtered = 0;
 };
 
 class Cluster {
@@ -92,10 +111,28 @@ class Cluster {
   // Freezes MALB allocation in its current state (static-configuration
   // baseline). No-op for non-MALB policies.
   void FreezeAllocation();
-  // Failure injection: fail-stop a replica / bring it back with a cold cache
-  // (it catches up from the certifier log).
-  void CrashReplica(size_t index);
-  void RestartReplica(size_t index);
+
+  // --- Churn verbs (the ClusterMutator surface; src/cluster/mutator.h wraps
+  // these with simulator-event scheduling and a mutation log) ---------------
+  // Fail-stop replica `index`: it rejects new work until recovered.
+  void KillReplica(size_t index);
+  // Begins recovery of a killed replica: cold cache, replays the certifier's
+  // committed-writeset log (through its update-filtering subscription) and
+  // rejoins once caught up with the log head.
+  void RecoverReplica(size_t index);
+  // Grows the cluster by one replica (`memory` = 0 uses the configured
+  // default). The new replica joins recovering — it replays the whole log —
+  // and the balancer is told via OnReplicaAdded. Returns the new index.
+  size_t AddReplica(Bytes memory = 0);
+  // Changes replica `index`'s RAM at runtime; shrinking evicts cache, and the
+  // balancer re-packs via OnTopologyChange. Throws std::invalid_argument
+  // when memory <= the configured reservation.
+  void ResizeMemory(size_t index, Bytes memory);
+
+  // Deprecated aliases (pre-churn verb names).
+  void CrashReplica(size_t index) { KillReplica(index); }
+  void RestartReplica(size_t index) { RecoverReplica(index); }
+
   // Resets measurement counters and measures one window.
   ExperimentResult Measure(SimDuration measure);
 
@@ -103,6 +140,7 @@ class Cluster {
   MalbBalancer* malb() { return malb_; }
   LoadBalancer& balancer() { return *balancer_; }
   const std::vector<std::unique_ptr<Replica>>& replicas() const { return replicas_; }
+  const std::vector<std::unique_ptr<Proxy>>& proxies() const { return proxies_; }
   ClientPool& clients() { return *clients_; }
 
   const Workload& workload() const { return *workload_; }
@@ -130,6 +168,9 @@ class Cluster {
   std::unique_ptr<LoadBalancer> balancer_;
   MalbBalancer* malb_ = nullptr;  // non-owning view when the balancer is MALB
   std::unique_ptr<ClientPool> clients_;
+  // Seed stream for replicas added at runtime; forked from the root LAST so
+  // pre-churn seed streams (replicas, clients) are unchanged.
+  Rng topology_rng_{0};
 
   // Measurement state.
   uint64_t committed_ = 0;

@@ -1,0 +1,61 @@
+#include "src/cluster/mutator.h"
+
+#include <functional>
+#include <utility>
+
+namespace tashkent {
+
+void ClusterMutator::Record(const std::string& verb, size_t replica, Bytes memory) {
+  log_.push_back(MutationRecord{cluster_->sim().Now(), verb, replica, memory});
+}
+
+void ClusterMutator::KillReplica(size_t index) {
+  cluster_->KillReplica(index);
+  Record("KillReplica", index, 0);
+}
+
+void ClusterMutator::RecoverReplica(size_t index) {
+  cluster_->RecoverReplica(index);
+  Record("RecoverReplica", index, 0);
+}
+
+size_t ClusterMutator::AddReplica(Bytes memory) {
+  const size_t index = cluster_->AddReplica(memory);
+  Record("AddReplica", index, memory);
+  return index;
+}
+
+void ClusterMutator::ResizeMemory(size_t index, Bytes memory) {
+  cluster_->ResizeMemory(index, memory);
+  Record("ResizeMemory", index, memory);
+}
+
+void ClusterMutator::ScheduleGuarded(SimDuration delay, std::function<void()> fn) {
+  // The weak token makes a destroyed mutator's pending events no-ops instead
+  // of use-after-free: the cluster (and its simulator) outlive the event, the
+  // mutator may not.
+  cluster_->sim().ScheduleAfter(
+      delay, [alive = std::weak_ptr<bool>(alive_), fn = std::move(fn)]() {
+        if (alive.lock()) {
+          fn();
+        }
+      });
+}
+
+void ClusterMutator::KillReplicaAt(SimDuration delay, size_t index) {
+  ScheduleGuarded(delay, [this, index]() { KillReplica(index); });
+}
+
+void ClusterMutator::RecoverReplicaAt(SimDuration delay, size_t index) {
+  ScheduleGuarded(delay, [this, index]() { RecoverReplica(index); });
+}
+
+void ClusterMutator::AddReplicaAt(SimDuration delay, Bytes memory) {
+  ScheduleGuarded(delay, [this, memory]() { AddReplica(memory); });
+}
+
+void ClusterMutator::ResizeMemoryAt(SimDuration delay, size_t index, Bytes memory) {
+  ScheduleGuarded(delay, [this, index, memory]() { ResizeMemory(index, memory); });
+}
+
+}  // namespace tashkent

@@ -24,6 +24,15 @@ void PrintIoRow(const std::string& label, double paper_write_kb, double paper_re
               paper_write_kb, paper_read_kb, write_kb, read_kb);
 }
 
+void PrintAvailabilityRow(const std::string& label, double availability,
+                          double recovery_lag_s, uint64_t replay_applied,
+                          uint64_t replay_filtered) {
+  std::printf("%-28s  avail %6.2f%%   recovery lag %6.1f s   replay %llu applied / %llu filtered\n",
+              label.c_str(), availability * 100.0, recovery_lag_s,
+              static_cast<unsigned long long>(replay_applied),
+              static_cast<unsigned long long>(replay_filtered));
+}
+
 void PrintGroups(const std::vector<GroupReport>& groups) {
   std::printf("%-70s %s\n", "transaction group", "replicas");
   for (const auto& g : groups) {

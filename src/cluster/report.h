@@ -21,6 +21,13 @@ void PrintTpsRow(const std::string& label, double paper_tps, double measured_tps
 void PrintIoRow(const std::string& label, double paper_write_kb, double paper_read_kb,
                 double write_kb, double read_kb);
 
+// One churn-metrics row (availability, recovery lag, replay volume); printed
+// under runs that saw rejections or completed recoveries. Metrics glossary:
+// docs/OPERATIONS.md.
+void PrintAvailabilityRow(const std::string& label, double availability,
+                          double recovery_lag_s, uint64_t replay_applied,
+                          uint64_t replay_filtered);
+
 // Prints a grouping table (Tables 2/4).
 void PrintGroups(const std::vector<GroupReport>& groups);
 

@@ -45,16 +45,6 @@ ScenarioBuilder& ScenarioBuilder::SwitchMix(std::string mix_name) {
   return *this;
 }
 
-ScenarioBuilder& ScenarioBuilder::CrashReplica(size_t index) {
-  phases_.push_back({ScenarioPhase::Kind::kCrashReplica, Seconds(0.0), {}, index});
-  return *this;
-}
-
-ScenarioBuilder& ScenarioBuilder::RestartReplica(size_t index) {
-  phases_.push_back({ScenarioPhase::Kind::kRestartReplica, Seconds(0.0), {}, index});
-  return *this;
-}
-
 ScenarioBuilder& ScenarioBuilder::FreezeAllocation() {
   phases_.push_back({ScenarioPhase::Kind::kFreezeAllocation, Seconds(0.0), {}, 0});
   return *this;
@@ -65,8 +55,45 @@ ScenarioBuilder& ScenarioBuilder::Advance(SimDuration d) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::KillReplica(size_t index) {
+  return KillReplicaAt(Seconds(0.0), index);
+}
+
+ScenarioBuilder& ScenarioBuilder::RecoverReplica(size_t index) {
+  return RecoverReplicaAt(Seconds(0.0), index);
+}
+
+ScenarioBuilder& ScenarioBuilder::AddReplica(Bytes memory) {
+  return AddReplicaAt(Seconds(0.0), memory);
+}
+
+ScenarioBuilder& ScenarioBuilder::ResizeMemory(size_t index, Bytes memory) {
+  return ResizeMemoryAt(Seconds(0.0), index, memory);
+}
+
+ScenarioBuilder& ScenarioBuilder::KillReplicaAt(SimDuration delay, size_t index) {
+  phases_.push_back({ScenarioPhase::Kind::kKillReplica, Seconds(0.0), {}, index, delay, 0});
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::RecoverReplicaAt(SimDuration delay, size_t index) {
+  phases_.push_back({ScenarioPhase::Kind::kRecoverReplica, Seconds(0.0), {}, index, delay, 0});
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::AddReplicaAt(SimDuration delay, Bytes memory) {
+  phases_.push_back({ScenarioPhase::Kind::kAddReplica, Seconds(0.0), {}, 0, delay, memory});
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::ResizeMemoryAt(SimDuration delay, size_t index, Bytes memory) {
+  phases_.push_back({ScenarioPhase::Kind::kResizeMemory, Seconds(0.0), {}, index, delay, memory});
+  return *this;
+}
+
 ScenarioResult ScenarioBuilder::RunOn(Cluster& cluster) const {
   ScenarioResult out;
+  ClusterMutator mutator(&cluster);
   SimDuration elapsed = Seconds(0.0);
   for (const ScenarioPhase& phase : phases_) {
     switch (phase.kind) {
@@ -87,11 +114,33 @@ ScenarioResult ScenarioBuilder::RunOn(Cluster& cluster) const {
       case ScenarioPhase::Kind::kSwitchMix:
         cluster.SwitchMix(phase.label);
         break;
-      case ScenarioPhase::Kind::kCrashReplica:
-        cluster.CrashReplica(phase.replica);
+      case ScenarioPhase::Kind::kKillReplica:
+        if (phase.delay > 0) {
+          mutator.KillReplicaAt(phase.delay, phase.replica);
+        } else {
+          mutator.KillReplica(phase.replica);
+        }
         break;
-      case ScenarioPhase::Kind::kRestartReplica:
-        cluster.RestartReplica(phase.replica);
+      case ScenarioPhase::Kind::kRecoverReplica:
+        if (phase.delay > 0) {
+          mutator.RecoverReplicaAt(phase.delay, phase.replica);
+        } else {
+          mutator.RecoverReplica(phase.replica);
+        }
+        break;
+      case ScenarioPhase::Kind::kAddReplica:
+        if (phase.delay > 0) {
+          mutator.AddReplicaAt(phase.delay, phase.memory);
+        } else {
+          mutator.AddReplica(phase.memory);
+        }
+        break;
+      case ScenarioPhase::Kind::kResizeMemory:
+        if (phase.delay > 0) {
+          mutator.ResizeMemoryAt(phase.delay, phase.replica, phase.memory);
+        } else {
+          mutator.ResizeMemory(phase.replica, phase.memory);
+        }
         break;
       case ScenarioPhase::Kind::kFreezeAllocation:
         cluster.FreezeAllocation();
@@ -101,6 +150,7 @@ ScenarioResult ScenarioBuilder::RunOn(Cluster& cluster) const {
   out.total = elapsed;
   out.timeline = cluster.timeline_buckets();
   out.timeline_bucket = cluster.timeline_bucket_width();
+  out.mutations = mutator.log();
   return out;
 }
 

@@ -27,8 +27,15 @@
 //   * SwitchMix(name)        — switch every client to the named mix at the
 //     current instant (takes effect for each client's next transaction).
 //     Zero duration.
-//   * CrashReplica(i) / RestartReplica(i) — fail-stop replica i / bring it
-//     back with a cold cache (it catches up from the certifier log). Zero
+//   * KillReplica(i) / RecoverReplica(i) / AddReplica(mem) /
+//     ResizeMemory(i, mem) — the ClusterMutator churn verbs
+//     (src/cluster/mutator.h), applied at the current instant. Zero
+//     duration. CrashReplica/RestartReplica are deprecated aliases for
+//     Kill/Recover.
+//   * KillReplicaAt(d, i) and the other *At forms — schedule the verb as a
+//     simulator event `d` after the instant this phase executes, then move
+//     on immediately: `.KillReplicaAt(Seconds(120), 3).Measure(Seconds(600),
+//     "churn")` fails replica 3 two minutes INTO the measure window. Zero
 //     duration.
 //   * FreezeAllocation()     — pin MALB's current allocation (the paper's
 //     static-configuration baseline); no-op for non-MALB policies. Zero
@@ -52,6 +59,7 @@
 #include <vector>
 
 #include "src/cluster/cluster.h"
+#include "src/cluster/mutator.h"
 
 namespace tashkent {
 
@@ -61,14 +69,18 @@ struct ScenarioPhase {
     kAdvance,      // advance, metrics discarded
     kMeasure,      // reset counters, advance, record a labeled result
     kSwitchMix,    // switch the client mix immediately
-    kCrashReplica,
-    kRestartReplica,
+    kKillReplica,      // ClusterMutator verbs; `delay` 0 = apply now,
+    kRecoverReplica,   // > 0 = schedule as a simulator event `delay` from
+    kAddReplica,       // the instant the phase executes (fires inside the
+    kResizeMemory,     // following Advance/Measure phases)
     kFreezeAllocation,
   };
   Kind kind;
   SimDuration duration = Seconds(0.0);  // kWarmup / kAdvance / kMeasure
   std::string label;                    // kMeasure label or kSwitchMix mix name
-  size_t replica = 0;                   // kCrashReplica / kRestartReplica
+  size_t replica = 0;                   // mutation target replica index
+  SimDuration delay = Seconds(0.0);     // mutation schedule offset (0 = now)
+  Bytes memory = 0;                     // kAddReplica / kResizeMemory (0 = default)
 };
 
 struct MeasureRecord {
@@ -84,6 +96,9 @@ struct ScenarioResult {
   std::vector<double> timeline;
   SimDuration timeline_bucket = Seconds(30.0);
   SimDuration total = Seconds(0.0);  // total simulated scenario time
+  // Churn verbs applied during the run, in execution order (scheduled verbs
+  // stamped when they fired) — lines up against the timeline.
+  std::vector<MutationRecord> mutations;
 
   // The result of the measure phase with the given label; throws
   // std::invalid_argument when no such phase exists.
@@ -100,10 +115,22 @@ class ScenarioBuilder {
   ScenarioBuilder& Warmup(SimDuration d);
   ScenarioBuilder& Measure(SimDuration d, std::string label);
   ScenarioBuilder& SwitchMix(std::string mix_name);
-  ScenarioBuilder& CrashReplica(size_t index);
-  ScenarioBuilder& RestartReplica(size_t index);
   ScenarioBuilder& FreezeAllocation();
   ScenarioBuilder& Advance(SimDuration d);
+
+  // --- churn verbs (ClusterMutator; see the phase semantics above) ---------
+  ScenarioBuilder& KillReplica(size_t index);
+  ScenarioBuilder& RecoverReplica(size_t index);
+  ScenarioBuilder& AddReplica(Bytes memory = 0);
+  ScenarioBuilder& ResizeMemory(size_t index, Bytes memory);
+  ScenarioBuilder& KillReplicaAt(SimDuration delay, size_t index);
+  ScenarioBuilder& RecoverReplicaAt(SimDuration delay, size_t index);
+  ScenarioBuilder& AddReplicaAt(SimDuration delay, Bytes memory = 0);
+  ScenarioBuilder& ResizeMemoryAt(SimDuration delay, size_t index, Bytes memory);
+
+  // Deprecated aliases (pre-churn verb names).
+  ScenarioBuilder& CrashReplica(size_t index) { return KillReplica(index); }
+  ScenarioBuilder& RestartReplica(size_t index) { return RecoverReplica(index); }
 
   const std::vector<ScenarioPhase>& phases() const { return phases_; }
 

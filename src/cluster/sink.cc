@@ -22,6 +22,11 @@ void ConsoleSink::AddRun(const RunRecord& record) {
     PrintIoRow(record.label, record.paper_write_kb, record.paper_read_kb,
                record.result.write_kb_per_txn, record.result.read_kb_per_txn);
   }
+  if (record.result.rejected > 0 || record.result.recoveries > 0) {
+    PrintAvailabilityRow(record.label, record.result.availability,
+                         record.result.recovery_lag_s, record.result.replay_applied,
+                         record.result.replay_filtered);
+  }
 }
 
 void ConsoleSink::AddRatio(const std::string& label, double paper, double measured) {
@@ -171,6 +176,14 @@ std::string JsonSink::Render() const {
     AppendNumber(out, r.result.read_kb_per_txn);
     out << ", \"write_kb_per_txn\": ";
     AppendNumber(out, r.result.write_kb_per_txn);
+    out << ", \"rejected\": " << r.result.rejected;
+    out << ", \"availability\": ";
+    AppendNumber(out, r.result.availability);
+    out << ", \"recoveries\": " << r.result.recoveries;
+    out << ", \"recovery_lag_s\": ";
+    AppendNumber(out, r.result.recovery_lag_s);
+    out << ", \"replay_applied\": " << r.result.replay_applied;
+    out << ", \"replay_filtered\": " << r.result.replay_filtered;
     out << ", \"groups\": ";
     AppendGroups(out, r.result.groups);
     out << '}';

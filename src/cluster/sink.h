@@ -20,6 +20,9 @@
 //                 "tps", "mean_response_s", "p95_response_s",
 //                 "committed", "aborted",                            // integers
 //                 "read_kb_per_txn", "write_kb_per_txn",
+//                 "rejected", "availability", "recoveries",          // churn metrics
+//                 "recovery_lag_s", "replay_applied",                // (glossary:
+//                 "replay_filtered",                                 // docs/OPERATIONS.md)
 //                 "groups": [{"replicas": N, "types": [name...]}]}],
 //     "ratios": [{"label", "paper", "measured"}],
 //     "scalars": {<key>: <value>, ...},                              // AddScalar calls

@@ -1,6 +1,7 @@
 #include "src/core/bin_packing.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace tashkent {
 
@@ -35,9 +36,30 @@ struct Candidate {
 
 PackingResult PackTransactionGroups(const std::vector<TypeWorkingSet>& working_sets,
                                     Pages capacity_pages, EstimationMethod method) {
+  return PackTransactionGroups(working_sets, std::vector<Pages>{capacity_pages}, method);
+}
+
+PackingResult PackTransactionGroups(const std::vector<TypeWorkingSet>& working_sets,
+                                    std::vector<Pages> replica_capacities,
+                                    EstimationMethod method) {
+  if (replica_capacities.empty()) {
+    throw std::invalid_argument("PackTransactionGroups: no replica capacities");
+  }
+  for (Pages c : replica_capacities) {
+    if (c <= 0) {
+      throw std::invalid_argument("PackTransactionGroups: replica capacity must be positive");
+    }
+  }
+  // Bin i takes the i-th largest capacity; bins past the replica count reuse
+  // the smallest (those groups have no dedicated replica class anyway).
+  std::sort(replica_capacities.begin(), replica_capacities.end(), std::greater<Pages>());
+  auto bin_capacity = [&replica_capacities](size_t bin) {
+    return replica_capacities[std::min(bin, replica_capacities.size() - 1)];
+  };
+
   PackingResult result;
   result.method = method;
-  result.capacity_pages = capacity_pages;
+  result.capacity_pages = replica_capacities.front();
 
   std::vector<Candidate> items;
   items.reserve(working_sets.size());
@@ -83,7 +105,7 @@ PackingResult PackTransactionGroups(const std::vector<TypeWorkingSet>& working_s
           }
         }
       }
-      const Pages free = std::max<Pages>(capacity_pages - bin.estimate_pages, 0);
+      const Pages free = std::max<Pages>(bin.bin_capacity_pages - bin.estimate_pages, 0);
       if (non_overlap > free) {
         continue;  // infeasible
       }
@@ -106,7 +128,11 @@ PackingResult PackTransactionGroups(const std::vector<TypeWorkingSet>& working_s
 
     if (best < 0) {
       TransactionGroup bin;
-      bin.overflow = item.size > capacity_pages;
+      bin.bin_capacity_pages = bin_capacity(groups.size());
+      // Overflow relative to the bin's own class: the seeding type exceeds the
+      // capacity this group can count on. Homogeneous packing reduces to the
+      // old "exceeds replica memory" meaning.
+      bin.overflow = item.size > bin.bin_capacity_pages;
       groups.push_back(std::move(bin));
       best = static_cast<int>(groups.size() - 1);
     }

@@ -37,20 +37,40 @@ struct TransactionGroup {
   std::unordered_map<RelationId, Pages> packed_relations;
   // Estimated combined working set in pages (method-dependent).
   Pages estimate_pages = 0;
-  // True when seeded by a type whose own estimate exceeds capacity.
+  // Capacity of the bin this group was packed against. With homogeneous
+  // replicas every bin is the same size; with heterogeneous replicas bin i
+  // gets the i-th largest replica capacity, so every group has at least one
+  // replica that can host it.
+  Pages bin_capacity_pages = 0;
+  // True when seeded by a type whose own estimate exceeds every capacity.
   bool overflow = false;
 };
 
 struct PackingResult {
   std::vector<TransactionGroup> groups;
   EstimationMethod method = EstimationMethod::kSizeContent;
+  // The largest bin capacity the packer was given (max over replicas).
   Pages capacity_pages = 0;
 };
 
 // Packs `working_sets` into groups given the replica memory available to the
-// packer (the paper uses RAM minus 70 MB of system overhead).
+// packer (the paper uses RAM minus 70 MB of system overhead). All bins share
+// one capacity — the paper's homogeneous-cluster assumption.
 PackingResult PackTransactionGroups(const std::vector<TypeWorkingSet>& working_sets,
                                     Pages capacity_pages, EstimationMethod method);
+
+// Heterogeneous-cluster packing: one entry per replica, each the memory
+// available on that replica. Capacities are sorted descending and bin i is
+// given the i-th largest capacity (extra bins beyond the replica count reuse
+// the smallest), aligning the biggest groups with the replicas able to host
+// them. A group whose seeding type exceeds its own bin's capacity is an
+// overflow group (with equal capacities this is the paper's "exceeds replica
+// memory" meaning, and the packer reduces exactly to the homogeneous one).
+// `replica_capacities` must be non-empty and every entry positive (throws
+// std::invalid_argument otherwise).
+PackingResult PackTransactionGroups(const std::vector<TypeWorkingSet>& working_sets,
+                                    std::vector<Pages> replica_capacities,
+                                    EstimationMethod method);
 
 }  // namespace tashkent
 

@@ -4,6 +4,18 @@
 
 namespace tashkent {
 
+const char* ReplicaLifecycleName(ReplicaLifecycle s) {
+  switch (s) {
+    case ReplicaLifecycle::kUp:
+      return "up";
+    case ReplicaLifecycle::kDown:
+      return "down";
+    case ReplicaLifecycle::kRecovering:
+      return "recovering";
+  }
+  return "?";
+}
+
 Proxy::Proxy(Simulator* sim, Replica* replica, Certifier* certifier, ProxyConfig config)
     : sim_(sim),
       replica_(replica),
@@ -12,9 +24,10 @@ Proxy::Proxy(Simulator* sim, Replica* replica, Certifier* certifier, ProxyConfig
       gatekeeper_(config.max_in_flight) {}
 
 void Proxy::SubmitTransaction(const TxnType& type, TxnDone done) {
-  if (!available_) {
-    // The balancer avoids crashed replicas, but racing submissions fail fast
-    // and the client retries elsewhere.
+  if (lifecycle_ != ReplicaLifecycle::kUp) {
+    // The balancer avoids down/recovering replicas, but racing submissions
+    // fail fast and the client retries elsewhere.
+    ++stats_.rejected;
     done(false);
     return;
   }
@@ -26,20 +39,24 @@ void Proxy::SubmitTransaction(const TxnType& type, TxnDone done) {
 void Proxy::Crash() {
   // Fail-stop for new work; in-flight transactions drain (their events are
   // already scheduled), which models the brief failover window in which
-  // clients time out and retry elsewhere.
-  available_ = false;
+  // clients time out and retry elsewhere. A crash mid-recovery abandons the
+  // replay (the durable applied_version_ prefix survives either way).
+  lifecycle_ = ReplicaLifecycle::kDown;
   ++crash_epoch_;
 }
 
-void Proxy::Restart() {
-  if (available_) {
+void Proxy::Recover() {
+  if (lifecycle_ != ReplicaLifecycle::kDown) {
     return;
   }
-  available_ = true;
   // RAM is lost: the cache restarts cold. The durable state is the certifier
-  // log prefix at applied_version_, so catch-up goes through the ordinary
-  // pull path right away; the certifier's prod mechanism keeps nudging until
-  // the replica is current.
+  // log prefix at applied_version_, so the proxy replays the missed log
+  // suffix through the ordinary pull path — filtered by the installed update
+  // subscription, which is exactly the "how much must a recovering replica
+  // replay" question — and rejoins only once caught up with the head
+  // (MaybeFinishRecovery).
+  lifecycle_ = ReplicaLifecycle::kRecovering;
+  recovery_started_ = sim_->Now();
   replica_->pool().Clear();
   PullUpdates();
 }
@@ -100,6 +117,9 @@ void Proxy::EnqueueRemotes(const std::vector<const Writeset*>& remotes) {
 }
 
 void Proxy::PumpApplier() {
+  if (lifecycle_ == ReplicaLifecycle::kDown) {
+    return;  // a fail-stopped machine applies nothing; Recover() drains later
+  }
   if (pump_active_ || applying_) {
     return;
   }
@@ -114,12 +134,18 @@ void Proxy::PumpApplier() {
     if (!wanted) {
       apply_queue_.pop_front();
       ++stats_.writesets_filtered;
+      if (lifecycle_ == ReplicaLifecycle::kRecovering) {
+        ++stats_.replay_filtered;  // filtering shrinks the replay volume
+      }
       AdvanceApplied(ws->commit_version);
       continue;
     }
     apply_queue_.pop_front();
     const Version version = ws->commit_version;
     ++stats_.writesets_applied;
+    if (lifecycle_ == ReplicaLifecycle::kRecovering) {
+      ++stats_.replay_applied;
+    }
     applying_ = true;
     replica_->ApplyWriteset(*ws, [this, version]() {
       applying_ = false;
@@ -129,6 +155,21 @@ void Proxy::PumpApplier() {
     break;  // resume when the asynchronous apply completes
   }
   pump_active_ = false;
+  MaybeFinishRecovery();
+}
+
+void Proxy::MaybeFinishRecovery() {
+  if (lifecycle_ != ReplicaLifecycle::kRecovering || applying_ || !apply_queue_.empty()) {
+    return;
+  }
+  if (applied_version_ < certifier_->head_version()) {
+    // The log grew while the replay drained; fetch the delta (another RTT).
+    PullUpdates();
+    return;
+  }
+  lifecycle_ = ReplicaLifecycle::kUp;
+  ++stats_.recoveries;
+  stats_.recovery_time_s += ToSeconds(sim_->Now() - recovery_started_);
 }
 
 void Proxy::WaitApplied(Version target, std::function<void()> fn) {
@@ -173,21 +214,26 @@ void Proxy::FinishTransaction(bool committed, const TxnDone& done) {
 void Proxy::StartDaemons() {
   const SimDuration period = certifier_->config().pull_period;
   sim_->SchedulePeriodic(sim_->Now() + period, period, [this]() {
-    // Pull only if we have not talked to the certifier recently.
-    if (sim_->Now() - last_certifier_contact_ >= certifier_->config().pull_period) {
+    // Pull only if we have not talked to the certifier recently, and never
+    // while fail-stopped (a down machine does not run its pull daemon).
+    if (lifecycle_ != ReplicaLifecycle::kDown &&
+        sim_->Now() - last_certifier_contact_ >= certifier_->config().pull_period) {
       PullUpdates();
     }
   });
 }
 
 void Proxy::OnProd() {
+  if (lifecycle_ == ReplicaLifecycle::kDown) {
+    return;  // the machine is off; the certifier's nudge goes unanswered
+  }
   ++stats_.prods;
   // Short notification message, then the proxy requests updates.
   sim_->ScheduleAfter(certifier_->config().network_one_way, [this]() { PullUpdates(); });
 }
 
 void Proxy::PullUpdates() {
-  if (pull_in_progress_) {
+  if (lifecycle_ == ReplicaLifecycle::kDown || pull_in_progress_) {
     return;
   }
   pull_in_progress_ = true;
@@ -195,8 +241,10 @@ void Proxy::PullUpdates() {
   sim_->ScheduleAfter(CertificationRtt(), [this]() {
     last_certifier_contact_ = sim_->Now();
     EnqueueRemotes(certifier_->Pull(replica_->id(), applied_version_));
-    PumpApplier();
+    // Cleared before pumping: a recovery that drains this response
+    // synchronously must be able to issue the follow-up pull for the delta.
     pull_in_progress_ = false;
+    PumpApplier();
   });
 }
 

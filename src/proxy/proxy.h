@@ -34,6 +34,19 @@ struct ProxyConfig {
   int max_in_flight = 8;
 };
 
+// Replica lifecycle as the proxy tracks it (docs/OPERATIONS.md diagrams it):
+//   kUp         — serving work, applying remote writesets as they arrive;
+//   kDown       — fail-stopped: new submissions are rejected;
+//   kRecovering — replaying the certifier's committed-writeset log; still
+//                 rejects client work until caught up, then flips to kUp.
+enum class ReplicaLifecycle {
+  kUp,
+  kDown,
+  kRecovering,
+};
+
+const char* ReplicaLifecycleName(ReplicaLifecycle s);
+
 struct ProxyStats {
   uint64_t committed = 0;
   uint64_t aborted = 0;        // certification (write-write) aborts
@@ -42,6 +55,12 @@ struct ProxyStats {
   uint64_t writesets_filtered = 0;
   uint64_t pulls = 0;
   uint64_t prods = 0;
+  // --- churn -----------------------------------------------------------------
+  uint64_t rejected = 0;          // submissions refused while down/recovering
+  uint64_t replay_applied = 0;    // writesets applied during recovery replay
+  uint64_t replay_filtered = 0;   // writesets the subscription filtered during replay
+  uint64_t recoveries = 0;        // recoveries completed (kRecovering -> kUp)
+  double recovery_time_s = 0.0;   // summed replay durations of those recoveries
 };
 
 class Proxy {
@@ -70,14 +89,30 @@ class Proxy {
     return subscription_;
   }
 
-  // --- Failure injection ----------------------------------------------------
-  // Crash: the replica stops serving; in-flight work is dropped (clients see
-  // aborts and retry elsewhere). Restart: the replica rejoins with a cold
-  // cache and catches up from the certifier log via the normal pull/prod path
-  // (the log is the durable state — Tashkent recovery).
+  // --- Failure injection / lifecycle ----------------------------------------
+  // Crash: fail-stop — the replica stops serving and in-flight work is
+  // dropped (clients see aborts and retry elsewhere).
+  //
+  // Recover: begins recovery from the crashed state. The cache restarts cold;
+  // the durable state is the certifier log prefix at applied_version_, so the
+  // proxy REPLAYS the committed-writeset log (through its update-filtering
+  // subscription, which decides how much must actually be applied) and only
+  // rejoins — becomes available — once caught up with the log head. The
+  // replay duration is recorded as the recovery lag.
+  //
+  // JoinAsNew: lifecycle entry point for a replica added at runtime — same as
+  // recovery, but replaying from version 0 (an empty database).
   void Crash();
-  void Restart();
-  bool available() const { return available_; }
+  void Recover();
+  void JoinAsNew() {
+    lifecycle_ = ReplicaLifecycle::kDown;
+    Recover();
+  }
+  // Deprecated alias for Recover(); pre-churn callers named the verb Restart.
+  void Restart() { Recover(); }
+
+  ReplicaLifecycle lifecycle() const { return lifecycle_; }
+  bool available() const { return lifecycle_ == ReplicaLifecycle::kUp; }
 
   size_t outstanding() const { return gatekeeper_.outstanding(); }
   int max_in_flight() const { return gatekeeper_.max_in_flight(); }
@@ -101,6 +136,10 @@ class Proxy {
   // twice and the replica state is always a consistent log prefix.
   void EnqueueRemotes(const std::vector<const Writeset*>& remotes);
   void PumpApplier();
+  // Recovery exit check: once the replay queue has drained, either pull the
+  // delta that committed meanwhile or, if caught up with the log head, flip
+  // to kUp and record the recovery lag.
+  void MaybeFinishRecovery();
   // Runs `fn` once applied_version_ >= target.
   void WaitApplied(Version target, std::function<void()> fn);
   void AdvanceApplied(Version v);
@@ -120,7 +159,8 @@ class Proxy {
   Version max_enqueued_ = 0;
   bool applying_ = false;     // an async ApplyWriteset is in flight
   bool pump_active_ = false;  // re-entrancy guard
-  bool available_ = true;
+  ReplicaLifecycle lifecycle_ = ReplicaLifecycle::kUp;
+  SimTime recovery_started_ = 0;
   uint64_t crash_epoch_ = 0;  // invalidates callbacks from before a crash
   struct Waiter {
     Version target;

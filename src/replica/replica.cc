@@ -1,9 +1,25 @@
 #include "src/replica/replica.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace tashkent {
+
+namespace {
+
+Bytes CheckedUsableMemory(ReplicaId id, const ReplicaConfig& config) {
+  if (config.memory <= config.reserved) {
+    throw std::invalid_argument(
+        "replica " + std::to_string(id) + ": memory " +
+        std::to_string(config.memory / kMiB) + " MB must exceed the reserved " +
+        std::to_string(config.reserved / kMiB) + " MB (no cache would remain)");
+  }
+  return config.memory - config.reserved;
+}
+
+}  // namespace
 
 Replica::Replica(Simulator* sim, const Schema* schema, ReplicaId id, ReplicaConfig config, Rng rng)
     : sim_(sim),
@@ -11,11 +27,18 @@ Replica::Replica(Simulator* sim, const Schema* schema, ReplicaId id, ReplicaConf
       id_(id),
       config_(config),
       rng_(rng),
-      pool_(config.memory - config.reserved, config.chunk_pages),
+      pool_(CheckedUsableMemory(id, config), config.chunk_pages),
       cpu_(sim, "cpu/" + std::to_string(id)),
       disk_(sim, "disk/" + std::to_string(id)),
       cpu_ewma_(config.monitor_alpha),
       disk_ewma_(config.monitor_alpha) {}
+
+void Replica::ResizeMemory(Bytes memory) {
+  ReplicaConfig resized = config_;
+  resized.memory = memory;
+  pool_.Resize(CheckedUsableMemory(id_, resized));
+  config_.memory = memory;
+}
 
 void Replica::Execute(const TxnType& type, std::function<void(ExecOutcome)> done) {
   ExecOutcome outcome;

@@ -85,6 +85,9 @@ struct ReplicaStats {
 
 class Replica {
  public:
+  // Throws std::invalid_argument when config.memory <= config.reserved: a
+  // replica with no usable cache would silently thrash instead of failing the
+  // configuration.
   Replica(Simulator* sim, const Schema* schema, ReplicaId id, ReplicaConfig config, Rng rng);
 
   Replica(const Replica&) = delete;
@@ -119,6 +122,11 @@ class Replica {
   // Drops a relation from cache entirely (update filtering lets unused tables
   // go stale; dropping models reclaiming their buffer space).
   void DropRelation(RelationId rel) { pool_.DropRelation(rel); }
+
+  // Elastic memory resizing (the ClusterMutator ResizeMemory verb): changes
+  // the machine's RAM at runtime. Shrinking evicts cache down to the new
+  // size. Throws std::invalid_argument when memory <= reserved.
+  void ResizeMemory(Bytes memory);
 
  private:
   void RunCpuPhase(ExecOutcome outcome, SimDuration cpu_time,

@@ -215,6 +215,11 @@ void BufferPool::Clear() {
   used_pages_ = 0;
 }
 
+void BufferPool::Resize(Bytes capacity) {
+  capacity_pages_ = std::max<Pages>(BytesToPages(capacity), 1);
+  EvictToFit();
+}
+
 Pages BufferPool::ResidentPages(RelationId rel) const {
   auto it = resident_by_rel_.find(rel);
   return it == resident_by_rel_.end() ? 0 : it->second;

@@ -108,6 +108,11 @@ class BufferPool {
   // Empties the pool entirely (crash recovery: RAM contents are lost).
   void Clear();
 
+  // Changes the usable cache size in bytes at runtime (elastic memory
+  // resizing). Shrinking evicts LRU entries down to the new capacity; pending
+  // dirty pages keep their write-back cost either way.
+  void Resize(Bytes capacity);
+
   Pages capacity_pages() const { return capacity_pages_; }
   Pages used_pages() const { return used_pages_; }
   Pages dirty_pages() const { return static_cast<Pages>(dirty_fifo_.size()); }
