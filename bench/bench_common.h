@@ -104,6 +104,7 @@ inline CampaignCell PolicyCell(std::string id, WorkloadFactory wf, std::string m
                        .Warmup(opts.warmup)
                        .Measure(opts.measure, "measure")
                        .Run(w, mix, policy, config);
+    out.executed_events = out.scenario.executed_events;
     return out;
   };
   return cell;
@@ -131,6 +132,8 @@ inline CampaignCell StandaloneCell(std::string id, WorkloadFactory wf, std::stri
     out.scenario.timeline = r.timeline;
     out.scenario.timeline_bucket = r.timeline_bucket;
     out.scenario.total = opts.warmup + opts.measure;
+    out.executed_events = r.executed_events;
+    out.scenario.executed_events = r.executed_events;
     out.scenario.measures.push_back({"measure", opts.warmup, std::move(r)});
     return out;
   };
@@ -159,6 +162,7 @@ inline CampaignCell ScenarioCell(std::string id, WorkloadFactory wf, std::string
     out.mix = mix;
     out.policy = policy;
     out.scenario = scenario.Run(w, mix, policy, config);
+    out.executed_events = out.scenario.executed_events;
     return out;
   };
   return cell;

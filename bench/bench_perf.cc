@@ -1,0 +1,322 @@
+// Campaign "perf" — hot-path throughput: old-vs-new kernel and buffer pool,
+// plus representative end-to-end cells.
+//
+// Three layers of measurement, seeding the repo's bench trajectory:
+//   * event-kernel microbench: an identical self-rescheduling event storm
+//     (with decoy scheduling + cancellation traffic) run on the pre-refactor
+//     LegacySimulator and the slab Simulator; reports events/sec for both and
+//     the speedup. Order-sensitive checksums from the two kernels must match,
+//     proving the slab kernel replays the exact same execution.
+//   * buffer-pool microbench: an identical scan/random/dirty touch mix run on
+//     the pre-refactor LegacyBufferPool and the intrusive-LRU BufferPool;
+//     reports touches/sec for both, the speedup, and matching checksums.
+//   * representative cells: one TPC-W and one RUBiS MALB-SC cell, timed
+//     end-to-end (host wall inside the cell), reporting simulated events/sec
+//     and cells/sec through the full stack.
+//
+// Unlike every other campaign, the scalars here are HOST wall-clock derived
+// and therefore not byte-stable across runs or machines; the checksums are
+// the only deterministic outputs. docs/REPRODUCING.md carries the deviation
+// note, and the golden-digest determinism test deliberately excludes this
+// campaign.
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/legacy_baseline.h"
+#include "src/sim/simulator.h"
+#include "src/workload/rubis.h"
+#include "src/workload/tpcw.h"
+
+namespace tashkent {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// --- event-kernel storm ------------------------------------------------------
+
+// Drives `actors` self-rescheduling chains until `target` ticks have fired,
+// with a side stream of decoy events of which every other one is cancelled —
+// the schedule/fire/cancel mix the cluster generates. The same seed produces
+// the same operation sequence on either kernel; `checksum` folds in the clock
+// at every tick so any divergence in event ordering is caught.
+template <typename Sim>
+struct StormDriver {
+  Sim sim;
+  Rng rng;
+  uint64_t ticks = 0;
+  uint64_t target;
+  uint64_t checksum = 0;
+  std::vector<uint64_t> cancel_ring;
+  size_t ring_pos = 0;
+
+  StormDriver(uint64_t seed, uint64_t target_ticks)
+      : rng(seed), target(target_ticks), cancel_ring(64, Sim::kInvalidEvent) {}
+
+  void Tick(int actor) {
+    ++ticks;
+    checksum = checksum * 1099511628211ull +
+               static_cast<uint64_t>(sim.Now()) + static_cast<uint64_t>(actor);
+    if (ticks >= target) {
+      return;  // chain ends; pending decoys drain through RunAll
+    }
+    sim.ScheduleAfter(static_cast<SimDuration>(rng.NextBelow(1000) + 1),
+                      [this, actor]() { Tick(actor); });
+    if ((ticks & 3) == 0) {
+      // Schedule a decoy and cancel the one it displaces from the ring, so a
+      // quarter of events carry O(1)-cancel traffic and the heap accumulates
+      // lazily-cancelled entries.
+      const uint64_t id = sim.ScheduleAfter(
+          static_cast<SimDuration>(rng.NextBelow(5000) + 500),
+          [this]() { checksum ^= 0x9e3779b97f4a7c15ull; });
+      const uint64_t displaced = cancel_ring[ring_pos];
+      cancel_ring[ring_pos] = id;
+      ring_pos = (ring_pos + 1) % cancel_ring.size();
+      if (displaced != Sim::kInvalidEvent) {
+        sim.Cancel(displaced);
+      }
+    }
+  }
+};
+
+struct StormOutcome {
+  double events_per_s = 0.0;
+  double wall_s = 0.0;
+  uint64_t executed = 0;
+  uint64_t checksum = 0;
+};
+
+template <typename Sim>
+StormOutcome RunStorm(uint64_t seed, int actors, uint64_t target_ticks) {
+  StormDriver<Sim> driver(seed, target_ticks);
+  for (int a = 0; a < actors; ++a) {
+    driver.sim.ScheduleAt(static_cast<SimTime>(a + 1), [d = &driver, a]() { d->Tick(a); });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  driver.sim.RunAll();
+  StormOutcome out;
+  out.wall_s = SecondsSince(start);
+  out.executed = driver.sim.executed_events();
+  out.events_per_s = out.wall_s > 0 ? static_cast<double>(out.executed) / out.wall_s : 0.0;
+  out.checksum = driver.checksum;
+  return out;
+}
+
+// --- buffer-pool storm -------------------------------------------------------
+
+// Synthetic 3-relation schema: a big table, a mid table, an index-sized one.
+std::vector<RelationMeta> PoolRelations() {
+  std::vector<RelationMeta> rels(3);
+  rels[0].id = 1;
+  rels[0].pages = 120000;  // ~0.9 GB table
+  rels[1].id = 2;
+  rels[1].pages = 24000;   // ~190 MB table
+  rels[2].id = 3;
+  rels[2].pages = 4000;    // ~31 MB index
+  return rels;
+}
+
+struct PoolOutcome {
+  double touches_per_s = 0.0;
+  double wall_s = 0.0;
+  uint64_t touches = 0;
+  uint64_t checksum = 0;
+};
+
+// The touch mix one replica generates: mostly random point reads, a quarter
+// writes, a slice of windowed scans, periodic flush draining.
+template <typename Pool>
+PoolOutcome RunPoolStorm(Pool& pool, uint64_t seed, int iters) {
+  const std::vector<RelationMeta> rels = PoolRelations();
+  const AccessSkew skew;
+  Rng rng(seed);
+  PoolOutcome out;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    const RelationMeta& rel = rels[rng.NextBelow(rels.size())];
+    const uint64_t op = rng.NextBelow(100);
+    if (op < 55) {
+      const PoolAccess a = pool.TouchRandom(rel, 4, rng, skew);
+      out.touches += 4;
+      out.checksum = out.checksum * 31 + static_cast<uint64_t>(a.pages_hit);
+    } else if (op < 80) {
+      pool.DirtyRandom(rel, 2, rng, skew);
+      out.touches += 2;
+    } else {
+      const PoolAccess a = pool.TouchScanWindow(rel, 256, rng, skew);
+      out.touches += 256;
+      out.checksum = out.checksum * 31 + static_cast<uint64_t>(a.pages_missed);
+    }
+    if ((i & 255) == 0) {
+      out.checksum += static_cast<uint64_t>(pool.TakeDirtyForFlush(512));
+    }
+  }
+  out.wall_s = SecondsSince(start);
+  out.touches_per_s = out.wall_s > 0 ? static_cast<double>(out.touches) / out.wall_s : 0.0;
+  return out;
+}
+
+// --- cells -------------------------------------------------------------------
+
+// Storm sizes: big enough to dominate setup cost, small enough for CI.
+constexpr uint64_t kStormSeed = 0x7a5b9d31;
+constexpr int kStormActors = 64;
+constexpr uint64_t kStormTicks = 2'000'000;
+constexpr int kPoolIters = 400'000;
+constexpr Bytes kPoolBytes = 256 * kMiB;
+
+CellOutput KernelOutput(const StormOutcome& s) {
+  CellOutput out;
+  out.scalars.emplace_back("events_per_s", s.events_per_s);
+  out.scalars.emplace_back("wall_s", s.wall_s);
+  out.scalars.emplace_back("executed_events", static_cast<double>(s.executed));
+  out.scalars.emplace_back("checksum", static_cast<double>(s.checksum % (1ull << 52)));
+  out.executed_events = s.executed;
+  return out;
+}
+
+CellOutput PoolOutput(const PoolOutcome& p) {
+  CellOutput out;
+  out.scalars.emplace_back("touches_per_s", p.touches_per_s);
+  out.scalars.emplace_back("wall_s", p.wall_s);
+  out.scalars.emplace_back("touches", static_cast<double>(p.touches));
+  out.scalars.emplace_back("checksum", static_cast<double>(p.checksum % (1ull << 52)));
+  return out;
+}
+
+Workload Tpcw() { return BuildTpcw(kTpcwSmallEbs); }
+Workload Rubis() { return BuildRubis(); }
+
+// A representative end-to-end cell, timed from inside so the report can quote
+// cells/sec and simulated events per host second through the full stack.
+CampaignCell TimedPolicyCell(std::string id, bench::WorkloadFactory wf, std::string mix) {
+  bench::CellOptions opts;
+  opts.ram = 256 * kMiB;
+  opts.replicas = 4;
+  opts.clients = 4;  // fixed population: no calibration sweep in a perf cell
+  opts.warmup = Seconds(30.0);
+  opts.measure = Seconds(120.0);
+  CampaignCell inner = bench::PolicyCell(std::move(id), std::move(wf), std::move(mix),
+                                         "MALB-SC", opts);
+  CampaignCell cell;
+  cell.id = inner.id;
+  cell.run = [run = std::move(inner.run)](uint64_t seed) {
+    const auto start = std::chrono::steady_clock::now();
+    CellOutput out = run(seed);
+    const double wall = SecondsSince(start);
+    out.scalars.emplace_back("cell_wall_s", wall);
+    out.scalars.emplace_back("cells_per_s", wall > 0 ? 1.0 / wall : 0.0);
+    out.scalars.emplace_back(
+        "sim_events_per_s",
+        wall > 0 ? static_cast<double>(out.executed_events) / wall : 0.0);
+    return out;
+  };
+  return cell;
+}
+
+std::vector<CampaignCell> Cells() {
+  std::vector<CampaignCell> cells;
+  {
+    CampaignCell c;
+    c.id = "kernel/legacy";
+    c.run = [](uint64_t) {
+      return KernelOutput(RunStorm<legacy::LegacySimulator>(kStormSeed, kStormActors, kStormTicks));
+    };
+    cells.push_back(std::move(c));
+  }
+  {
+    CampaignCell c;
+    c.id = "kernel/slab";
+    c.run = [](uint64_t) {
+      return KernelOutput(RunStorm<Simulator>(kStormSeed, kStormActors, kStormTicks));
+    };
+    cells.push_back(std::move(c));
+  }
+  {
+    CampaignCell c;
+    c.id = "pool/legacy";
+    c.run = [](uint64_t) {
+      legacy::LegacyBufferPool pool(kPoolBytes);
+      return PoolOutput(RunPoolStorm(pool, kStormSeed, kPoolIters));
+    };
+    cells.push_back(std::move(c));
+  }
+  {
+    CampaignCell c;
+    c.id = "pool/slab";
+    c.run = [](uint64_t) {
+      BufferPool pool(kPoolBytes);
+      return PoolOutput(RunPoolStorm(pool, kStormSeed, kPoolIters));
+    };
+    cells.push_back(std::move(c));
+  }
+  cells.push_back(TimedPolicyCell("cell/tpcw", Tpcw, kTpcwOrdering));
+  cells.push_back(TimedPolicyCell("cell/rubis", Rubis, kRubisBidding));
+  return cells;
+}
+
+double Scalar(const CellOutput& cell, const std::string& key) {
+  for (const auto& [k, v] : cell.scalars) {
+    if (k == key) {
+      return v;
+    }
+  }
+  return 0.0;
+}
+
+void Report(const CampaignOutputs& r, ResultSink& out) {
+  const CellOutput& kl = r.Get("kernel/legacy");
+  const CellOutput& ks = r.Get("kernel/slab");
+  const CellOutput& pl = r.Get("pool/legacy");
+  const CellOutput& ps = r.Get("pool/slab");
+
+  out.Begin("Perf: hot-path throughput, old vs new",
+            "event storm 2M ticks / 64 actors; pool storm 400k ops / 256MB; "
+            "representative 4-replica cells");
+
+  const double kernel_legacy = Scalar(kl, "events_per_s");
+  const double kernel_slab = Scalar(ks, "events_per_s");
+  out.AddScalar("kernel legacy events_per_s", kernel_legacy);
+  out.AddScalar("kernel slab events_per_s", kernel_slab);
+  out.AddScalar("kernel speedup (slab / legacy)",
+                kernel_legacy > 0 ? kernel_slab / kernel_legacy : 0.0);
+  if (Scalar(kl, "checksum") != Scalar(ks, "checksum")) {
+    out.Note("WARNING: kernel checksums diverge — slab kernel is NOT replaying "
+             "the legacy execution; speedup number is not comparable");
+  } else {
+    out.Note("kernel checksums match: slab kernel replays the legacy execution exactly");
+  }
+
+  const double pool_legacy = Scalar(pl, "touches_per_s");
+  const double pool_slab = Scalar(ps, "touches_per_s");
+  out.AddScalar("pool legacy touches_per_s", pool_legacy);
+  out.AddScalar("pool slab touches_per_s", pool_slab);
+  out.AddScalar("pool speedup (slab / legacy)",
+                pool_legacy > 0 ? pool_slab / pool_legacy : 0.0);
+  if (Scalar(pl, "checksum") != Scalar(ps, "checksum")) {
+    out.Note("WARNING: pool checksums diverge — intrusive LRU is NOT hit/miss "
+             "identical to the legacy pool; speedup number is not comparable");
+  } else {
+    out.Note("pool checksums match: intrusive LRU is hit/miss identical to the legacy pool");
+  }
+
+  for (const char* id : {"cell/tpcw", "cell/rubis"}) {
+    const CellOutput& cell = r.Get(id);
+    out.AddScalar(std::string(id) + " wall_s", Scalar(cell, "cell_wall_s"));
+    out.AddScalar(std::string(id) + " cells_per_s", Scalar(cell, "cells_per_s"));
+    out.AddScalar(std::string(id) + " sim_events_per_s", Scalar(cell, "sim_events_per_s"));
+  }
+  out.Note("host-timing campaign: scalars vary per machine/run; checksums are "
+           "the only deterministic outputs (excluded from golden-digest checks)");
+}
+
+RegisterCampaign perf{{"perf", "", "Perf: hot-path throughput, old vs new",
+                       "event storm 2M ticks / 64 actors; pool storm 400k ops / 256MB; "
+                       "representative 4-replica cells",
+                       Cells, Report}};
+
+}  // namespace
+}  // namespace tashkent

@@ -1,0 +1,274 @@
+// Pre-refactor hot-path implementations, preserved as the comparison baseline
+// for the `perf` campaign.
+//
+// LegacySimulator is the event kernel this repo shipped before the slab
+// refactor: an EventId -> std::function hash map beside a lazily-cancelled
+// priority_queue (one heap allocation per event with a non-trivial capture,
+// one hash insert + erase per event). LegacyBufferPool is the earlier LRU: a
+// std::list of entries with an unordered_map index (one list-node allocation
+// plus hash probe per page/chunk touch).
+//
+// These are deliberately frozen copies — bench-only, never linked into the
+// library — so BENCH_perf.json can quote an honest old-vs-new events/sec and
+// touches/sec ratio on the same host, same compiler, same workload. Both
+// pairs execute identical operation sequences; the microbenches cross-check
+// order-sensitive checksums to prove behavioral equivalence before quoting a
+// speedup.
+#ifndef BENCH_LEGACY_BASELINE_H_
+#define BENCH_LEGACY_BASELINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/storage/buffer_pool.h"  // AccessSkew
+#include "src/storage/relation.h"
+
+namespace tashkent {
+namespace legacy {
+
+// The pre-slab event kernel (hash map + lazily-cancelled heap), API-compatible
+// with the subset of Simulator the microbench drives.
+class LegacySimulator {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = uint64_t;
+  static constexpr EventId kInvalidEvent = 0;
+
+  LegacySimulator() = default;
+  LegacySimulator(const LegacySimulator&) = delete;
+  LegacySimulator& operator=(const LegacySimulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  EventId ScheduleAt(SimTime when, Callback cb) {
+    if (when < now_) {
+      when = now_;
+    }
+    const EventId id = next_id_++;
+    heap_.push(Event{when, next_seq_++, id});
+    callbacks_.emplace(id, std::move(cb));
+    return id;
+  }
+
+  EventId ScheduleAfter(SimDuration delay, Callback cb) {
+    return ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(cb));
+  }
+
+  bool Cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+  void RunAll() {
+    while (!heap_.empty()) {
+      const Event ev = heap_.top();
+      heap_.pop();
+      auto it = callbacks_.find(ev.id);
+      if (it == callbacks_.end()) {
+        continue;  // Cancelled.
+      }
+      Callback cb = std::move(it->second);
+      callbacks_.erase(it);
+      now_ = ev.when;
+      ++executed_;
+      cb();
+    }
+  }
+
+  size_t pending_events() const { return callbacks_.size(); }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    EventId id;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+// The pre-slab chunked-LRU pool core (std::list + unordered_map index, list
+// dirty FIFO), API-compatible with the touch paths the microbench drives.
+class LegacyBufferPool {
+ public:
+  LegacyBufferPool(Bytes capacity, Pages chunk_pages = 32)
+      : capacity_pages_(std::max<Pages>(BytesToPages(capacity), 1)),
+        chunk_pages_(std::max<Pages>(chunk_pages, 1)) {}
+
+  PoolAccess TouchScan(const RelationMeta& rel) {
+    PoolAccess out;
+    const uint64_t full_chunks = static_cast<uint64_t>(rel.pages / chunk_pages_);
+    const Pages tail = rel.pages % chunk_pages_;
+    const uint64_t total_chunks = full_chunks + (tail > 0 ? 1 : 0);
+    for (uint64_t c = 0; c < total_chunks; ++c) {
+      const Pages weight = (c < full_chunks) ? chunk_pages_ : tail;
+      const uint64_t key = ChunkKey(rel.id, c);
+      if (IsResident(key)) {
+        TouchEntry(key);
+        out.pages_hit += weight;
+      } else {
+        Insert(key, weight);
+        out.pages_missed += weight;
+      }
+    }
+    return out;
+  }
+
+  PoolAccess TouchScanWindow(const RelationMeta& rel, Pages window, Rng& rng,
+                             const AccessSkew& skew) {
+    if (window <= 0 || window >= rel.pages) {
+      return TouchScan(rel);
+    }
+    PoolAccess out;
+    const uint64_t start_page = skew.SampleWindowStart(rng, rel.pages, window);
+    const uint64_t first_chunk = start_page / static_cast<uint64_t>(chunk_pages_);
+    const uint64_t last_page = start_page + static_cast<uint64_t>(window) - 1;
+    const uint64_t last_chunk = last_page / static_cast<uint64_t>(chunk_pages_);
+    const uint64_t rel_full_chunks = static_cast<uint64_t>(rel.pages / chunk_pages_);
+    const Pages rel_tail = rel.pages % chunk_pages_;
+    for (uint64_t c = first_chunk; c <= last_chunk; ++c) {
+      const Pages weight = (c < rel_full_chunks) ? chunk_pages_ : rel_tail;
+      if (weight <= 0) {
+        break;
+      }
+      const uint64_t key = ChunkKey(rel.id, c);
+      if (IsResident(key)) {
+        TouchEntry(key);
+        out.pages_hit += weight;
+      } else {
+        Insert(key, weight);
+        out.pages_missed += weight;
+      }
+    }
+    return out;
+  }
+
+  PoolAccess TouchRandom(const RelationMeta& rel, int n_pages, Rng& rng,
+                         const AccessSkew& skew = {}) {
+    PoolAccess out;
+    if (rel.pages <= 0) {
+      return out;
+    }
+    for (int i = 0; i < n_pages; ++i) {
+      const uint64_t page = skew.SamplePage(rng, rel.pages);
+      const uint64_t chunk = page / static_cast<uint64_t>(chunk_pages_);
+      const uint64_t ckey = ChunkKey(rel.id, chunk);
+      const uint64_t pkey = PageKey(rel.id, page);
+      if (IsResident(ckey)) {
+        TouchEntry(ckey);
+        ++out.pages_hit;
+      } else if (IsResident(pkey)) {
+        TouchEntry(pkey);
+        ++out.pages_hit;
+      } else {
+        Insert(pkey, 1);
+        ++out.pages_missed;
+      }
+    }
+    return out;
+  }
+
+  Pages DirtyRandom(const RelationMeta& rel, int n_pages, Rng& rng,
+                    const AccessSkew& skew = {}) {
+    Pages newly_dirtied = 0;
+    if (rel.pages <= 0) {
+      return newly_dirtied;
+    }
+    for (int i = 0; i < n_pages; ++i) {
+      const uint64_t page = skew.SamplePage(rng, rel.pages);
+      const uint64_t chunk = page / static_cast<uint64_t>(chunk_pages_);
+      const uint64_t ckey = ChunkKey(rel.id, chunk);
+      const uint64_t pkey = PageKey(rel.id, page);
+      if (IsResident(ckey)) {
+        TouchEntry(ckey);
+      } else if (IsResident(pkey)) {
+        TouchEntry(pkey);
+      } else {
+        Insert(pkey, 1);
+      }
+      if (dirty_index_.find(pkey) == dirty_index_.end()) {
+        dirty_fifo_.push_back(pkey);
+        dirty_index_[pkey] = std::prev(dirty_fifo_.end());
+        ++newly_dirtied;
+      }
+    }
+    return newly_dirtied;
+  }
+
+  Pages TakeDirtyForFlush(Pages max_pages) {
+    Pages taken = 0;
+    while (taken < max_pages && !dirty_fifo_.empty()) {
+      const uint64_t key = dirty_fifo_.front();
+      dirty_fifo_.pop_front();
+      dirty_index_.erase(key);
+      ++taken;
+    }
+    return taken;
+  }
+
+  Pages used_pages() const { return used_pages_; }
+
+ private:
+  static uint64_t ChunkKey(RelationId rel, uint64_t chunk) {
+    return (1ULL << 63) | (static_cast<uint64_t>(rel) << 40) | chunk;
+  }
+  static uint64_t PageKey(RelationId rel, uint64_t page) {
+    return (static_cast<uint64_t>(rel) << 40) | page;
+  }
+
+  struct Entry {
+    uint64_t key;
+    Pages weight;
+  };
+
+  bool IsResident(uint64_t key) const { return index_.find(key) != index_.end(); }
+
+  void TouchEntry(uint64_t key) {
+    auto it = index_.find(key);
+    lru_.splice(lru_.begin(), lru_, it->second);
+  }
+
+  void Insert(uint64_t key, Pages weight) {
+    lru_.push_front(Entry{key, weight});
+    index_[key] = lru_.begin();
+    used_pages_ += weight;
+    while (used_pages_ > capacity_pages_ && !lru_.empty()) {
+      const Entry victim = lru_.back();
+      lru_.pop_back();
+      index_.erase(victim.key);
+      used_pages_ -= victim.weight;
+    }
+  }
+
+  Pages capacity_pages_;
+  Pages chunk_pages_;
+  Pages used_pages_ = 0;
+
+  std::list<Entry> lru_;  // front = MRU, back = LRU
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  std::list<uint64_t> dirty_fifo_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> dirty_index_;
+};
+
+}  // namespace legacy
+}  // namespace tashkent
+
+#endif  // BENCH_LEGACY_BASELINE_H_

@@ -1,12 +1,23 @@
 #!/usr/bin/env bash
-# Tier-1 verify: configure, build, run the full test suite, then exercise the
-# campaign runner (smoke campaign) and check the docs cover every campaign.
+# Tier-1 verify: configure, build, run the full test suite (plain and
+# ASan+UBSan), then exercise the campaign runner (smoke + perf campaigns) and
+# check the docs cover every campaign.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S .
 cmake --build build -j"$(nproc)"
 (cd build && ctest --output-on-failure -j"$(nproc)")
+
+# --- sanitizer pass ----------------------------------------------------------
+# The slab event kernel, inline-callback storage, and free-listed LRU are
+# exactly the code where lifetime bugs hide (use-after-free of a recycled
+# slot, double-destroy of a capture, off-by-one in backshift deletion);
+# Address+UB sanitizers run the whole test suite over them on every CI pass.
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+cmake --build build-asan -j"$(nproc)"
+(cd build-asan && ctest --output-on-failure -j"$(nproc)")
 
 # --- smoke campaign ----------------------------------------------------------
 # A short parallel run through the real binary: grid expansion, worker pool,
@@ -16,6 +27,17 @@ mkdir -p build/bench-out
 ./build/tashkent_bench run smoke --jobs 2 --json build/bench-out
 test -s build/bench-out/BENCH_smoke.json
 test -s build/bench-out/BENCH_campaign.json
+
+# --- perf campaign smoke -----------------------------------------------------
+# The old-vs-new hot-path comparison must run end to end (legacy baselines,
+# checksum cross-checks, representative cells) and emit its JSON. Numbers are
+# host-dependent; this only gates that the campaign works.
+./build/tashkent_bench run perf --jobs 2 --json build/bench-out
+test -s build/bench-out/BENCH_perf.json
+if grep -q "checksums diverge" build/bench-out/BENCH_perf.json; then
+  echo "ci: perf campaign checksum mismatch — old/new hot paths diverged" >&2
+  exit 1
+fi
 
 # --- docs check --------------------------------------------------------------
 # Every campaign the binary registers must appear in docs/REPRODUCING.md, so

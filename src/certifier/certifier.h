@@ -16,9 +16,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <vector>
 
+#include "src/common/inline_callback.h"
 #include "src/gsi/certification.h"
 #include "src/gsi/writeset.h"
 
@@ -46,6 +46,10 @@ struct CertifyResult {
 
 class Certifier {
  public:
+  // Prod notification for a lagging replica (installed once by the cluster;
+  // invoked on the certification hot path whenever a laggard is detected).
+  using ProdCallback = InlineCallback<void(ReplicaId), 48>;
+
   explicit Certifier(CertifierConfig config = {}) : config_(config) {}
 
   Certifier(const Certifier&) = delete;
@@ -62,7 +66,7 @@ class Certifier {
 
   // Registers the prod callback: invoked with the replica id when it falls
   // more than prod_threshold commits behind the log head.
-  void SetProdCallback(std::function<void(ReplicaId)> cb) { prod_cb_ = std::move(cb); }
+  void SetProdCallback(ProdCallback cb) { prod_cb_ = std::move(cb); }
 
   Version head_version() const { return next_version_ - 1; }
   const std::deque<Writeset>& log() const { return log_; }
@@ -88,7 +92,7 @@ class Certifier {
   uint64_t aborted_ = 0;
   std::vector<Version> replica_version_;  // last reported applied version
   std::vector<bool> prod_outstanding_;
-  std::function<void(ReplicaId)> prod_cb_;
+  ProdCallback prod_cb_;
 };
 
 }  // namespace tashkent

@@ -127,6 +127,11 @@ std::string JoinPath(const std::string& dir, const std::string& file) {
   return dir + "/" + file;
 }
 
+// Events/sec guarded against zero wall time (instant cells).
+double EventRate(uint64_t events, double wall_s) {
+  return wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0;
+}
+
 }  // namespace
 
 json::Value ManifestJson(const CampaignRunSummary& summary) {
@@ -136,6 +141,8 @@ json::Value ManifestJson(const CampaignRunSummary& summary) {
   doc.Set("base_seed", std::to_string(summary.base_seed));
   doc.Set("wall_s", summary.wall_s);
   doc.Set("failed_cells", static_cast<double>(summary.failed_cells));
+  uint64_t total_events = 0;
+  double total_cell_wall = 0.0;
   json::Value campaigns = json::Value::Array();
   for (const CampaignRunRecord& run : summary.campaigns) {
     json::Value c = json::Value::Object();
@@ -149,6 +156,7 @@ json::Value ManifestJson(const CampaignRunSummary& summary) {
       c.Set("report_error", run.report_error);
     }
     c.Set("wall_s", run.wall_s);
+    uint64_t campaign_events = 0;
     json::Value cells = json::Value::Array();
     for (const CellRecord& cell : run.cells) {
       json::Value j = json::Value::Object();
@@ -160,11 +168,23 @@ json::Value ManifestJson(const CampaignRunSummary& summary) {
         j.Set("error", cell.error);
       }
       j.Set("wall_s", cell.wall_s);
+      j.Set("executed_events", static_cast<double>(cell.output.executed_events));
+      j.Set("events_per_s", EventRate(cell.output.executed_events, cell.wall_s));
+      campaign_events += cell.output.executed_events;
       cells.Append(std::move(j));
     }
+    c.Set("executed_events", static_cast<double>(campaign_events));
+    c.Set("events_per_s", EventRate(campaign_events, run.wall_s));
     c.Set("cells", std::move(cells));
+    total_events += campaign_events;
+    total_cell_wall += run.wall_s;
     campaigns.Append(std::move(c));
   }
+  // Run-wide kernel throughput: simulated events per host CPU-second summed
+  // over cells (jobs-independent), the number future PRs track for perf
+  // regressions.
+  doc.Set("executed_events", static_cast<double>(total_events));
+  doc.Set("events_per_s", EventRate(total_events, total_cell_wall));
   doc.Set("campaigns", std::move(campaigns));
   return doc;
 }
@@ -245,7 +265,23 @@ CampaignRunSummary RunCampaigns(const std::vector<const Campaign*>& campaigns,
     sinks.Add(std::make_unique<ConsoleSink>());
     if (!options.json_dir.empty()) {
       record.json_path = JoinPath(options.json_dir, "BENCH_" + campaign.name + ".json");
-      sinks.Add(std::make_unique<JsonSink>(record.json_path));
+      auto json_sink = std::make_unique<JsonSink>(record.json_path);
+      // Host-side per-cell timing block ("cells"): wall seconds and executed
+      // simulator events, so perf regressions are visible per cell in the
+      // campaign's own JSON, not just the manifest.
+      json::Value cells_meta = json::Value::Array();
+      for (const CellRecord& cell : record.cells) {
+        json::Value j = json::Value::Object();
+        j.Set("id", cell.id);
+        j.Set("seed", std::to_string(cell.seed));
+        j.Set("ok", cell.ok);
+        j.Set("wall_s", cell.wall_s);
+        j.Set("executed_events", static_cast<double>(cell.output.executed_events));
+        j.Set("events_per_s", EventRate(cell.output.executed_events, cell.wall_s));
+        cells_meta.Append(std::move(j));
+      }
+      json_sink->SetCells(std::move(cells_meta));
+      sinks.Add(std::move(json_sink));
     }
     if (campaign.report) {
       try {

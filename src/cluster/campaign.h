@@ -63,6 +63,10 @@ struct CellOutput {
   // Free-form named numbers (working-set knees, group counts, speedups).
   std::vector<std::pair<std::string, double>> scalars;
   std::vector<std::string> notes;
+  // Simulator events the cell executed (the bench helpers fill it from the
+  // scenario/standalone result); feeds the perf accounting in the manifest
+  // and the per-campaign "cells" block.
+  uint64_t executed_events = 0;
 
   const ExperimentResult& Result(const std::string& label = "measure") const {
     return scenario.ByLabel(label);
@@ -77,6 +81,9 @@ struct CampaignCell {
 };
 
 // A cell after execution: output or error, plus timing for the manifest.
+// wall_s and executed_events feed the per-cell perf rows in both the
+// manifest and the campaign's own JSON, so perf regressions can be tracked
+// from the manifest alone across PRs.
 struct CellRecord {
   std::string id;
   uint64_t seed = 0;

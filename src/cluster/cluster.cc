@@ -53,7 +53,7 @@ Cluster::Cluster(const Workload& workload, std::string mix_name, std::string pol
   const size_t n_clients = static_cast<size_t>(config_.clients_per_replica) * config_.replicas;
   clients_ = std::make_unique<ClientPool>(&sim_, workload_, &workload_->MixByName(mix_name_),
                                           n_clients, config_.mean_think, root.Fork());
-  clients_->SetDispatch([this](const TxnType& type, std::function<void(bool)> done) {
+  clients_->SetDispatch([this](const TxnType& type, ClientPool::TxnDone done) {
     const size_t idx = balancer_->Route(type);
     proxies_[idx]->SubmitTransaction(type, [this, idx, &type,
                                             done = std::move(done)](bool committed) {
@@ -210,6 +210,7 @@ ExperimentResult Cluster::Collect(SimDuration measure_window) const {
   }
   out.timeline = timeline_.buckets();
   out.timeline_bucket = timeline_.bucket_width();
+  out.executed_events = sim_.executed_events();
   return out;
 }
 

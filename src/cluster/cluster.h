@@ -84,6 +84,13 @@ struct ExperimentResult {
   // what shrinks replay volume — the Section 3 claim under churn).
   uint64_t replay_applied = 0;
   uint64_t replay_filtered = 0;
+
+  // --- host-side accounting (not rendered into run records) ----------------
+  // Simulator events executed over the cluster's whole life up to the moment
+  // this result was collected. Kernel-throughput bookkeeping for the campaign
+  // manifest; deliberately excluded from the per-run JSON schema so result
+  // documents stay comparable across kernel refactors.
+  uint64_t executed_events = 0;
 };
 
 class Cluster {

@@ -151,6 +151,7 @@ ScenarioResult ScenarioBuilder::RunOn(Cluster& cluster) const {
   out.timeline = cluster.timeline_buckets();
   out.timeline_bucket = cluster.timeline_bucket_width();
   out.mutations = mutator.log();
+  out.executed_events = cluster.sim().executed_events();
   return out;
 }
 

@@ -99,6 +99,9 @@ struct ScenarioResult {
   // Churn verbs applied during the run, in execution order (scheduled verbs
   // stamped when they fired) — lines up against the timeline.
   std::vector<MutationRecord> mutations;
+  // Simulator events executed over the cluster's whole life (perf accounting
+  // for the campaign manifest).
+  uint64_t executed_events = 0;
 
   // The result of the measure phase with the given label; throws
   // std::invalid_argument when no such phase exists.

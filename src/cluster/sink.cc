@@ -237,7 +237,14 @@ std::string JsonSink::Render() const {
     }
     AppendEscaped(out, notes_[i]);
   }
-  out << "]\n}\n";
+  out << "]";
+  if (cells_.is_array()) {
+    // Host-side timing block, appended last so the deterministic prefix of
+    // the document is unchanged by its presence (see the schema note in
+    // sink.h).
+    out << ",\n  \"cells\": " << cells_.Dump(0);
+  }
+  out << "\n}\n";
   return out.str();
 }
 

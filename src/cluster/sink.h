@@ -29,8 +29,16 @@
 //     "groupings": [{"label", "groups": [{"replicas", "types"}]}],
 //     "timelines": [{"label", "bucket_s",
 //                    "buckets": [committed-per-bucket...]}],         // divide by bucket_s for tps
-//     "notes":  [<string>...]
-//   }
+//     "notes":  [<string>...],
+//     "cells":  [{"id", "seed", "ok", "wall_s", "executed_events",   // host-side per-cell
+//                 "events_per_s"}]                                   // timing (campaign runs
+//   }                                                                // only; see below)
+//
+// The "cells" block is host-side timing metadata injected by the campaign
+// runner (SetCells): wall-clock seconds and simulator-event counts per cell.
+// Unlike every other key it is NOT deterministic across hosts or runs, so
+// determinism comparisons (tests/golden_digest_test.cc, REPRODUCING.md's
+// byte-identity claim) strip it before diffing documents.
 //
 // Doubles are rendered with max_digits10, so the document parses back to
 // exactly the measured values (src/common/json.h round-trips it); strings
@@ -44,6 +52,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/json.h"
 #include "src/cluster/cluster.h"
 
 namespace tashkent {
@@ -126,6 +135,11 @@ class JsonSink : public ResultSink {
   void Note(const std::string& text) override;
   void Finish() override;
 
+  // Installs the host-side per-cell timing block ("cells" key; campaign
+  // runner only). Must be a json array; rendered verbatim at the end of the
+  // document so the deterministic prefix stays byte-stable.
+  void SetCells(json::Value cells) { cells_ = std::move(cells); }
+
   const std::string& path() const { return path_; }
   // True once Finish() has written the file successfully.
   bool write_ok() const { return written_ && write_ok_; }
@@ -153,6 +167,7 @@ class JsonSink : public ResultSink {
   std::vector<std::pair<std::string, std::vector<GroupReport>>> groups_;
   std::vector<Timeline> timelines_;
   std::vector<std::string> notes_;
+  json::Value cells_;  // null until SetCells; then the "cells" array
   bool written_ = false;
   bool write_ok_ = false;
 };

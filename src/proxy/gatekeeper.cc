@@ -2,7 +2,7 @@
 
 namespace tashkent {
 
-void Gatekeeper::Admit(std::function<void()> work) {
+void Gatekeeper::Admit(Work work) {
   if (in_flight_ < max_in_flight_) {
     ++in_flight_;
     work();
@@ -14,7 +14,7 @@ void Gatekeeper::Admit(std::function<void()> work) {
 void Gatekeeper::Release() {
   if (!queue_.empty()) {
     // Hand the slot straight to the next queued transaction.
-    std::function<void()> next = std::move(queue_.front());
+    Work next = std::move(queue_.front());
     queue_.pop_front();
     next();
   } else {

@@ -9,18 +9,24 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <utility>
+
+#include "src/common/inline_callback.h"
 
 namespace tashkent {
 
 class Gatekeeper {
  public:
+  // Admitted work with inline captures (one is built per submitted
+  // transaction — hot). Sized for the proxy's submission closure, which
+  // carries the transaction-done continuation.
+  using Work = InlineCallback<void(), 144>;
+
   explicit Gatekeeper(int max_in_flight) : max_in_flight_(max_in_flight) {}
 
   // Runs `work` immediately if a slot is free, otherwise queues it. The
   // holder must call Release() exactly once when the admitted work finishes.
-  void Admit(std::function<void()> work);
+  void Admit(Work work);
 
   // Frees a slot and admits the next queued arrival, if any.
   void Release();
@@ -35,7 +41,7 @@ class Gatekeeper {
  private:
   int max_in_flight_;
   int in_flight_ = 0;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Work> queue_;
 };
 
 }  // namespace tashkent

@@ -172,7 +172,7 @@ void Proxy::MaybeFinishRecovery() {
   stats_.recovery_time_s += ToSeconds(sim_->Now() - recovery_started_);
 }
 
-void Proxy::WaitApplied(Version target, std::function<void()> fn) {
+void Proxy::WaitApplied(Version target, AppliedHook fn) {
   if (applied_version_ >= target) {
     fn();
     return;
@@ -186,7 +186,7 @@ void Proxy::AdvanceApplied(Version v) {
   }
   // Fire satisfied waiters. A waiter may advance the version further (a local
   // commit) or enqueue more work, so collect-then-run.
-  std::vector<std::function<void()>> ready;
+  std::vector<AppliedHook> ready;
   for (size_t i = 0; i < waiters_.size();) {
     if (waiters_[i].target <= applied_version_) {
       ready.push_back(std::move(waiters_[i].fn));

@@ -17,12 +17,12 @@
 #define SRC_PROXY_PROXY_H_
 
 #include <deque>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/inline_callback.h"
 #include "src/certifier/certifier.h"
 #include "src/proxy/gatekeeper.h"
 #include "src/replica/replica.h"
@@ -65,8 +65,10 @@ struct ProxyStats {
 
 class Proxy {
  public:
-  // Result of one transaction as seen by the client: true = committed.
-  using TxnDone = std::function<void(bool committed)>;
+  // Result of one transaction as seen by the client: true = committed. One is
+  // built per submission (hot); the capacity holds the cluster's dispatch
+  // wrapper around the client pool's retry continuation.
+  using TxnDone = InlineCallback<void(bool committed), 96>;
 
   Proxy(Simulator* sim, Replica* replica, Certifier* certifier, ProxyConfig config = {});
 
@@ -140,8 +142,11 @@ class Proxy {
   // delta that committed meanwhile or, if caught up with the log head, flip
   // to kUp and record the recovery lag.
   void MaybeFinishRecovery();
+  // Commit continuation parked until the applier catches up; carries the
+  // transaction-done callback inline.
+  using AppliedHook = InlineCallback<void(), 128>;
   // Runs `fn` once applied_version_ >= target.
-  void WaitApplied(Version target, std::function<void()> fn);
+  void WaitApplied(Version target, AppliedHook fn);
   void AdvanceApplied(Version v);
 
   Simulator* sim_;
@@ -164,7 +169,7 @@ class Proxy {
   uint64_t crash_epoch_ = 0;  // invalidates callbacks from before a crash
   struct Waiter {
     Version target;
-    std::function<void()> fn;
+    AppliedHook fn;
   };
   std::vector<Waiter> waiters_;
 };

@@ -40,7 +40,7 @@ void Replica::ResizeMemory(Bytes memory) {
   config_.memory = memory;
 }
 
-void Replica::Execute(const TxnType& type, std::function<void(ExecOutcome)> done) {
+void Replica::Execute(const TxnType& type, ExecDone done) {
   ExecOutcome outcome;
   SimDuration disk_time = 0;
   SimDuration cpu_time = type.base_cpu;
@@ -89,8 +89,7 @@ void Replica::Execute(const TxnType& type, std::function<void(ExecOutcome)> done
   }
 }
 
-void Replica::RunCpuPhase(ExecOutcome outcome, SimDuration cpu_time,
-                          std::function<void(ExecOutcome)> done) {
+void Replica::RunCpuPhase(ExecOutcome outcome, SimDuration cpu_time, ExecDone done) {
   cpu_.Submit(cpu_time, [this, outcome = std::move(outcome), done = std::move(done)]() mutable {
     ++stats_.txns_executed;
     done(std::move(outcome));
@@ -117,7 +116,7 @@ Writeset Replica::BuildWriteset(const TxnType& type) {
   return ws;
 }
 
-void Replica::ApplyWriteset(const Writeset& ws, std::function<void()> done) {
+void Replica::ApplyWriteset(const Writeset& ws, ApplyDone done) {
   SimDuration disk_time = 0;
   SimDuration cpu_time = 0;
   Pages missed = 0;

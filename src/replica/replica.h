@@ -16,11 +16,11 @@
 #define SRC_REPLICA_REPLICA_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/common/inline_callback.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/units.h"
@@ -85,6 +85,12 @@ struct ReplicaStats {
 
 class Replica {
  public:
+  // Per-transaction execution-done continuation (carries the proxy's
+  // transaction-done callback inline).
+  using ExecDone = InlineCallback<void(ExecOutcome), 128>;
+  // Per-writeset apply-done continuation (the proxy's applier pump).
+  using ApplyDone = InlineCallback<void(), 32>;
+
   // Throws std::invalid_argument when config.memory <= config.reserved: a
   // replica with no usable cache would silently thrash instead of failing the
   // configuration.
@@ -96,11 +102,11 @@ class Replica {
   // Executes one transaction of `type` to completion (disk phase, CPU phase),
   // then invokes `done`. For update types the outcome carries the draft
   // writeset; certification is the proxy's job.
-  void Execute(const TxnType& type, std::function<void(ExecOutcome)> done);
+  void Execute(const TxnType& type, ExecDone done);
 
   // Applies a remote writeset: reads and dirties the pages it touches.
   // `done` fires when the apply has been processed by disk and CPU.
-  void ApplyWriteset(const Writeset& ws, std::function<void()> done);
+  void ApplyWriteset(const Writeset& ws, ApplyDone done);
 
   // Starts the background writer and the monitor daemon.
   void StartDaemons();
@@ -129,8 +135,7 @@ class Replica {
   void ResizeMemory(Bytes memory);
 
  private:
-  void RunCpuPhase(ExecOutcome outcome, SimDuration cpu_time,
-                   std::function<void(ExecOutcome)> done);
+  void RunCpuPhase(ExecOutcome outcome, SimDuration cpu_time, ExecDone done);
   Writeset BuildWriteset(const TxnType& type);
   void FlushRound();
   void MonitorRound();

@@ -29,17 +29,18 @@ void FifoServer::StartNext() {
     return;
   }
   busy_ = true;
-  const SimDuration service = job.service;
-  util_.AddBusy(service);
-  total_busy_ += service;
-  sim_->ScheduleAfter(service, [this, job = std::move(job)]() mutable { Finish(std::move(job)); });
+  active_done_ = std::move(job.done);
+  util_.AddBusy(job.service);
+  total_busy_ += job.service;
+  sim_->ScheduleAfter(job.service, [this]() { FinishActive(); });
 }
 
-void FifoServer::Finish(Job job) {
+void FifoServer::FinishActive() {
   busy_ = false;
   ++jobs_completed_;
-  if (job.done) {
-    job.done();
+  Done done = std::move(active_done_);
+  if (done) {
+    done();
   }
   if (!busy_) {  // The completion callback may have submitted and started work.
     StartNext();

@@ -1,76 +1,130 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
+#include <limits>
+
 namespace tashkent {
 
 Simulator::EventId Simulator::ScheduleAt(SimTime when, Callback cb) {
   if (when < now_) {
     when = now_;
   }
-  const EventId id = next_id_++;
-  heap_.push(Event{when, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
-  return id;
+  uint32_t slot;
+  if (free_head_ != kNilSlot) {
+    slot = free_head_;
+    free_head_ = slab_[slot].next_free;
+  } else {
+    slot = static_cast<uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  EventRecord& rec = slab_[slot];
+  rec.cb = std::move(cb);
+  rec.next_free = kNilSlot;
+  heap_.push_back(HeapEntry{when, next_seq_++, slot, rec.gen});
+  std::push_heap(heap_.begin(), heap_.end(), FiresAfter{});
+  ++live_events_;
+  return MakeId(slot, rec.gen);
 }
 
-bool Simulator::Cancel(EventId id) { return callbacks_.erase(id) > 0; }
+bool Simulator::Cancel(EventId id) {
+  const uint32_t lo = static_cast<uint32_t>(id);
+  if (lo == 0 || lo > slab_.size()) {
+    return false;
+  }
+  const uint32_t slot = lo - 1;
+  const uint32_t gen = static_cast<uint32_t>(id >> 32);
+  EventRecord& rec = slab_[slot];
+  // A generation match implies the slot still holds the occupancy this id was
+  // minted for: fire/cancel bumps the generation, and new ids are minted with
+  // the bumped value only when the slot is reallocated.
+  if (rec.gen != gen) {
+    return false;  // already fired, cancelled, or a stale recycled handle
+  }
+  rec.cb = nullptr;  // run the capture's destructor now, not at pop time
+  ReleaseSlot(slot);
+  ++cancelled_in_heap_;
+  MaybeCompactHeap();
+  return true;
+}
 
-void Simulator::RunUntil(SimTime end) {
+void Simulator::ReleaseSlot(uint32_t slot) {
+  EventRecord& rec = slab_[slot];
+  ++rec.gen;  // invalidate every outstanding id for this occupancy
+  rec.next_free = free_head_;
+  free_head_ = slot;
+  --live_events_;
+}
+
+void Simulator::MaybeCompactHeap() {
+  if (heap_.size() < kCompactMinHeap || cancelled_in_heap_ * 2 <= heap_.size()) {
+    return;
+  }
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const HeapEntry& e) {
+                               return slab_[e.slot].gen != e.gen;
+                             }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), FiresAfter{});
+  cancelled_in_heap_ = 0;
+}
+
+void Simulator::RunEvents(SimTime limit) {
   while (!heap_.empty()) {
-    const Event ev = heap_.top();
-    if (ev.when > end) {
+    const HeapEntry top = heap_.front();
+    if (top.when > limit) {
       break;
     }
-    heap_.pop();
-    auto it = callbacks_.find(ev.id);
-    if (it == callbacks_.end()) {
-      continue;  // Cancelled.
+    std::pop_heap(heap_.begin(), heap_.end(), FiresAfter{});
+    heap_.pop_back();
+    EventRecord& rec = slab_[top.slot];
+    if (rec.gen != top.gen) {
+      --cancelled_in_heap_;  // lazily-cancelled entry: skip
+      continue;
     }
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    now_ = ev.when;
+    // Move the callback out and free the slot before invoking: the callback
+    // may schedule (growing the slab) or cancel other events.
+    Callback cb = std::move(rec.cb);
+    ReleaseSlot(top.slot);
+    now_ = top.when;
     ++executed_;
     cb();
   }
+}
+
+void Simulator::RunUntil(SimTime end) {
+  RunEvents(end);
   if (now_ < end) {
     now_ = end;
   }
 }
 
-void Simulator::RunAll() {
-  while (!heap_.empty()) {
-    const Event ev = heap_.top();
-    heap_.pop();
-    auto it = callbacks_.find(ev.id);
-    if (it == callbacks_.end()) {
-      continue;
-    }
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    now_ = ev.when;
-    ++executed_;
-    cb();
-  }
-}
+void Simulator::RunAll() { RunEvents(std::numeric_limits<SimTime>::max()); }
 
 uint64_t Simulator::SchedulePeriodic(SimTime start, SimDuration period, Callback cb) {
   const uint64_t pid = next_periodic_id_++;
-  live_periodics_.insert(pid);
-  ScheduleAt(start, [this, pid, period, cb = std::move(cb)]() { PeriodicTick(pid, period, cb); });
+  periodics_.emplace(pid, PeriodicTask{period, std::move(cb)});
+  ScheduleAt(start, Callback([this, pid]() { PeriodicTick(pid); }));
   return pid;
 }
 
-void Simulator::StopPeriodic(uint64_t periodic_id) { live_periodics_.erase(periodic_id); }
+void Simulator::StopPeriodic(uint64_t periodic_id) { periodics_.erase(periodic_id); }
 
-void Simulator::PeriodicTick(uint64_t periodic_id, SimDuration period, const Callback& cb) {
-  if (live_periodics_.find(periodic_id) == live_periodics_.end()) {
-    return;
+void Simulator::PeriodicTick(uint64_t periodic_id) {
+  auto it = periodics_.find(periodic_id);
+  if (it == periodics_.end()) {
+    return;  // stopped while the tick event was pending
   }
+  const SimDuration period = it->second.period;
+  // The callback runs outside the registry entry: it may call StopPeriodic on
+  // itself (destroying the entry) or SchedulePeriodic (rehashing the table).
+  Callback cb = std::move(it->second.cb);
   cb();
-  // Re-check: the callback itself may stop the periodic.
-  if (live_periodics_.find(periodic_id) == live_periodics_.end()) {
-    return;
+  it = periodics_.find(periodic_id);
+  if (it == periodics_.end()) {
+    return;  // the callback stopped its own periodic
   }
-  ScheduleAfter(period, [this, periodic_id, period, cb]() { PeriodicTick(periodic_id, period, cb); });
+  it->second.cb = std::move(cb);
+  ScheduleAfter(period, Callback([this, periodic_id]() { PeriodicTick(periodic_id); }));
 }
 
 }  // namespace tashkent

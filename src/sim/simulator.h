@@ -5,26 +5,41 @@
 // they were scheduled, which makes runs deterministic. All higher layers
 // (replicas, certifier, proxies, clients, balancer) are plain objects that
 // schedule callbacks here.
+//
+// Hot-path layout (see docs/ARCHITECTURE.md, "Hot path & performance model"):
+// event callbacks are InlineCallbacks stored in a slab of event records on a
+// free list — scheduling an event is a slab-slot pop plus a binary-heap push,
+// with zero heap allocation once the slab and heap vectors have grown to the
+// run's working size. EventIds are generation-tagged slot handles, so Cancel
+// is O(1), double-cancel is detected, and a stale id from a recycled slot can
+// never cancel the slot's new occupant. Cancellation stays lazy in the heap
+// (the dead entry is skipped when popped), but the heap is compacted once
+// dead entries outnumber live ones, so a cancel-heavy workload cannot bloat
+// it.
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "src/common/inline_callback.h"
 #include "src/common/units.h"
 
 namespace tashkent {
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  // Per-event callback with inline capture storage (no heap). The capacity
+  // covers the largest hot capture — the proxy's certification round trip
+  // carries a Writeset plus the transaction-done continuation.
+  using Callback = InlineCallback<void(), 224>;
 
-  // Opaque handle for cancellation.
+  // Generation-tagged slab handle for cancellation: low 32 bits are
+  // slot-index + 1, high 32 bits are the slot's generation at scheduling
+  // time. A fired or cancelled event bumps the slot's generation, so a stale
+  // id can never cancel the slot's next occupant.
   using EventId = uint64_t;
   static constexpr EventId kInvalidEvent = 0;
 
@@ -43,8 +58,9 @@ class Simulator {
     return ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(cb));
   }
 
-  // Cancels a pending event. Returns false if it already fired or was
-  // cancelled. Cancellation is lazy: the heap entry is skipped when popped.
+  // Cancels a pending event in O(1): the slab slot is freed immediately (the
+  // capture's destructor runs now) and the heap entry is skipped when popped.
+  // Returns false if the event already fired or was cancelled.
   bool Cancel(EventId id);
 
   // Runs events with time <= `end`, then advances the clock to `end`.
@@ -58,17 +74,32 @@ class Simulator {
   uint64_t SchedulePeriodic(SimTime start, SimDuration period, Callback cb);
   void StopPeriodic(uint64_t periodic_id);
 
-  size_t pending_events() const { return callbacks_.size(); }
+  // Live (scheduled and neither fired nor cancelled) events only; cancelled
+  // entries still parked in the heap are not counted.
+  size_t pending_events() const { return live_events_; }
   uint64_t executed_events() const { return executed_; }
 
+  // Observability for the compaction policy (tests assert on these): total
+  // heap entries vs. the lazily-cancelled ones awaiting a pop or a compaction.
+  size_t heap_entries() const { return heap_.size(); }
+  size_t cancelled_heap_entries() const { return cancelled_in_heap_; }
+
  private:
-  struct Event {
+  static constexpr uint32_t kNilSlot = UINT32_MAX;
+  // Compaction threshold: below this heap size the dead entries are not worth
+  // a rebuild (they drain through pops quickly anyway).
+  static constexpr size_t kCompactMinHeap = 64;
+
+  struct HeapEntry {
     SimTime when;
     uint64_t seq;
-    EventId id;
+    uint32_t slot;
+    uint32_t gen;
   };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
+  // Ordering for std::*_heap (max-heap semantics): "a fires after b" puts the
+  // earliest (when, seq) at the front.
+  struct FiresAfter {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.when != b.when) {
         return a.when > b.when;
       }
@@ -76,16 +107,39 @@ class Simulator {
     }
   };
 
-  void PeriodicTick(uint64_t periodic_id, SimDuration period, const Callback& cb);
+  struct EventRecord {
+    Callback cb;
+    uint32_t gen = 0;           // bumped on fire/cancel; matches live ids only
+    uint32_t next_free = kNilSlot;
+  };
+
+  struct PeriodicTask {
+    SimDuration period;
+    Callback cb;
+  };
+
+  static EventId MakeId(uint32_t slot, uint32_t gen) {
+    return (static_cast<uint64_t>(gen) << 32) | (slot + 1);
+  }
+
+  // Runs events with time <= `limit` (the shared RunUntil/RunAll core).
+  void RunEvents(SimTime limit);
+  // Bumps the slot's generation and returns it to the free list.
+  void ReleaseSlot(uint32_t slot);
+  // Rebuilds the heap without dead entries once they outnumber live events.
+  void MaybeCompactHeap();
+  void PeriodicTick(uint64_t periodic_id);
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> heap_;
-  std::unordered_map<EventId, Callback> callbacks_;
+  std::vector<HeapEntry> heap_;       // binary heap via std::push_heap/pop_heap
+  std::vector<EventRecord> slab_;     // event records; callbacks stored inline
+  uint32_t free_head_ = kNilSlot;     // head of the free-slot list
+  size_t live_events_ = 0;
+  size_t cancelled_in_heap_ = 0;
   uint64_t next_periodic_id_ = 1;
-  std::unordered_set<uint64_t> live_periodics_;
+  std::unordered_map<uint64_t, PeriodicTask> periodics_;
 };
 
 }  // namespace tashkent

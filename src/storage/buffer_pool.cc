@@ -32,33 +32,144 @@ BufferPool::BufferPool(Bytes capacity, Pages chunk_pages)
     : capacity_pages_(std::max<Pages>(BytesToPages(capacity), 1)),
       chunk_pages_(std::max<Pages>(chunk_pages, 1)) {}
 
+// --- LRU slab plumbing -------------------------------------------------------
+
+uint32_t BufferPool::AllocLruNode() {
+  if (lru_free_ != kNil) {
+    const uint32_t slot = lru_free_;
+    lru_free_ = nodes_[slot].next;
+    return slot;
+  }
+  nodes_.emplace_back();
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+void BufferPool::FreeLruNode(uint32_t slot) {
+  nodes_[slot].next = lru_free_;
+  lru_free_ = slot;
+}
+
+void BufferPool::UnlinkLru(uint32_t slot) {
+  LruNode& n = nodes_[slot];
+  if (n.prev != kNil) {
+    nodes_[n.prev].next = n.next;
+  } else {
+    mru_head_ = n.next;
+  }
+  if (n.next != kNil) {
+    nodes_[n.next].prev = n.prev;
+  } else {
+    lru_tail_ = n.prev;
+  }
+}
+
+void BufferPool::PushMru(uint32_t slot) {
+  LruNode& n = nodes_[slot];
+  n.prev = kNil;
+  n.next = mru_head_;
+  if (mru_head_ != kNil) {
+    nodes_[mru_head_].prev = slot;
+  }
+  mru_head_ = slot;
+  if (lru_tail_ == kNil) {
+    lru_tail_ = slot;
+  }
+}
+
+void BufferPool::AddResident(RelationId rel, Pages delta) {
+  const size_t idx = static_cast<size_t>(rel);
+  if (idx >= resident_by_rel_.size()) {
+    resident_by_rel_.resize(idx + 1, 0);
+  }
+  resident_by_rel_[idx] += delta;
+}
+
 void BufferPool::TouchEntry(uint64_t key) {
-  auto it = index_.find(key);
-  lru_.splice(lru_.begin(), lru_, it->second);
+  const uint32_t slot = index_.Find(key);
+  if (slot == mru_head_) {
+    return;  // already most recent
+  }
+  UnlinkLru(slot);
+  PushMru(slot);
 }
 
 void BufferPool::Insert(uint64_t key, Pages weight) {
-  lru_.push_front(Entry{key, weight});
-  index_[key] = lru_.begin();
+  const uint32_t slot = AllocLruNode();
+  LruNode& n = nodes_[slot];
+  n.key = key;
+  n.weight = weight;
+  PushMru(slot);
+  index_.Insert(key, slot);
   used_pages_ += weight;
-  resident_by_rel_[KeyRelation(key)] += weight;
+  AddResident(KeyRelation(key), weight);
   EvictToFit();
 }
 
 void BufferPool::EvictToFit() {
-  while (used_pages_ > capacity_pages_ && !lru_.empty()) {
-    const Entry victim = lru_.back();
-    lru_.pop_back();
-    index_.erase(victim.key);
-    used_pages_ -= victim.weight;
-    auto rit = resident_by_rel_.find(KeyRelation(victim.key));
-    rit->second -= victim.weight;
-    if (rit->second <= 0) {
-      resident_by_rel_.erase(rit);
-    }
-    stats_.evicted_pages += static_cast<uint64_t>(victim.weight);
+  while (used_pages_ > capacity_pages_ && lru_tail_ != kNil) {
+    const uint32_t victim = lru_tail_;
+    const uint64_t key = nodes_[victim].key;
+    const Pages weight = nodes_[victim].weight;
+    UnlinkLru(victim);
+    FreeLruNode(victim);
+    index_.Erase(key);
+    used_pages_ -= weight;
+    AddResident(KeyRelation(key), -weight);
+    stats_.evicted_pages += static_cast<uint64_t>(weight);
   }
 }
+
+// --- Dirty-FIFO slab plumbing ------------------------------------------------
+
+uint32_t BufferPool::AllocDirtyNode() {
+  if (dirty_free_ != kNil) {
+    const uint32_t slot = dirty_free_;
+    dirty_free_ = dirty_nodes_[slot].next;
+    return slot;
+  }
+  dirty_nodes_.emplace_back();
+  return static_cast<uint32_t>(dirty_nodes_.size() - 1);
+}
+
+void BufferPool::FreeDirtyNode(uint32_t slot) {
+  dirty_nodes_[slot].next = dirty_free_;
+  dirty_free_ = slot;
+}
+
+void BufferPool::UnlinkDirty(uint32_t slot) {
+  DirtyNode& n = dirty_nodes_[slot];
+  if (n.prev != kNil) {
+    dirty_nodes_[n.prev].next = n.next;
+  } else {
+    dirty_head_ = n.next;
+  }
+  if (n.next != kNil) {
+    dirty_nodes_[n.next].prev = n.prev;
+  } else {
+    dirty_tail_ = n.prev;
+  }
+}
+
+void BufferPool::PushDirtyTail(uint32_t slot) {
+  DirtyNode& n = dirty_nodes_[slot];
+  n.next = kNil;
+  n.prev = dirty_tail_;
+  if (dirty_tail_ != kNil) {
+    dirty_nodes_[dirty_tail_].next = slot;
+  }
+  dirty_tail_ = slot;
+  if (dirty_head_ == kNil) {
+    dirty_head_ = slot;
+  }
+}
+
+void BufferPool::EraseDirty(uint32_t slot) {
+  dirty_index_.Erase(dirty_nodes_[slot].key);
+  UnlinkDirty(slot);
+  FreeDirtyNode(slot);
+}
+
+// --- Public access paths -----------------------------------------------------
 
 PoolAccess BufferPool::TouchScan(const RelationMeta& rel) {
   PoolAccess out;
@@ -161,9 +272,11 @@ BufferPool::DirtyResult BufferPool::DirtyRandom(const RelationMeta& rel, int n_p
       Insert(pkey, 1);
       ++out.access.pages_missed;
     }
-    if (dirty_index_.find(pkey) == dirty_index_.end()) {
-      dirty_fifo_.push_back(pkey);
-      dirty_index_[pkey] = std::prev(dirty_fifo_.end());
+    if (dirty_index_.Find(pkey) == OpenHashIndex::kNotFound) {
+      const uint32_t slot = AllocDirtyNode();
+      dirty_nodes_[slot].key = pkey;
+      PushDirtyTail(slot);
+      dirty_index_.Insert(pkey, slot);
       ++out.newly_dirtied;
     }
   }
@@ -175,10 +288,8 @@ BufferPool::DirtyResult BufferPool::DirtyRandom(const RelationMeta& rel, int n_p
 
 Pages BufferPool::TakeDirtyForFlush(Pages max_pages) {
   Pages taken = 0;
-  while (taken < max_pages && !dirty_fifo_.empty()) {
-    const uint64_t key = dirty_fifo_.front();
-    dirty_fifo_.pop_front();
-    dirty_index_.erase(key);
+  while (taken < max_pages && dirty_head_ != kNil) {
+    EraseDirty(dirty_head_);
     ++taken;
   }
   stats_.flushed_pages += static_cast<uint64_t>(taken);
@@ -186,32 +297,40 @@ Pages BufferPool::TakeDirtyForFlush(Pages max_pages) {
 }
 
 void BufferPool::DropRelation(RelationId rel) {
-  for (auto it = lru_.begin(); it != lru_.end();) {
-    if (KeyRelation(it->key) == rel) {
-      used_pages_ -= it->weight;
-      index_.erase(it->key);
-      it = lru_.erase(it);
-    } else {
-      ++it;
+  for (uint32_t slot = mru_head_; slot != kNil;) {
+    const uint32_t next = nodes_[slot].next;
+    if (KeyRelation(nodes_[slot].key) == rel) {
+      used_pages_ -= nodes_[slot].weight;
+      index_.Erase(nodes_[slot].key);
+      UnlinkLru(slot);
+      FreeLruNode(slot);
     }
+    slot = next;
   }
-  resident_by_rel_.erase(rel);
-  for (auto it = dirty_fifo_.begin(); it != dirty_fifo_.end();) {
-    if (KeyRelation(*it) == rel) {
-      dirty_index_.erase(*it);
-      it = dirty_fifo_.erase(it);
-    } else {
-      ++it;
+  if (static_cast<size_t>(rel) < resident_by_rel_.size()) {
+    resident_by_rel_[static_cast<size_t>(rel)] = 0;
+  }
+  for (uint32_t slot = dirty_head_; slot != kNil;) {
+    const uint32_t next = dirty_nodes_[slot].next;
+    if (KeyRelation(dirty_nodes_[slot].key) == rel) {
+      EraseDirty(slot);
     }
+    slot = next;
   }
 }
 
 void BufferPool::Clear() {
-  lru_.clear();
-  index_.clear();
+  nodes_.clear();
+  lru_free_ = kNil;
+  mru_head_ = kNil;
+  lru_tail_ = kNil;
+  index_.Clear();
+  dirty_nodes_.clear();
+  dirty_free_ = kNil;
+  dirty_head_ = kNil;
+  dirty_tail_ = kNil;
+  dirty_index_.Clear();
   resident_by_rel_.clear();
-  dirty_fifo_.clear();
-  dirty_index_.clear();
   used_pages_ = 0;
 }
 
@@ -221,8 +340,8 @@ void BufferPool::Resize(Bytes capacity) {
 }
 
 Pages BufferPool::ResidentPages(RelationId rel) const {
-  auto it = resident_by_rel_.find(rel);
-  return it == resident_by_rel_.end() ? 0 : it->second;
+  const size_t idx = static_cast<size_t>(rel);
+  return idx < resident_by_rel_.size() ? resident_by_rel_[idx] : 0;
 }
 
 }  // namespace tashkent

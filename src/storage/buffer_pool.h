@@ -14,15 +14,22 @@
 // separation means evicting a dirty entry never loses the pending write-back
 // cost, and write-back I/O competes with reads on the channel — the effect
 // update filtering removes.
+//
+// Hot-path layout (docs/ARCHITECTURE.md, "Hot path & performance model"):
+// the LRU is an intrusive doubly-linked list threaded through a slab
+// std::vector of nodes on a free list, indexed by an open-addressing hash on
+// the packed 64-bit entry key — so TouchScan/TouchRandom/DirtyRandom perform
+// zero allocations per touch (only amortized slab/table growth). The dirty
+// FIFO gets the same slab + open-addressing treatment. Eviction order, hit
+// outcomes, and stats are bit-identical to the earlier std::list +
+// unordered_map implementation.
 #ifndef SRC_STORAGE_BUFFER_POOL_H_
 #define SRC_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "src/common/open_hash.h"
 #include "src/common/rng.h"
 #include "src/common/units.h"
 #include "src/storage/relation.h"
@@ -115,7 +122,7 @@ class BufferPool {
 
   Pages capacity_pages() const { return capacity_pages_; }
   Pages used_pages() const { return used_pages_; }
-  Pages dirty_pages() const { return static_cast<Pages>(dirty_fifo_.size()); }
+  Pages dirty_pages() const { return static_cast<Pages>(dirty_index_.size()); }
 
   // Resident pages of one relation; the experimental working-set measurement
   // in Section 5.3 reads this.
@@ -139,27 +146,62 @@ class BufferPool {
     return static_cast<RelationId>((key >> 40) & 0x7fffff);
   }
 
-  struct Entry {
-    uint64_t key;
-    Pages weight;
+  static constexpr uint32_t kNil = UINT32_MAX;
+
+  // LRU entry in the slab; prev/next thread the recency list (head = MRU).
+  // Free slots reuse `next` as the free-list link.
+  struct LruNode {
+    uint64_t key = 0;
+    Pages weight = 0;
+    uint32_t prev = kNil;
+    uint32_t next = kNil;
   };
 
-  bool IsResident(uint64_t key) const { return index_.find(key) != index_.end(); }
-  void TouchEntry(uint64_t key);                    // move to MRU
-  void Insert(uint64_t key, Pages weight);          // insert at MRU + evict
+  // Dirty-FIFO entry in its slab; prev/next thread insertion order
+  // (head = oldest). Free slots reuse `next` as the free-list link.
+  struct DirtyNode {
+    uint64_t key = 0;
+    uint32_t prev = kNil;
+    uint32_t next = kNil;
+  };
+
+  bool IsResident(uint64_t key) const {
+    return index_.Find(key) != OpenHashIndex::kNotFound;
+  }
+  void TouchEntry(uint64_t key);            // move to MRU
+  void Insert(uint64_t key, Pages weight);  // insert at MRU + evict
   void EvictToFit();
+
+  uint32_t AllocLruNode();
+  void FreeLruNode(uint32_t slot);
+  void UnlinkLru(uint32_t slot);
+  void PushMru(uint32_t slot);
+
+  uint32_t AllocDirtyNode();
+  void FreeDirtyNode(uint32_t slot);
+  void UnlinkDirty(uint32_t slot);
+  void PushDirtyTail(uint32_t slot);
+  void EraseDirty(uint32_t slot);
+
+  void AddResident(RelationId rel, Pages delta);
 
   Pages capacity_pages_;
   Pages chunk_pages_;
   Pages used_pages_ = 0;
 
-  std::list<Entry> lru_;  // front = MRU, back = LRU
-  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
-  std::unordered_map<RelationId, Pages> resident_by_rel_;
+  std::vector<LruNode> nodes_;     // LRU slab; list threaded through prev/next
+  uint32_t lru_free_ = kNil;       // LRU slab free-list head
+  uint32_t mru_head_ = kNil;       // most recently used
+  uint32_t lru_tail_ = kNil;       // least recently used (eviction victim)
+  OpenHashIndex index_;            // packed key -> LRU slab slot
 
-  // Dirty pages pending write-back, FIFO order, with a set for dedup.
-  std::list<uint64_t> dirty_fifo_;
-  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> dirty_index_;
+  std::vector<DirtyNode> dirty_nodes_;  // dirty-FIFO slab
+  uint32_t dirty_free_ = kNil;
+  uint32_t dirty_head_ = kNil;     // oldest dirty page (flushed first)
+  uint32_t dirty_tail_ = kNil;
+  OpenHashIndex dirty_index_;      // packed key -> dirty slab slot (dedup)
+
+  std::vector<Pages> resident_by_rel_;  // resident page count, indexed by relation id
 
   BufferPoolStats stats_;
 };

@@ -14,6 +14,7 @@
 #include <functional>
 #include <memory>
 
+#include "src/common/inline_callback.h"
 #include "src/common/rng.h"
 #include "src/sim/simulator.h"
 #include "src/workload/workload.h"
@@ -22,8 +23,13 @@ namespace tashkent {
 
 class ClientPool {
  public:
-  // Submits a transaction; the callback reports whether it committed.
-  using Dispatch = std::function<void(const TxnType&, std::function<void(bool)>)>;
+  // Per-transaction completion callback handed to the dispatcher (hot: one
+  // per submission; the capture is the client's retry/think continuation).
+  using TxnDone = InlineCallback<void(bool committed), 48>;
+  // Submits a transaction; the callback reports whether it committed. The
+  // Dispatch itself is installed once per run (cold), so std::function is
+  // fine here — the per-transaction argument is the inline TxnDone.
+  using Dispatch = std::function<void(const TxnType&, TxnDone)>;
   // Invoked on every commit with (type, response_time); aborts invoke
   // on_abort.
   using OnCommit = std::function<void(const TxnType&, SimDuration)>;

@@ -97,6 +97,158 @@ TEST(Simulator, PeriodicCanStopItself) {
   EXPECT_EQ(count, 3);
 }
 
+TEST(Simulator, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  int fired = 0;
+  const auto id = sim.ScheduleAt(Millis(10), [&]() { ++fired; });
+  sim.RunAll();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.Cancel(id));  // already fired: generation was bumped
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, StaleIdFromRecycledSlotDoesNotCancelNewOccupant) {
+  Simulator sim;
+  int first = 0;
+  int second = 0;
+  // Fire-then-reschedule: after e1 fires, its slab slot is on the free list
+  // and e2 recycles it. The stale e1 id must not cancel e2.
+  const auto e1 = sim.ScheduleAt(Millis(10), [&]() { ++first; });
+  sim.RunUntil(Millis(20));
+  const auto e2 = sim.ScheduleAt(Millis(30), [&]() { ++second; });
+  EXPECT_NE(e1, e2);  // generation tag differs even though the slot matches
+  EXPECT_FALSE(sim.Cancel(e1));
+  sim.RunAll();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+
+  // Cancel-then-reschedule recycles the slot the same way.
+  int third = 0;
+  const auto e3 = sim.ScheduleAt(Millis(50), [&]() {});
+  EXPECT_TRUE(sim.Cancel(e3));
+  const auto e4 = sim.ScheduleAt(Millis(60), [&]() { ++third; });
+  EXPECT_FALSE(sim.Cancel(e3));  // stale: must not hit e4's slot
+  sim.RunAll();
+  EXPECT_EQ(third, 1);
+  EXPECT_NE(e3, e4);
+}
+
+TEST(Simulator, ScheduleAtInThePastDuringCallbackClampsToNow) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.ScheduleAt(Millis(10), [&]() {
+    // Scheduling "for the past" from inside a callback must fire at Now(),
+    // after the current callback returns, never before.
+    sim.ScheduleAt(Millis(1), [&]() { fired_at = sim.Now(); });
+  });
+  sim.RunAll();
+  EXPECT_EQ(fired_at, Millis(10));
+}
+
+TEST(Simulator, PendingEventsCountsLiveEventsOnly) {
+  Simulator sim;
+  std::vector<Simulator::EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(sim.ScheduleAt(Millis(10 + i), []() {}));
+  }
+  EXPECT_EQ(sim.pending_events(), 10u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(sim.Cancel(ids[static_cast<size_t>(i)]));
+  }
+  // Lazily-cancelled entries may still sit in the heap, but they are dead:
+  // pending_events reflects live events only.
+  EXPECT_EQ(sim.pending_events(), 6u);
+  size_t during = 999;
+  sim.ScheduleAt(Millis(5), [&]() { during = sim.pending_events(); });
+  sim.RunUntil(Millis(5));
+  EXPECT_EQ(during, 6u);  // the firing event itself is no longer pending
+  sim.RunAll();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, HeapCompactionDropsCancelledEntries) {
+  Simulator sim;
+  std::vector<Simulator::EventId> ids;
+  std::vector<int> fired;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(sim.ScheduleAt(Millis(10 + i), [&fired, i]() { fired.push_back(i); }));
+  }
+  // Cancel three quarters: once dead entries outnumber live ones the heap is
+  // rebuilt without them instead of carrying them all until popped.
+  for (int i = 0; i < 150; ++i) {
+    EXPECT_TRUE(sim.Cancel(ids[static_cast<size_t>(i)]));
+  }
+  EXPECT_EQ(sim.pending_events(), 50u);
+  // At least one compaction fired (the heap would hold all 200 entries
+  // otherwise), and the live count always equals heap minus dead entries.
+  EXPECT_LT(sim.heap_entries(), 200u);
+  EXPECT_EQ(sim.heap_entries() - sim.cancelled_heap_entries(), 50u);
+  sim.RunAll();
+  ASSERT_EQ(fired.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(fired[static_cast<size_t>(i)], 150 + i);  // survivors fire in order
+  }
+}
+
+TEST(Simulator, CancelFromInsideCallback) {
+  Simulator sim;
+  int fired = 0;
+  const auto victim = sim.ScheduleAt(Millis(20), [&]() { ++fired; });
+  sim.ScheduleAt(Millis(10), [&]() { EXPECT_TRUE(sim.Cancel(victim)); });
+  sim.RunAll();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, PeriodicStopsAnotherPeriodicMidTick) {
+  Simulator sim;
+  int a_count = 0;
+  int b_count = 0;
+  uint64_t b = 0;
+  sim.SchedulePeriodic(Millis(10), Millis(10), [&]() {
+    if (++a_count == 2) {
+      sim.StopPeriodic(b);
+    }
+  });
+  b = sim.SchedulePeriodic(Millis(11), Millis(10), [&]() { ++b_count; });
+  sim.RunUntil(Millis(100));
+  EXPECT_EQ(b_count, 1);  // b fired at t=11 only; stopped during a's t=20 tick
+  EXPECT_GE(a_count, 5);
+}
+
+TEST(Simulator, PeriodicRestartedFromInsideItsOwnTick) {
+  Simulator sim;
+  int first_count = 0;
+  int second_count = 0;
+  uint64_t pid = 0;
+  pid = sim.SchedulePeriodic(Millis(10), Millis(10), [&]() {
+    if (++first_count == 2) {
+      sim.StopPeriodic(pid);
+      sim.SchedulePeriodic(sim.Now() + Millis(5), Millis(50), [&]() { ++second_count; });
+    }
+  });
+  sim.RunUntil(Millis(130));
+  EXPECT_EQ(first_count, 2);   // t=10, t=20, then stopped itself
+  EXPECT_EQ(second_count, 3);  // t=25, 75, 125
+}
+
+TEST(Simulator, SlabSlotsAreRecycledAcrossManyCycles) {
+  Simulator sim;
+  uint64_t fired = 0;
+  // Schedule/cancel/fire churn: every surviving event reschedules itself, so
+  // the slab free list is exercised thousands of times. The kernel must keep
+  // counts exact throughout.
+  for (int round = 0; round < 1000; ++round) {
+    const auto keep = sim.ScheduleAfter(Millis(1), [&]() { ++fired; });
+    const auto drop = sim.ScheduleAfter(Millis(2), [&]() { ++fired; });
+    EXPECT_TRUE(sim.Cancel(drop));
+    (void)keep;
+    sim.RunUntil(sim.Now() + Millis(5));
+    EXPECT_EQ(sim.pending_events(), 0u);
+  }
+  EXPECT_EQ(fired, 1000u);
+  EXPECT_EQ(sim.executed_events(), 1000u);
+}
+
 TEST(FifoServer, SerializesJobs) {
   Simulator sim;
   FifoServer server(&sim, "disk");

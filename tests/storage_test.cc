@@ -227,5 +227,79 @@ TEST(AccessSkew, HotBias) {
   EXPECT_NEAR(static_cast<double>(hot) / n, 0.91, 0.01);
 }
 
+TEST(BufferPool, SlabSlotsRecycleAcrossEvictionChurn) {
+  // A pool much smaller than the key universe keeps evicting, so slab nodes
+  // and index entries are freed and reallocated constantly; counts must stay
+  // exact throughout and at the end.
+  BufferPool pool(PagesToBytes(64), 8);
+  const RelationMeta a = MakeRel(1, 10000);
+  const RelationMeta b = MakeRel(2, 10000);
+  Rng rng(99);
+  const AccessSkew uniform{1.0, 0.0};
+  for (int round = 0; round < 2000; ++round) {
+    pool.TouchRandom(round % 2 == 0 ? a : b, 4, rng, uniform);
+    EXPECT_LE(pool.used_pages(), pool.capacity_pages());
+  }
+  EXPECT_EQ(pool.ResidentPages(1) + pool.ResidentPages(2), pool.used_pages());
+}
+
+TEST(BufferPool, ClearResetsEverythingAndPoolStaysUsable) {
+  BufferPool pool(PagesToBytes(256), 8);
+  const RelationMeta rel = MakeRel(3, 200);
+  Rng rng(7);
+  pool.TouchScan(rel);
+  pool.DirtyRandom(rel, 10, rng);
+  EXPECT_GT(pool.used_pages(), 0);
+  EXPECT_GT(pool.dirty_pages(), 0);
+  pool.Clear();
+  EXPECT_EQ(pool.used_pages(), 0);
+  EXPECT_EQ(pool.dirty_pages(), 0);
+  EXPECT_EQ(pool.ResidentPages(3), 0);
+  // The freshly cleared pool must behave like a new one.
+  const PoolAccess again = pool.TouchScan(rel);
+  EXPECT_EQ(again.pages_hit, 0);
+  EXPECT_EQ(again.pages_missed, rel.pages);
+  EXPECT_EQ(pool.ResidentPages(3), rel.pages);
+}
+
+TEST(BufferPool, DropRelationLeavesOtherRelationsLinked) {
+  // After dropping one relation the survivors' LRU links must be intact:
+  // eviction order over the remaining entries is unchanged.
+  BufferPool pool(PagesToBytes(96), 8);
+  const RelationMeta keep1 = MakeRel(1, 32);
+  const RelationMeta drop = MakeRel(2, 32);
+  const RelationMeta keep2 = MakeRel(3, 32);
+  pool.TouchScan(keep1);  // LRU end after the others arrive
+  pool.TouchScan(drop);
+  pool.TouchScan(keep2);  // MRU end
+  pool.DropRelation(2);
+  EXPECT_EQ(pool.ResidentPages(2), 0);
+  EXPECT_EQ(pool.used_pages(), 64);
+  // Fill past capacity: keep1 (least recent) must be evicted first.
+  const RelationMeta filler = MakeRel(4, 64);
+  pool.TouchScan(filler);
+  EXPECT_EQ(pool.ResidentPages(1), 0);
+  EXPECT_EQ(pool.ResidentPages(3), 32);
+  EXPECT_EQ(pool.ResidentPages(4), 64);
+}
+
+TEST(BufferPool, DirtyFifoSurvivesInterleavedDropAndFlush) {
+  BufferPool pool(PagesToBytes(4096), 8);
+  const RelationMeta a = MakeRel(1, 500);
+  const RelationMeta b = MakeRel(2, 500);
+  Rng rng(5);
+  const AccessSkew uniform{1.0, 0.0};
+  pool.DirtyRandom(a, 40, rng, uniform);
+  pool.DirtyRandom(b, 40, rng, uniform);
+  const Pages before = pool.dirty_pages();
+  EXPECT_GT(before, 40);
+  pool.DropRelation(1);  // a's pending dirt disappears, b's survives
+  const Pages after = pool.dirty_pages();
+  EXPECT_LT(after, before);
+  EXPECT_GT(after, 0);
+  EXPECT_EQ(pool.TakeDirtyForFlush(10000), after);
+  EXPECT_EQ(pool.dirty_pages(), 0);
+}
+
 }  // namespace
 }  // namespace tashkent

@@ -120,7 +120,7 @@ TEST(ClientPool, ClosedLoopThroughput) {
   const Workload w = BuildTpcw(kTpcwSmallEbs);
   ClientPool pool(&sim, &w, &w.mixes[0], 10, Millis(100), Rng(5));
   int completed = 0;
-  pool.SetDispatch([&sim](const TxnType&, std::function<void(bool)> done) {
+  pool.SetDispatch([&sim](const TxnType&, ClientPool::TxnDone done) {
     sim.ScheduleAfter(Micros(1), [done = std::move(done)]() { done(true); });
   });
   pool.SetOnCommit([&](const TxnType&, SimDuration) { ++completed; });
@@ -137,7 +137,7 @@ TEST(ClientPool, AbortedTransactionsRetry) {
   int attempts = 0;
   int commits = 0;
   int aborts = 0;
-  pool.SetDispatch([&](const TxnType&, std::function<void(bool)> done) {
+  pool.SetDispatch([&](const TxnType&, ClientPool::TxnDone done) {
     ++attempts;
     const bool ok = attempts % 3 != 0;  // every third attempt aborts
     sim.ScheduleAfter(Micros(10), [done = std::move(done), ok]() { done(ok); });
@@ -155,7 +155,7 @@ TEST(ClientPool, MixSwitchTakesEffect) {
   Workload w = BuildTpcw(kTpcwSmallEbs);
   ClientPool pool(&sim, &w, &w.MixByName(kTpcwOrdering), 20, Millis(50), Rng(7));
   std::map<std::string, int> counts;
-  pool.SetDispatch([&sim](const TxnType&, std::function<void(bool)> done) {
+  pool.SetDispatch([&sim](const TxnType&, ClientPool::TxnDone done) {
     sim.ScheduleAfter(Micros(1), [done = std::move(done)]() { done(true); });
   });
   pool.SetOnCommit([&](const TxnType& t, SimDuration) { ++counts[t.name]; });
