@@ -12,7 +12,14 @@
 //     reports touches/sec for both, the speedup, and matching checksums.
 //   * representative cells: one TPC-W and one RUBiS MALB-SC cell, timed
 //     end-to-end (host wall inside the cell), reporting simulated events/sec
-//     and cells/sec through the full stack.
+//     and cells/sec through the full stack;
+//   * hot-code-coverage cells: a churn-heavy cell (crash + recovery replay,
+//     which exercises failover rejection, the recovery pull chase, and the
+//     serial apply queue) and an update-filtering cell (the subscription
+//     test on every applied writeset), so hot-path regressions in
+//     rarely-run code show up in the perf trajectory too. (Event Cancel has
+//     no product callers; its hot-path coverage is the kernel storm's decoy
+//     cancellation traffic above.)
 //
 // Unlike every other campaign, the scalars here are HOST wall-clock derived
 // and therefore not byte-stable across runs or machines; the checksums are
@@ -190,17 +197,9 @@ CellOutput PoolOutput(const PoolOutcome& p) {
 Workload Tpcw() { return BuildTpcw(kTpcwSmallEbs); }
 Workload Rubis() { return BuildRubis(); }
 
-// A representative end-to-end cell, timed from inside so the report can quote
+// Wraps a cell so it times itself from inside: the report can quote
 // cells/sec and simulated events per host second through the full stack.
-CampaignCell TimedPolicyCell(std::string id, bench::WorkloadFactory wf, std::string mix) {
-  bench::CellOptions opts;
-  opts.ram = 256 * kMiB;
-  opts.replicas = 4;
-  opts.clients = 4;  // fixed population: no calibration sweep in a perf cell
-  opts.warmup = Seconds(30.0);
-  opts.measure = Seconds(120.0);
-  CampaignCell inner = bench::PolicyCell(std::move(id), std::move(wf), std::move(mix),
-                                         "MALB-SC", opts);
+CampaignCell TimedCell(CampaignCell inner) {
   CampaignCell cell;
   cell.id = inner.id;
   cell.run = [run = std::move(inner.run)](uint64_t seed) {
@@ -215,6 +214,40 @@ CampaignCell TimedPolicyCell(std::string id, bench::WorkloadFactory wf, std::str
     return out;
   };
   return cell;
+}
+
+// Standard knobs for the representative cells: small enough for CI, big
+// enough that the simulation dominates setup.
+bench::CellOptions PerfCellOptions(bool filtering = false) {
+  bench::CellOptions opts;
+  opts.ram = 256 * kMiB;
+  opts.replicas = 4;
+  opts.filtering = filtering;
+  opts.clients = 4;  // fixed population: no calibration sweep in a perf cell
+  opts.warmup = Seconds(30.0);
+  opts.measure = Seconds(120.0);
+  return opts;
+}
+
+CampaignCell TimedPolicyCell(std::string id, bench::WorkloadFactory wf, std::string mix,
+                             bool filtering = false) {
+  return TimedCell(bench::PolicyCell(std::move(id), std::move(wf), std::move(mix), "MALB-SC",
+                                     PerfCellOptions(filtering)));
+}
+
+// Churn-heavy representative cell: a replica crashes one minute into the
+// window and recovers two minutes later. The failover bounces racing
+// submissions to other replicas and the recovery replays the certifier log
+// through the serial apply queue — rejection, replay, and apply-pump code
+// paths that steady-state cells barely touch.
+CampaignCell TimedChurnCell(std::string id, bench::WorkloadFactory wf, std::string mix) {
+  ScenarioBuilder script = ScenarioBuilder()
+                               .Warmup(Seconds(30.0))
+                               .KillReplicaAt(Seconds(60.0), 1)
+                               .RecoverReplicaAt(Seconds(180.0), 1)
+                               .Measure(Seconds(300.0), "measure");
+  return TimedCell(bench::ScenarioCell(std::move(id), std::move(wf), std::move(mix),
+                                       "MALB-SC", std::move(script), PerfCellOptions()));
 }
 
 std::vector<CampaignCell> Cells() {
@@ -255,6 +288,8 @@ std::vector<CampaignCell> Cells() {
   }
   cells.push_back(TimedPolicyCell("cell/tpcw", Tpcw, kTpcwOrdering));
   cells.push_back(TimedPolicyCell("cell/rubis", Rubis, kRubisBidding));
+  cells.push_back(TimedChurnCell("cell/churn", Tpcw, kTpcwOrdering));
+  cells.push_back(TimedPolicyCell("cell/filter", Tpcw, kTpcwOrdering, /*filtering=*/true));
   return cells;
 }
 
@@ -275,7 +310,7 @@ void Report(const CampaignOutputs& r, ResultSink& out) {
 
   out.Begin("Perf: hot-path throughput, old vs new",
             "event storm 2M ticks / 64 actors; pool storm 400k ops / 256MB; "
-            "representative 4-replica cells");
+            "representative 4-replica cells (steady, churn, filtering)");
 
   const double kernel_legacy = Scalar(kl, "events_per_s");
   const double kernel_slab = Scalar(ks, "events_per_s");
@@ -303,11 +338,18 @@ void Report(const CampaignOutputs& r, ResultSink& out) {
     out.Note("pool checksums match: intrusive LRU is hit/miss identical to the legacy pool");
   }
 
-  for (const char* id : {"cell/tpcw", "cell/rubis"}) {
+  for (const char* id : {"cell/tpcw", "cell/rubis", "cell/churn", "cell/filter"}) {
     const CellOutput& cell = r.Get(id);
     out.AddScalar(std::string(id) + " wall_s", Scalar(cell, "cell_wall_s"));
     out.AddScalar(std::string(id) + " cells_per_s", Scalar(cell, "cells_per_s"));
     out.AddScalar(std::string(id) + " sim_events_per_s", Scalar(cell, "sim_events_per_s"));
+  }
+  // The churn cell's recovery must actually have happened, or it is not
+  // exercising the Cancel/replay paths it exists for.
+  const ExperimentResult& churn = r.Get("cell/churn").Result();
+  if (churn.recoveries == 0) {
+    out.Note("WARNING: cell/churn completed no recovery — the churn cell is "
+             "not exercising the replay path");
   }
   out.Note("host-timing campaign: scalars vary per machine/run; checksums are "
            "the only deterministic outputs (excluded from golden-digest checks)");
@@ -315,7 +357,7 @@ void Report(const CampaignOutputs& r, ResultSink& out) {
 
 RegisterCampaign perf{{"perf", "", "Perf: hot-path throughput, old vs new",
                        "event storm 2M ticks / 64 actors; pool storm 400k ops / 256MB; "
-                       "representative 4-replica cells",
+                       "representative 4-replica cells (steady, churn, filtering)",
                        Cells, Report}};
 
 }  // namespace

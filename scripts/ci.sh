@@ -19,24 +19,37 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
 cmake --build build-asan -j"$(nproc)"
 (cd build-asan && ctest --output-on-failure -j"$(nproc)")
 
-# --- smoke campaign ----------------------------------------------------------
+# --- smoke + perf campaigns --------------------------------------------------
 # A short parallel run through the real binary: grid expansion, worker pool,
-# JSON sinks, and the merged manifest all have to work.
+# JSON sinks, and the merged manifest all have to work; the perf campaign's
+# old-vs-new hot-path comparison (legacy baselines, checksum cross-checks,
+# representative cells) must run end to end. ONE invocation, so the manifest
+# covers both campaigns and the perf_diff step below can compare both against
+# the baseline (each invocation rewrites BENCH_campaign.json from scratch).
 rm -rf build/bench-out
 mkdir -p build/bench-out
-./build/tashkent_bench run smoke --jobs 2 --json build/bench-out
+./build/tashkent_bench run smoke perf --jobs 2 --json build/bench-out
 test -s build/bench-out/BENCH_smoke.json
-test -s build/bench-out/BENCH_campaign.json
-
-# --- perf campaign smoke -----------------------------------------------------
-# The old-vs-new hot-path comparison must run end to end (legacy baselines,
-# checksum cross-checks, representative cells) and emit its JSON. Numbers are
-# host-dependent; this only gates that the campaign works.
-./build/tashkent_bench run perf --jobs 2 --json build/bench-out
 test -s build/bench-out/BENCH_perf.json
+test -s build/bench-out/BENCH_campaign.json
 if grep -q "checksums diverge" build/bench-out/BENCH_perf.json; then
   echo "ci: perf campaign checksum mismatch — old/new hot paths diverged" >&2
   exit 1
+fi
+
+# --- perf trajectory report --------------------------------------------------
+# Diff this run's manifest against the committed baseline (the full-grid
+# manifest checked in with the PR that captured it). Wall numbers are
+# host-dependent, so this REPORTS rather than gates — but the executed-event
+# counts it prints are deterministic, and a change there means the simulation
+# itself changed. Campaigns not in both manifests (the CI run covers only
+# smoke + perf) are listed, not compared.
+if command -v python3 > /dev/null 2>&1; then
+  python3 scripts/perf_diff.py bench/baselines/BENCH_campaign.json \
+    build/bench-out/BENCH_campaign.json --threshold 0.25 \
+    || { echo "ci: perf_diff failed" >&2; exit 1; }
+else
+  echo "ci: python3 unavailable; skipping perf_diff report" >&2
 fi
 
 # --- docs check --------------------------------------------------------------

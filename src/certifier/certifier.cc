@@ -13,7 +13,7 @@ CertifyResult Certifier::Certify(Writeset ws, ReplicaId replica, Version applied
     result.committed = true;
     result.commit_version = ws.commit_version;
     ++certified_;
-    log_.push_back(std::move(ws));
+    log_.Append(std::move(ws), arena_);
   } else {
     ++aborted_;
   }
@@ -21,22 +21,12 @@ CertifyResult Certifier::Certify(Writeset ws, ReplicaId replica, Version applied
   return result;
 }
 
-std::vector<const Writeset*> Certifier::Pull(ReplicaId replica, Version applied_version) {
+WritesetRange Certifier::Pull(ReplicaId replica, Version applied_version) {
   NoteReplicaVersion(replica, applied_version);
   if (replica < prod_outstanding_.size()) {
     prod_outstanding_[replica] = false;
   }
   return CollectSince(applied_version);
-}
-
-std::vector<const Writeset*> Certifier::CollectSince(Version applied_version) const {
-  std::vector<const Writeset*> out;
-  // The log is append-only with commit versions 1..head; index = version - 1.
-  const Version head = head_version();
-  for (Version v = applied_version + 1; v <= head; ++v) {
-    out.push_back(&log_[v - 1]);
-  }
-  return out;
 }
 
 void Certifier::NoteReplicaVersion(ReplicaId replica, Version applied_version) {

@@ -9,18 +9,27 @@
 // and the certifier prods replicas more than 25 commits behind.
 //
 // The certifier here is a passive component: the cluster wiring imposes
-// network latency and invokes it; replication of the certifier itself
-// (leader + 2 backups in the paper) is modeled by the configured latency.
+// network latency (src/certifier/channel.h, which also batches same-tick
+// arrivals into one event — the group-commit analogue) and invokes it;
+// replication of the certifier itself (leader + 2 backups in the paper) is
+// modeled by the configured latency.
+//
+// Hot-path layout: the log is a chunked stable-address store
+// (src/gsi/writeset_store.h) — appending moves the writeset into the current
+// chunk and re-homes any spilled row buffer into the per-cluster arena, and
+// responses describe pending remote writesets as a version range instead of
+// a heap-allocated pointer list, so certification performs no allocations
+// per transaction.
 #ifndef SRC_CERTIFIER_CERTIFIER_H_
 #define SRC_CERTIFIER_CERTIFIER_H_
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "src/common/inline_callback.h"
 #include "src/gsi/certification.h"
 #include "src/gsi/writeset.h"
+#include "src/gsi/writeset_store.h"
 
 namespace tashkent {
 
@@ -33,15 +42,21 @@ struct CertifierConfig {
   uint64_t prod_threshold = 25;
   // Idle proxies pull updates at this period.
   SimDuration pull_period = Millis(500);
+  // Group-commit event batching: certification/pull arrivals landing on the
+  // same simulated tick share one simulator event (see channel.h). Verdicts,
+  // commit order, and timing are identical either way — the golden digest
+  // pins it — so this is on by default; the flag exists for differential
+  // testing and A/B event accounting.
+  bool group_commit_batching = true;
 };
 
 struct CertifyResult {
   bool committed = false;
   Version commit_version = 0;
-  // Remote writesets (commit_version > the replica's reported applied
-  // version, excluding its own writeset) that the replica must apply before
-  // committing locally. Pointers into the certifier log, which is append-only.
-  std::vector<const Writeset*> remote;
+  // Remote writesets (commit versions the replica has not applied yet,
+  // excluding its own writeset) that it must apply before committing
+  // locally. A dense range into the certifier log; read via LogEntry().
+  WritesetRange remote;
 };
 
 class Certifier {
@@ -60,16 +75,18 @@ class Certifier {
   // next commit version. Either way, pending remote writesets are returned.
   CertifyResult Certify(Writeset ws, ReplicaId replica, Version applied_version);
 
-  // A pull request (periodic, or in response to a prod): returns writesets the
-  // replica has not applied yet.
-  std::vector<const Writeset*> Pull(ReplicaId replica, Version applied_version);
+  // A pull request (periodic, or in response to a prod): returns the range of
+  // writesets the replica has not applied yet.
+  WritesetRange Pull(ReplicaId replica, Version applied_version);
 
   // Registers the prod callback: invoked with the replica id when it falls
   // more than prod_threshold commits behind the log head.
   void SetProdCallback(ProdCallback cb) { prod_cb_ = std::move(cb); }
 
   Version head_version() const { return next_version_ - 1; }
-  const std::deque<Writeset>& log() const { return log_; }
+  // The committed writeset at version `v` (1..head, not yet pruned).
+  const Writeset& LogEntry(Version v) const { return log_.Get(v); }
+  size_t log_size() const { return log_.size(); }
   const CertifierConfig& config() const { return config_; }
 
   uint64_t certified_count() const { return certified_; }
@@ -79,14 +96,25 @@ class Certifier {
   // `floor`.
   void PruneBelow(Version floor) { checker_.PruneBelow(floor); }
 
+  // Prunes the log itself: drops entries with version <= floor, recycling
+  // their chunks and arena blocks. Caller contract: no replica — including
+  // one added later, which replays from version 0 — may ever need a pruned
+  // version again. The cluster wiring never prunes on its own.
+  void PruneLogBelow(Version floor) { log_.PruneBelow(floor, arena_); }
+  Version log_pruned_below() const { return log_.pruned_below(); }
+  const WritesetArena& arena() const { return arena_; }
+
  private:
-  std::vector<const Writeset*> CollectSince(Version applied_version) const;
+  WritesetRange CollectSince(Version applied_version) const {
+    return WritesetRange{applied_version + 1, head_version()};
+  }
   void NoteReplicaVersion(ReplicaId replica, Version applied_version);
   void MaybeProdLaggards();
 
   CertifierConfig config_;
   ConflictChecker checker_;
-  std::deque<Writeset> log_;
+  WritesetLog log_;
+  WritesetArena arena_;
   Version next_version_ = 1;
   uint64_t certified_ = 0;
   uint64_t aborted_ = 0;

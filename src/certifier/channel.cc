@@ -1,0 +1,64 @@
+#include "src/certifier/channel.h"
+
+#include <cassert>
+#include <utility>
+
+namespace tashkent {
+
+void CertifierChannel::ScheduleArrival(SimDuration delay, Arrival fn) {
+  ++arrivals_;
+  if (!batch_) {
+    ++events_;
+    sim_->ScheduleAfter(delay, [fn = std::move(fn)]() { fn(); });
+    return;
+  }
+  const SimTime when = sim_->Now() + (delay < 0 ? 0 : delay);
+  // Piggyback on the open batch for this tick if one exists (with the fixed
+  // certification RTT it is always the back; the scan keeps mixed-delay
+  // schedules correct too). The currently firing batch is detached before
+  // its handlers run, so a re-entrant submission for the firing tick opens a
+  // fresh batch (and a fresh event) instead — matching the unbatched firing
+  // order.
+  for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
+    if (it->when == when) {
+      it->fns.push_back(std::move(fn));
+      return;
+    }
+    if (it->when < when) {
+      break;  // whens are non-decreasing in the common case; stop early
+    }
+  }
+  Batch batch;
+  batch.when = when;
+  if (!spare_.empty()) {
+    batch.fns = std::move(spare_.back());
+    spare_.pop_back();
+  }
+  batch.fns.push_back(std::move(fn));
+  open_.push_back(std::move(batch));
+  ++events_;
+  sim_->ScheduleAfter(delay, [this]() { Fire(); });
+}
+
+void CertifierChannel::Fire() {
+  // Detach the batch for the current tick before running any handler: a
+  // handler may submit a new arrival (even for this very tick) and must not
+  // append to a batch that is already draining. With the fixed RTT the
+  // firing batch is the front; a mixed-delay schedule may interleave whens,
+  // so locate it.
+  const SimTime tick = sim_->Now();
+  auto it = open_.begin();
+  while (it != open_.end() && it->when != tick) {
+    ++it;
+  }
+  assert(it != open_.end() && "a channel event fired with no batch for its tick");
+  Batch batch = std::move(*it);
+  open_.erase(it);
+  for (Arrival& fn : batch.fns) {
+    fn();
+  }
+  batch.fns.clear();
+  spare_.push_back(std::move(batch.fns));
+}
+
+}  // namespace tashkent

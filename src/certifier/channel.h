@@ -1,0 +1,92 @@
+// CertifierChannel: the proxy->certifier message channel, with group-commit
+// event batching.
+//
+// Every certification or pull is one network round trip; the simulator models
+// it by scheduling the *arrival* (request processing + response handling) one
+// RTT after submission. Without batching each arrival is its own simulator
+// event. The paper's certifier amortizes its log write across concurrent
+// commits (group commit); the simulation counterpart is amortizing the
+// *event*: arrivals landing on the same simulated tick share one scheduled
+// event and are processed back-to-back in submission order — exactly the
+// order the per-arrival events would have fired in, since same-tick events
+// fire in schedule order. Verdicts, commit order, response contents, and
+// timing are therefore bit-identical to the unbatched channel; only the
+// kernel's event count drops (tests/certifier_test.cc proves the equivalence
+// differentially, and the golden digest pins it end to end).
+//
+// Equivalence caveat: the shared event carries the FIRST submission's
+// sequence number, so a NON-channel event scheduled for the same tick
+// between two channel submissions would, under batching, run after the
+// whole batch instead of between its members. No component schedules work
+// that collides with a certification arrival tick this way (arrivals land
+// RTT after their submission tick; a foreign event would need the exact
+// same microsecond), and the full 179-cell grid is byte-identical with
+// batching on vs off — but the property is empirical, not structural,
+// which is one reason group_commit_batching stays a flag: if a future
+// scenario breaks the golden digest with batching on, flip it off and
+// compare.
+//
+// Re-entrancy: an arrival handler may submit again (a recovery pull chases
+// the log head with zero think time). If the new arrival lands on the tick
+// that is currently firing, it gets its own event — the currently-firing
+// batch was already detached — which again matches the unbatched order (a
+// same-tick event scheduled mid-tick fires after the events already queued).
+//
+// One channel is shared by every proxy of a cluster (Cluster owns it), so
+// concurrent certifications from different replicas batch together; a Proxy
+// constructed without a cluster (unit tests) owns a private one.
+#ifndef SRC_CERTIFIER_CHANNEL_H_
+#define SRC_CERTIFIER_CHANNEL_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/common/inline_callback.h"
+#include "src/sim/simulator.h"
+
+namespace tashkent {
+
+class CertifierChannel {
+ public:
+  // Arrival handler; captures {proxy, pending-slot} — see Proxy.
+  using Arrival = InlineCallback<void(), 24>;
+
+  CertifierChannel(Simulator* sim, bool batch_arrivals)
+      : sim_(sim), batch_(batch_arrivals) {}
+
+  CertifierChannel(const CertifierChannel&) = delete;
+  CertifierChannel& operator=(const CertifierChannel&) = delete;
+
+  // Schedules `fn` to run `delay` from now. With batching on, arrivals for
+  // the same tick share one simulator event; with it off, every arrival is
+  // its own event (the pre-batching behavior).
+  void ScheduleArrival(SimDuration delay, Arrival fn);
+
+  bool batching() const { return batch_; }
+  // Events actually scheduled vs arrivals submitted; the difference is the
+  // group-commit saving.
+  uint64_t arrivals() const { return arrivals_; }
+  uint64_t events_scheduled() const { return events_; }
+
+ private:
+  struct Batch {
+    SimTime when = 0;
+    std::vector<Arrival> fns;
+  };
+
+  void Fire();
+
+  Simulator* sim_;
+  bool batch_;
+  // Batches with a scheduled event, earliest first (arrival ticks are
+  // non-decreasing: submissions use a fixed RTT and simulated time is
+  // monotonic; a clock-order violation simply opens a fresh batch).
+  std::deque<Batch> open_;
+  std::vector<std::vector<Arrival>> spare_;  // recycled capture vectors
+  uint64_t arrivals_ = 0;
+  uint64_t events_ = 0;
+};
+
+}  // namespace tashkent
+
+#endif  // SRC_CERTIFIER_CHANNEL_H_

@@ -14,6 +14,7 @@ Cluster::Cluster(const Workload& workload, std::string mix_name, std::string pol
       policy_name_(std::move(policy)),
       config_(config),
       certifier_(config.certifier),
+      certifier_channel_(&sim_, config.certifier.group_commit_batching),
       timeline_(config.timeline_bucket) {
   Rng root(config_.seed);
 
@@ -30,8 +31,8 @@ Cluster::Cluster(const Workload& workload, std::string mix_name, std::string pol
     replicas_.push_back(std::make_unique<Replica>(&sim_, &workload.schema,
                                                   static_cast<ReplicaId>(r), rc,
                                                   root.Fork()));
-    proxies_.push_back(
-        std::make_unique<Proxy>(&sim_, replicas_.back().get(), &certifier_, config_.proxy));
+    proxies_.push_back(std::make_unique<Proxy>(&sim_, replicas_.back().get(), &certifier_,
+                                               config_.proxy, &certifier_channel_));
   }
   certifier_.SetProdCallback([this](ReplicaId r) {
     if (r < proxies_.size()) {
@@ -114,8 +115,8 @@ size_t Cluster::AddReplica(Bytes memory) {
   const ReplicaId id = static_cast<ReplicaId>(replicas_.size());
   replicas_.push_back(std::make_unique<Replica>(&sim_, &workload_->schema, id, rc,
                                                 topology_rng_.Fork()));
-  proxies_.push_back(
-      std::make_unique<Proxy>(&sim_, replicas_.back().get(), &certifier_, config_.proxy));
+  proxies_.push_back(std::make_unique<Proxy>(&sim_, replicas_.back().get(), &certifier_,
+                                             config_.proxy, &certifier_channel_));
   Proxy* proxy = proxies_.back().get();
   if (started_) {
     replicas_.back()->StartDaemons();

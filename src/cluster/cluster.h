@@ -21,6 +21,7 @@
 #include "src/balancer/lard.h"
 #include "src/balancer/malb.h"
 #include "src/certifier/certifier.h"
+#include "src/certifier/channel.h"
 #include "src/common/stats.h"
 #include "src/proxy/proxy.h"
 #include "src/replica/replica.h"
@@ -170,6 +171,9 @@ class Cluster {
   ClusterConfig config_;
   Simulator sim_;
   Certifier certifier_;
+  // Shared proxy->certifier channel: same-tick certification/pull arrivals
+  // from ANY replica share one simulator event (group-commit batching).
+  CertifierChannel certifier_channel_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<std::unique_ptr<Proxy>> proxies_;
   std::unique_ptr<LoadBalancer> balancer_;

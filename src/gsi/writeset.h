@@ -5,14 +5,22 @@
 // write-write conflict detection under GSI) plus, per table, how many pages
 // the change dirties (for replaying the writeset at remote replicas). The
 // paper measures ~275-byte average writesets in both benchmarks.
+//
+// Memory model (docs/ARCHITECTURE.md, "Hot path & performance model"): both
+// row lists are SmallVecs sized so every transaction type in the TPC-W and
+// RUBiS workloads fits inline — the largest (RUBiS PlaceBid) writes 6 rows
+// across 3 tables. Building, moving, certifying, and log-appending a writeset
+// therefore performs no heap allocation; an oversized writeset (synthetic
+// workloads, tests) spills to a heap buffer that the certifier re-homes into
+// its per-cluster arena when the writeset is appended to the log
+// (src/gsi/writeset_store.h).
 #ifndef SRC_GSI_WRITESET_H_
 #define SRC_GSI_WRITESET_H_
 
 #include <cstdint>
-#include <unordered_set>
 #include <utility>
-#include <vector>
 
+#include "src/common/small_vec.h"
 #include "src/common/units.h"
 #include "src/engine/txn_type.h"
 #include "src/storage/relation.h"
@@ -35,7 +43,24 @@ struct WritesetItem {
   }
 };
 
+// Pages dirtied in one table (the per-table half of the writeset, used to
+// replay the writeset at remote replicas).
+struct TableWrite {
+  RelationId relation = kInvalidRelation;
+  int pages = 0;
+
+  bool operator==(const TableWrite& other) const {
+    return relation == other.relation && pages == other.pages;
+  }
+};
+
 struct Writeset {
+  // Inline capacities cover every transaction type in both workloads (max 6
+  // rows / 3 tables); raising them grows sizeof(Writeset) and with it the
+  // callback capacities that carry writesets by value.
+  using Items = SmallVec<WritesetItem, 8>;
+  using TableWrites = SmallVec<TableWrite, 4>;
+
   // Assigned by the certifier on successful certification; 0 until then.
   Version commit_version = 0;
   // The snapshot the transaction executed against (GSI: possibly older than
@@ -44,9 +69,9 @@ struct Writeset {
   ReplicaId origin = kInvalidReplica;
   TxnTypeId type = kInvalidTxnType;
   // Rows written, for conflict detection.
-  std::vector<WritesetItem> items;
-  // Pages dirtied per table, for remote application; second = page count.
-  std::vector<std::pair<RelationId, int>> table_pages;
+  Items items;
+  // Pages dirtied per table, for remote application.
+  TableWrites table_pages;
   // Wire size of the writeset.
   Bytes bytes = 0;
 
@@ -55,13 +80,26 @@ struct Writeset {
   // writesets.
   template <typename Set>
   bool TouchesAny(const Set& tables) const {
-    for (const auto& [rel, pages] : table_pages) {
-      if (tables.find(rel) != tables.end()) {
+    for (const TableWrite& tw : table_pages) {
+      if (tables.find(tw.relation) != tables.end()) {
         return true;
       }
     }
     return false;
   }
+};
+
+// A contiguous run of certifier-log versions, [from, to] inclusive;
+// from > to means empty. Certification and pull responses describe the
+// remote writesets a replica must apply as a range instead of a heap-built
+// pointer list — the log is append-only and versions are dense, so the range
+// is the whole answer.
+struct WritesetRange {
+  Version from = 1;
+  Version to = 0;
+
+  bool empty() const { return from > to; }
+  uint64_t count() const { return empty() ? 0 : to - from + 1; }
 };
 
 }  // namespace tashkent

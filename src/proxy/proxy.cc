@@ -16,12 +16,18 @@ const char* ReplicaLifecycleName(ReplicaLifecycle s) {
   return "?";
 }
 
-Proxy::Proxy(Simulator* sim, Replica* replica, Certifier* certifier, ProxyConfig config)
+Proxy::Proxy(Simulator* sim, Replica* replica, Certifier* certifier, ProxyConfig config,
+             CertifierChannel* channel)
     : sim_(sim),
       replica_(replica),
       certifier_(certifier),
       config_(config),
-      gatekeeper_(config.max_in_flight) {}
+      gatekeeper_(config.max_in_flight),
+      owned_channel_(channel == nullptr
+                         ? std::make_unique<CertifierChannel>(
+                               sim, certifier->config().group_commit_batching)
+                         : nullptr),
+      channel_(channel == nullptr ? owned_channel_.get() : channel) {}
 
 void Proxy::SubmitTransaction(const TxnType& type, TxnDone done) {
   if (lifecycle_ != ReplicaLifecycle::kUp) {
@@ -81,38 +87,47 @@ SimDuration Proxy::CertificationRtt() const {
 void Proxy::CertifyAndCommit(ExecOutcome outcome, TxnDone done) {
   // One round trip to the certifier: the request carries the writeset and the
   // replica's applied version; the response carries the verdict plus remote
-  // writesets committed since.
-  Writeset ws = std::move(outcome.writeset);
-  ws.snapshot_version = applied_version_;
-  sim_->ScheduleAfter(CertificationRtt(), [this, ws = std::move(ws),
-                                           done = std::move(done)]() mutable {
-    last_certifier_contact_ = sim_->Now();
-    CertifyResult result = certifier_->Certify(std::move(ws), replica_->id(), applied_version_);
-    EnqueueRemotes(result.remote);
-    PumpApplier();
-    if (result.committed) {
-      const Version commit_version = result.commit_version;
-      // The local update commits only after every intervening remote writeset
-      // is applied; no fsync (durability lives in the certifier log).
-      WaitApplied(commit_version - 1, [this, commit_version, done = std::move(done)]() {
-        AdvanceApplied(commit_version);
-        FinishTransaction(true, done);
-      });
-    } else {
-      // Certification abort: apply what the response carried, then report.
-      WaitApplied(max_enqueued_, [this, done = std::move(done)]() {
-        FinishTransaction(false, done);
-      });
-    }
-  });
+  // writesets committed since. The payload is parked in the pending slab so
+  // the scheduled arrival captures only {this, slot}.
+  const uint32_t slot = pending_certs_.Alloc();
+  PendingCert& pending = pending_certs_[slot];
+  pending.ws = std::move(outcome.writeset);
+  pending.ws.snapshot_version = applied_version_;
+  pending.done = std::move(done);
+  channel_->ScheduleArrival(CertificationRtt(), [this, slot]() { OnCertifyArrive(slot); });
 }
 
-void Proxy::EnqueueRemotes(const std::vector<const Writeset*>& remotes) {
-  for (const Writeset* ws : remotes) {
-    if (ws->commit_version > max_enqueued_) {
-      apply_queue_.push_back(ws);
-      max_enqueued_ = ws->commit_version;
-    }
+void Proxy::OnCertifyArrive(uint32_t slot) {
+  last_certifier_contact_ = sim_->Now();
+  PendingCert& pending = pending_certs_[slot];
+  CertifyResult result =
+      certifier_->Certify(std::move(pending.ws), replica_->id(), applied_version_);
+  TxnDone done = std::move(pending.done);
+  pending.ws = Writeset{};
+  pending_certs_.Free(slot);
+  EnqueueRemotes(result.remote);
+  PumpApplier();
+  if (result.committed) {
+    const Version commit_version = result.commit_version;
+    // The local update commits only after every intervening remote writeset
+    // is applied; no fsync (durability lives in the certifier log).
+    WaitApplied(commit_version - 1, [this, commit_version, done = std::move(done)]() {
+      AdvanceApplied(commit_version);
+      FinishTransaction(true, done);
+    });
+  } else {
+    // Certification abort: apply what the response carried, then report.
+    WaitApplied(apply_hi_, [this, done = std::move(done)]() {
+      FinishTransaction(false, done);
+    });
+  }
+}
+
+void Proxy::EnqueueRemotes(WritesetRange remotes) {
+  // Responses always describe (applied .. head]; dedup against overlapping
+  // responses by only ever extending the high cursor.
+  if (!remotes.empty() && remotes.to > apply_hi_) {
+    apply_hi_ = remotes.to;
   }
 }
 
@@ -124,30 +139,30 @@ void Proxy::PumpApplier() {
     return;
   }
   pump_active_ = true;
-  while (!apply_queue_.empty()) {
-    const Writeset* ws = apply_queue_.front();
-    if (ws->commit_version <= applied_version_) {
-      apply_queue_.pop_front();  // already covered (e.g. own commit)
+  while (!ApplyQueueEmpty()) {
+    if (apply_next_ <= applied_version_) {
+      ++apply_next_;  // already covered (e.g. own commit)
       continue;
     }
-    const bool wanted = !subscription_.has_value() || ws->TouchesAny(*subscription_);
+    const Writeset& ws = certifier_->LogEntry(apply_next_);
+    const bool wanted = !subscription_.has_value() || ws.TouchesAny(*subscription_);
     if (!wanted) {
-      apply_queue_.pop_front();
+      ++apply_next_;
       ++stats_.writesets_filtered;
       if (lifecycle_ == ReplicaLifecycle::kRecovering) {
         ++stats_.replay_filtered;  // filtering shrinks the replay volume
       }
-      AdvanceApplied(ws->commit_version);
+      AdvanceApplied(ws.commit_version);
       continue;
     }
-    apply_queue_.pop_front();
-    const Version version = ws->commit_version;
+    ++apply_next_;
+    const Version version = ws.commit_version;
     ++stats_.writesets_applied;
     if (lifecycle_ == ReplicaLifecycle::kRecovering) {
       ++stats_.replay_applied;
     }
     applying_ = true;
-    replica_->ApplyWriteset(*ws, [this, version]() {
+    replica_->ApplyWriteset(ws, [this, version]() {
       applying_ = false;
       AdvanceApplied(version);
       PumpApplier();
@@ -159,7 +174,7 @@ void Proxy::PumpApplier() {
 }
 
 void Proxy::MaybeFinishRecovery() {
-  if (lifecycle_ != ReplicaLifecycle::kRecovering || applying_ || !apply_queue_.empty()) {
+  if (lifecycle_ != ReplicaLifecycle::kRecovering || applying_ || !ApplyQueueEmpty()) {
     return;
   }
   if (applied_version_ < certifier_->head_version()) {
@@ -184,19 +199,32 @@ void Proxy::AdvanceApplied(Version v) {
   if (v > applied_version_) {
     applied_version_ = v;
   }
+  if (waiters_.empty()) {
+    return;
+  }
   // Fire satisfied waiters. A waiter may advance the version further (a local
-  // commit) or enqueue more work, so collect-then-run.
-  std::vector<AppliedHook> ready;
+  // commit) or enqueue more work, so collect-then-run. The single-waiter case
+  // (the common one: a commit waiting on its own predecessor) runs without
+  // touching the heap; bursts spill into a vector.
+  AppliedHook first;
+  std::vector<AppliedHook> rest;
   for (size_t i = 0; i < waiters_.size();) {
     if (waiters_[i].target <= applied_version_) {
-      ready.push_back(std::move(waiters_[i].fn));
+      if (!first) {
+        first = std::move(waiters_[i].fn);
+      } else {
+        rest.push_back(std::move(waiters_[i].fn));
+      }
       waiters_[i] = std::move(waiters_.back());
       waiters_.pop_back();
     } else {
       ++i;
     }
   }
-  for (auto& fn : ready) {
+  if (first) {
+    first();
+  }
+  for (auto& fn : rest) {
     fn();
   }
 }
@@ -238,7 +266,7 @@ void Proxy::PullUpdates() {
   }
   pull_in_progress_ = true;
   ++stats_.pulls;
-  sim_->ScheduleAfter(CertificationRtt(), [this]() {
+  channel_->ScheduleArrival(CertificationRtt(), [this]() {
     last_certifier_contact_ = sim_->Now();
     EnqueueRemotes(certifier_->Pull(replica_->id(), applied_version_));
     // Cleared before pumping: a recovery that drains this response

@@ -13,17 +13,27 @@
 //   * update filtering: when the balancer installs a table subscription, the
 //     proxy forwards only writesets touching subscribed tables to its replica
 //     (version bookkeeping still advances past filtered writesets).
+//
+// Hot-path layout (docs/ARCHITECTURE.md, "Hot path & performance model"):
+// a certification round trip parks its payload (the writeset + the
+// transaction-done continuation) in a free-listed slab on the proxy, so the
+// simulator event carries only {proxy, slot}; round trips travel through the
+// cluster's CertifierChannel, which batches same-tick arrivals into one
+// event (group commit); and the remote-apply queue is a pair of version
+// cursors into the certifier log instead of a pointer deque — the pending
+// writesets are always a dense version range. No allocations per transaction.
 #ifndef SRC_PROXY_PROXY_H_
 #define SRC_PROXY_PROXY_H_
 
-#include <deque>
 #include <memory>
 #include <optional>
 #include <unordered_set>
 #include <vector>
 
-#include "src/common/inline_callback.h"
 #include "src/certifier/certifier.h"
+#include "src/certifier/channel.h"
+#include "src/common/inline_callback.h"
+#include "src/common/slab_list.h"
 #include "src/proxy/gatekeeper.h"
 #include "src/replica/replica.h"
 
@@ -70,7 +80,11 @@ class Proxy {
   // wrapper around the client pool's retry continuation.
   using TxnDone = InlineCallback<void(bool committed), 96>;
 
-  Proxy(Simulator* sim, Replica* replica, Certifier* certifier, ProxyConfig config = {});
+  // `channel` is the cluster-shared certifier channel; when null (standalone
+  // unit tests) the proxy owns a private one, configured from the certifier's
+  // group_commit_batching flag.
+  Proxy(Simulator* sim, Replica* replica, Certifier* certifier, ProxyConfig config = {},
+        CertifierChannel* channel = nullptr);
 
   Proxy(const Proxy&) = delete;
   Proxy& operator=(const Proxy&) = delete;
@@ -129,15 +143,21 @@ class Proxy {
   void RunAdmitted(const TxnType& type, TxnDone done);
   void FinishTransaction(bool committed, const TxnDone& done);
   void CertifyAndCommit(ExecOutcome outcome, TxnDone done);
+  // Arrival of a certification response (one RTT after submission); `slot`
+  // indexes the parked payload in pending_certs_.
+  void OnCertifyArrive(uint32_t slot);
   void PullUpdates();
   SimDuration CertificationRtt() const;
 
   // --- Serial writeset applier --------------------------------------------
   // Remote writesets apply strictly in commit order through one queue, so
   // overlapping certification responses and pulls never apply a writeset
-  // twice and the replica state is always a consistent log prefix.
-  void EnqueueRemotes(const std::vector<const Writeset*>& remotes);
+  // twice and the replica state is always a consistent log prefix. The queue
+  // is a dense version range [apply_next_, apply_hi_] into the certifier
+  // log (responses only ever extend the high end).
+  void EnqueueRemotes(WritesetRange remotes);
   void PumpApplier();
+  bool ApplyQueueEmpty() const { return apply_next_ > apply_hi_; }
   // Recovery exit check: once the replay queue has drained, either pull the
   // delta that committed meanwhile or, if caught up with the log head, flip
   // to kUp and record the recovery lag.
@@ -149,19 +169,29 @@ class Proxy {
   void WaitApplied(Version target, AppliedHook fn);
   void AdvanceApplied(Version v);
 
+  // Payload of an in-flight certification round trip, parked so the
+  // simulator event captures only {this, slot}.
+  struct PendingCert {
+    Writeset ws;
+    TxnDone done;
+  };
+
   Simulator* sim_;
   Replica* replica_;
   Certifier* certifier_;
   ProxyConfig config_;
   Gatekeeper gatekeeper_;
+  std::unique_ptr<CertifierChannel> owned_channel_;  // standalone proxies only
+  CertifierChannel* channel_;
+  Slab<PendingCert> pending_certs_;
   Version applied_version_ = 0;
   SimTime last_certifier_contact_ = 0;
   bool pull_in_progress_ = false;
   std::optional<std::unordered_set<RelationId>> subscription_;
   ProxyStats stats_;
 
-  std::deque<const Writeset*> apply_queue_;
-  Version max_enqueued_ = 0;
+  Version apply_next_ = 1;  // next log version the applier will look at
+  Version apply_hi_ = 0;    // highest version enqueued (old max_enqueued_)
   bool applying_ = false;     // an async ApplyWriteset is in flight
   bool pump_active_ = false;  // re-entrancy guard
   ReplicaLifecycle lifecycle_ = ReplicaLifecycle::kUp;

@@ -34,9 +34,11 @@ enum class JobPriority : uint8_t {
 class FifoServer {
  public:
   // Per-job completion callback. The capacity covers the largest hot capture:
-  // the replica's disk stage carries the ExecOutcome (with its Writeset) plus
-  // the execution-done continuation.
-  using Done = InlineCallback<void(), 288>;
+  // the replica's disk stage carries the ExecOutcome — whose Writeset now
+  // stores its rows inline (SmallVec) rather than in heap vectors — plus the
+  // execution-done continuation. Moves copy only the live rows, so the
+  // capacity is reserved storage in the job queue, not bytes copied per job.
+  using Done = InlineCallback<void(), 448>;
 
   FifoServer(Simulator* sim, std::string name) : sim_(sim), name_(std::move(name)) {}
 

@@ -2,25 +2,36 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
 
 namespace tashkent {
+
+namespace {
+
+// Out of line so the throw does not bloat (and deoptimize) ScheduleAt's
+// inlinable fast path.
+[[noreturn]] void ThrowTimeOverflow() {
+  throw std::overflow_error(
+      "Simulator::ScheduleAt: simulated time exceeds the packed heap key's "
+      "40-bit range (~12.7 days)");
+}
+
+}  // namespace
 
 Simulator::EventId Simulator::ScheduleAt(SimTime when, Callback cb) {
   if (when < now_) {
     when = now_;
   }
-  uint32_t slot;
-  if (free_head_ != kNilSlot) {
-    slot = free_head_;
-    free_head_ = slab_[slot].next_free;
-  } else {
-    slot = static_cast<uint32_t>(slab_.size());
-    slab_.emplace_back();
+  if (__builtin_expect(when > kMaxTime, 0)) {
+    ThrowTimeOverflow();
   }
+  if (__builtin_expect(next_seq_ >= seq_limit_, 0)) {
+    RenumberSequences();
+  }
+  const uint32_t slot = slab_.Alloc();
   EventRecord& rec = slab_[slot];
   rec.cb = std::move(cb);
-  rec.next_free = kNilSlot;
-  heap_.push_back(HeapEntry{when, next_seq_++, slot, rec.gen});
+  heap_.push_back(HeapEntry{MakeKey(when, next_seq_++), slot, rec.gen});
   std::push_heap(heap_.begin(), heap_.end(), FiresAfter{});
   ++live_events_;
   return MakeId(slot, rec.gen);
@@ -28,7 +39,7 @@ Simulator::EventId Simulator::ScheduleAt(SimTime when, Callback cb) {
 
 bool Simulator::Cancel(EventId id) {
   const uint32_t lo = static_cast<uint32_t>(id);
-  if (lo == 0 || lo > slab_.size()) {
+  if (lo == 0 || lo > slab_.slots()) {
     return false;
   }
   const uint32_t slot = lo - 1;
@@ -48,10 +59,8 @@ bool Simulator::Cancel(EventId id) {
 }
 
 void Simulator::ReleaseSlot(uint32_t slot) {
-  EventRecord& rec = slab_[slot];
-  ++rec.gen;  // invalidate every outstanding id for this occupancy
-  rec.next_free = free_head_;
-  free_head_ = slot;
+  ++slab_[slot].gen;  // invalidate every outstanding id for this occupancy
+  slab_.Free(slot);
   --live_events_;
 }
 
@@ -68,10 +77,38 @@ void Simulator::MaybeCompactHeap() {
   cancelled_in_heap_ = 0;
 }
 
+void Simulator::RenumberSequences() {
+  // Drop dead entries, then re-assign dense sequence numbers in current
+  // firing order. Relative order is all the comparator ever uses (sequence
+  // numbers only break ties within one tick), so every pairwise comparison
+  // is preserved, and entries scheduled after the renumber sort later within
+  // their tick than every survivor — exactly as before.
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const HeapEntry& e) {
+                               return slab_[e.slot].gen != e.gen;
+                             }),
+              heap_.end());
+  cancelled_in_heap_ = 0;
+  std::sort(heap_.begin(), heap_.end(),
+            [](const HeapEntry& a, const HeapEntry& b) { return a.key < b.key; });
+  uint64_t seq = 0;
+  for (HeapEntry& e : heap_) {
+    e.key = MakeKey(e.when(), seq++);
+  }
+  // A sorted ascending array is a valid min-ordered binary heap under
+  // FiresAfter (every parent fires no later than its children).
+  next_seq_ = seq;
+  ++seq_renumbers_;
+  if (next_seq_ >= seq_limit_) {
+    throw std::overflow_error(
+        "Simulator: more live events than the sequence space after renumber");
+  }
+}
+
 void Simulator::RunEvents(SimTime limit) {
   while (!heap_.empty()) {
     const HeapEntry top = heap_.front();
-    if (top.when > limit) {
+    if (top.when() > limit) {
       break;
     }
     std::pop_heap(heap_.begin(), heap_.end(), FiresAfter{});
@@ -85,7 +122,7 @@ void Simulator::RunEvents(SimTime limit) {
     // may schedule (growing the slab) or cancel other events.
     Callback cb = std::move(rec.cb);
     ReleaseSlot(top.slot);
-    now_ = top.when;
+    now_ = top.when();
     ++executed_;
     cb();
   }
@@ -98,7 +135,7 @@ void Simulator::RunUntil(SimTime end) {
   }
 }
 
-void Simulator::RunAll() { RunEvents(std::numeric_limits<SimTime>::max()); }
+void Simulator::RunAll() { RunEvents(kMaxTime); }
 
 uint64_t Simulator::SchedulePeriodic(SimTime start, SimDuration period, Callback cb) {
   const uint64_t pid = next_periodic_id_++;

@@ -32,49 +32,7 @@ BufferPool::BufferPool(Bytes capacity, Pages chunk_pages)
     : capacity_pages_(std::max<Pages>(BytesToPages(capacity), 1)),
       chunk_pages_(std::max<Pages>(chunk_pages, 1)) {}
 
-// --- LRU slab plumbing -------------------------------------------------------
-
-uint32_t BufferPool::AllocLruNode() {
-  if (lru_free_ != kNil) {
-    const uint32_t slot = lru_free_;
-    lru_free_ = nodes_[slot].next;
-    return slot;
-  }
-  nodes_.emplace_back();
-  return static_cast<uint32_t>(nodes_.size() - 1);
-}
-
-void BufferPool::FreeLruNode(uint32_t slot) {
-  nodes_[slot].next = lru_free_;
-  lru_free_ = slot;
-}
-
-void BufferPool::UnlinkLru(uint32_t slot) {
-  LruNode& n = nodes_[slot];
-  if (n.prev != kNil) {
-    nodes_[n.prev].next = n.next;
-  } else {
-    mru_head_ = n.next;
-  }
-  if (n.next != kNil) {
-    nodes_[n.next].prev = n.prev;
-  } else {
-    lru_tail_ = n.prev;
-  }
-}
-
-void BufferPool::PushMru(uint32_t slot) {
-  LruNode& n = nodes_[slot];
-  n.prev = kNil;
-  n.next = mru_head_;
-  if (mru_head_ != kNil) {
-    nodes_[mru_head_].prev = slot;
-  }
-  mru_head_ = slot;
-  if (lru_tail_ == kNil) {
-    lru_tail_ = slot;
-  }
-}
+// --- LRU slab plumbing (shared SlabList helper) ------------------------------
 
 void BufferPool::AddResident(RelationId rel, Pages delta) {
   const size_t idx = static_cast<size_t>(rel);
@@ -86,19 +44,17 @@ void BufferPool::AddResident(RelationId rel, Pages delta) {
 
 void BufferPool::TouchEntry(uint64_t key) {
   const uint32_t slot = index_.Find(key);
-  if (slot == mru_head_) {
+  if (slot == lru_.head()) {
     return;  // already most recent
   }
-  UnlinkLru(slot);
-  PushMru(slot);
+  lru_.Unlink(slot);
+  lru_.PushFront(slot);
 }
 
 void BufferPool::Insert(uint64_t key, Pages weight) {
-  const uint32_t slot = AllocLruNode();
-  LruNode& n = nodes_[slot];
-  n.key = key;
-  n.weight = weight;
-  PushMru(slot);
+  const uint32_t slot = lru_.Alloc();
+  lru_[slot] = LruEntry{key, weight};
+  lru_.PushFront(slot);
   index_.Insert(key, slot);
   used_pages_ += weight;
   AddResident(KeyRelation(key), weight);
@@ -106,12 +62,12 @@ void BufferPool::Insert(uint64_t key, Pages weight) {
 }
 
 void BufferPool::EvictToFit() {
-  while (used_pages_ > capacity_pages_ && lru_tail_ != kNil) {
-    const uint32_t victim = lru_tail_;
-    const uint64_t key = nodes_[victim].key;
-    const Pages weight = nodes_[victim].weight;
-    UnlinkLru(victim);
-    FreeLruNode(victim);
+  while (used_pages_ > capacity_pages_ && lru_.tail() != kNilSlot) {
+    const uint32_t victim = lru_.tail();
+    const uint64_t key = lru_[victim].key;
+    const Pages weight = lru_[victim].weight;
+    lru_.Unlink(victim);
+    lru_.Free(victim);
     index_.Erase(key);
     used_pages_ -= weight;
     AddResident(KeyRelation(key), -weight);
@@ -121,52 +77,10 @@ void BufferPool::EvictToFit() {
 
 // --- Dirty-FIFO slab plumbing ------------------------------------------------
 
-uint32_t BufferPool::AllocDirtyNode() {
-  if (dirty_free_ != kNil) {
-    const uint32_t slot = dirty_free_;
-    dirty_free_ = dirty_nodes_[slot].next;
-    return slot;
-  }
-  dirty_nodes_.emplace_back();
-  return static_cast<uint32_t>(dirty_nodes_.size() - 1);
-}
-
-void BufferPool::FreeDirtyNode(uint32_t slot) {
-  dirty_nodes_[slot].next = dirty_free_;
-  dirty_free_ = slot;
-}
-
-void BufferPool::UnlinkDirty(uint32_t slot) {
-  DirtyNode& n = dirty_nodes_[slot];
-  if (n.prev != kNil) {
-    dirty_nodes_[n.prev].next = n.next;
-  } else {
-    dirty_head_ = n.next;
-  }
-  if (n.next != kNil) {
-    dirty_nodes_[n.next].prev = n.prev;
-  } else {
-    dirty_tail_ = n.prev;
-  }
-}
-
-void BufferPool::PushDirtyTail(uint32_t slot) {
-  DirtyNode& n = dirty_nodes_[slot];
-  n.next = kNil;
-  n.prev = dirty_tail_;
-  if (dirty_tail_ != kNil) {
-    dirty_nodes_[dirty_tail_].next = slot;
-  }
-  dirty_tail_ = slot;
-  if (dirty_head_ == kNil) {
-    dirty_head_ = slot;
-  }
-}
-
 void BufferPool::EraseDirty(uint32_t slot) {
-  dirty_index_.Erase(dirty_nodes_[slot].key);
-  UnlinkDirty(slot);
-  FreeDirtyNode(slot);
+  dirty_index_.Erase(dirty_[slot].key);
+  dirty_.Unlink(slot);
+  dirty_.Free(slot);
 }
 
 // --- Public access paths -----------------------------------------------------
@@ -273,9 +187,9 @@ BufferPool::DirtyResult BufferPool::DirtyRandom(const RelationMeta& rel, int n_p
       ++out.access.pages_missed;
     }
     if (dirty_index_.Find(pkey) == OpenHashIndex::kNotFound) {
-      const uint32_t slot = AllocDirtyNode();
-      dirty_nodes_[slot].key = pkey;
-      PushDirtyTail(slot);
+      const uint32_t slot = dirty_.Alloc();
+      dirty_[slot].key = pkey;
+      dirty_.PushBack(slot);
       dirty_index_.Insert(pkey, slot);
       ++out.newly_dirtied;
     }
@@ -288,8 +202,8 @@ BufferPool::DirtyResult BufferPool::DirtyRandom(const RelationMeta& rel, int n_p
 
 Pages BufferPool::TakeDirtyForFlush(Pages max_pages) {
   Pages taken = 0;
-  while (taken < max_pages && dirty_head_ != kNil) {
-    EraseDirty(dirty_head_);
+  while (taken < max_pages && dirty_.head() != kNilSlot) {
+    EraseDirty(dirty_.head());
     ++taken;
   }
   stats_.flushed_pages += static_cast<uint64_t>(taken);
@@ -297,22 +211,22 @@ Pages BufferPool::TakeDirtyForFlush(Pages max_pages) {
 }
 
 void BufferPool::DropRelation(RelationId rel) {
-  for (uint32_t slot = mru_head_; slot != kNil;) {
-    const uint32_t next = nodes_[slot].next;
-    if (KeyRelation(nodes_[slot].key) == rel) {
-      used_pages_ -= nodes_[slot].weight;
-      index_.Erase(nodes_[slot].key);
-      UnlinkLru(slot);
-      FreeLruNode(slot);
+  for (uint32_t slot = lru_.head(); slot != kNilSlot;) {
+    const uint32_t next = lru_.next(slot);
+    if (KeyRelation(lru_[slot].key) == rel) {
+      used_pages_ -= lru_[slot].weight;
+      index_.Erase(lru_[slot].key);
+      lru_.Unlink(slot);
+      lru_.Free(slot);
     }
     slot = next;
   }
   if (static_cast<size_t>(rel) < resident_by_rel_.size()) {
     resident_by_rel_[static_cast<size_t>(rel)] = 0;
   }
-  for (uint32_t slot = dirty_head_; slot != kNil;) {
-    const uint32_t next = dirty_nodes_[slot].next;
-    if (KeyRelation(dirty_nodes_[slot].key) == rel) {
+  for (uint32_t slot = dirty_.head(); slot != kNilSlot;) {
+    const uint32_t next = dirty_.next(slot);
+    if (KeyRelation(dirty_[slot].key) == rel) {
       EraseDirty(slot);
     }
     slot = next;
@@ -320,15 +234,9 @@ void BufferPool::DropRelation(RelationId rel) {
 }
 
 void BufferPool::Clear() {
-  nodes_.clear();
-  lru_free_ = kNil;
-  mru_head_ = kNil;
-  lru_tail_ = kNil;
+  lru_.Clear();
   index_.Clear();
-  dirty_nodes_.clear();
-  dirty_free_ = kNil;
-  dirty_head_ = kNil;
-  dirty_tail_ = kNil;
+  dirty_.Clear();
   dirty_index_.Clear();
   resident_by_rel_.clear();
   used_pages_ = 0;

@@ -16,13 +16,13 @@
 // update filtering removes.
 //
 // Hot-path layout (docs/ARCHITECTURE.md, "Hot path & performance model"):
-// the LRU is an intrusive doubly-linked list threaded through a slab
-// std::vector of nodes on a free list, indexed by an open-addressing hash on
-// the packed 64-bit entry key — so TouchScan/TouchRandom/DirtyRandom perform
-// zero allocations per touch (only amortized slab/table growth). The dirty
-// FIFO gets the same slab + open-addressing treatment. Eviction order, hit
-// outcomes, and stats are bit-identical to the earlier std::list +
-// unordered_map implementation.
+// the LRU is an intrusive doubly-linked list threaded through a free-listed
+// slab (the shared SlabList helper, src/common/slab_list.h), indexed by an
+// open-addressing hash on the packed 64-bit entry key — so
+// TouchScan/TouchRandom/DirtyRandom perform zero allocations per touch (only
+// amortized slab/table growth). The dirty FIFO gets the same slab +
+// open-addressing treatment. Eviction order, hit outcomes, and stats are
+// bit-identical to the earlier std::list + unordered_map implementation.
 #ifndef SRC_STORAGE_BUFFER_POOL_H_
 #define SRC_STORAGE_BUFFER_POOL_H_
 
@@ -31,6 +31,7 @@
 
 #include "src/common/open_hash.h"
 #include "src/common/rng.h"
+#include "src/common/slab_list.h"
 #include "src/common/units.h"
 #include "src/storage/relation.h"
 
@@ -146,23 +147,16 @@ class BufferPool {
     return static_cast<RelationId>((key >> 40) & 0x7fffff);
   }
 
-  static constexpr uint32_t kNil = UINT32_MAX;
-
-  // LRU entry in the slab; prev/next thread the recency list (head = MRU).
-  // Free slots reuse `next` as the free-list link.
-  struct LruNode {
+  // LRU entry payload; the SlabList threads the recency links (front = MRU).
+  struct LruEntry {
     uint64_t key = 0;
     Pages weight = 0;
-    uint32_t prev = kNil;
-    uint32_t next = kNil;
   };
 
-  // Dirty-FIFO entry in its slab; prev/next thread insertion order
-  // (head = oldest). Free slots reuse `next` as the free-list link.
-  struct DirtyNode {
+  // Dirty-FIFO entry payload; the SlabList threads insertion order
+  // (front = oldest).
+  struct DirtyEntry {
     uint64_t key = 0;
-    uint32_t prev = kNil;
-    uint32_t next = kNil;
   };
 
   bool IsResident(uint64_t key) const {
@@ -171,16 +165,6 @@ class BufferPool {
   void TouchEntry(uint64_t key);            // move to MRU
   void Insert(uint64_t key, Pages weight);  // insert at MRU + evict
   void EvictToFit();
-
-  uint32_t AllocLruNode();
-  void FreeLruNode(uint32_t slot);
-  void UnlinkLru(uint32_t slot);
-  void PushMru(uint32_t slot);
-
-  uint32_t AllocDirtyNode();
-  void FreeDirtyNode(uint32_t slot);
-  void UnlinkDirty(uint32_t slot);
-  void PushDirtyTail(uint32_t slot);
   void EraseDirty(uint32_t slot);
 
   void AddResident(RelationId rel, Pages delta);
@@ -189,16 +173,10 @@ class BufferPool {
   Pages chunk_pages_;
   Pages used_pages_ = 0;
 
-  std::vector<LruNode> nodes_;     // LRU slab; list threaded through prev/next
-  uint32_t lru_free_ = kNil;       // LRU slab free-list head
-  uint32_t mru_head_ = kNil;       // most recently used
-  uint32_t lru_tail_ = kNil;       // least recently used (eviction victim)
+  SlabList<LruEntry> lru_;         // recency list: front = MRU, back = victim
   OpenHashIndex index_;            // packed key -> LRU slab slot
 
-  std::vector<DirtyNode> dirty_nodes_;  // dirty-FIFO slab
-  uint32_t dirty_free_ = kNil;
-  uint32_t dirty_head_ = kNil;     // oldest dirty page (flushed first)
-  uint32_t dirty_tail_ = kNil;
+  SlabList<DirtyEntry> dirty_;     // write-back FIFO: front = oldest
   OpenHashIndex dirty_index_;      // packed key -> dirty slab slot (dedup)
 
   std::vector<Pages> resident_by_rel_;  // resident page count, indexed by relation id

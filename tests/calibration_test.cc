@@ -1,0 +1,45 @@
+// Parallel-calibration equivalence: fanning the 12-point client-population
+// sweep out on the worker pool must produce EXACTLY the sequential result —
+// same chosen population, same peak/85% throughputs, same response time —
+// because campaign cells cache the calibrated population process-wide and
+// `--jobs N` must stay bit-identical to `--jobs 1` (campaign.h contract).
+#include <gtest/gtest.h>
+
+#include "src/cluster/calibration.h"
+#include "src/cluster/experiment.h"
+#include "src/workload/tpcw.h"
+
+namespace tashkent {
+namespace {
+
+TEST(Calibration, ParallelSweepEqualsSequentialExactly) {
+  const Workload w = BuildTpcw(kTpcwSmallEbs);
+  ClusterConfig config = MakeClusterConfig(256 * kMiB);
+  // Short windows keep the test quick; equality must hold for any windows.
+  const SimDuration warmup = Seconds(4.0);
+  const SimDuration measure = Seconds(8.0);
+
+  const CalibrationResult seq =
+      CalibrateClientsPerReplica(w, kTpcwOrdering, config, warmup, measure, /*jobs=*/1);
+  const CalibrationResult par =
+      CalibrateClientsPerReplica(w, kTpcwOrdering, config, warmup, measure, /*jobs=*/4);
+
+  EXPECT_EQ(seq.clients_per_replica, par.clients_per_replica);
+  EXPECT_EQ(seq.single_peak_tps, par.single_peak_tps);        // bitwise double equality
+  EXPECT_EQ(seq.single_85_tps, par.single_85_tps);
+  EXPECT_EQ(seq.single_response_s, par.single_response_s);
+  EXPECT_GE(seq.clients_per_replica, 1);
+  EXPECT_GT(seq.single_peak_tps, 0.0);
+}
+
+TEST(Calibration, FanoutKnobClampsAndRoundTrips) {
+  const int before = CalibrationFanout();
+  SetCalibrationFanout(6);
+  EXPECT_EQ(CalibrationFanout(), 6);
+  SetCalibrationFanout(0);  // nonsense clamps to sequential
+  EXPECT_EQ(CalibrationFanout(), 1);
+  SetCalibrationFanout(before);
+}
+
+}  // namespace
+}  // namespace tashkent

@@ -1,15 +1,21 @@
 // Unit tests for the certifier: ordering, piggybacked propagation, pulls,
-// prods.
+// prods, log pruning + arena lifetime, and group-commit channel batching.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/certifier/certifier.h"
+#include "src/certifier/channel.h"
+#include "src/sim/simulator.h"
 
 namespace tashkent {
 namespace {
 
 Writeset MakeWs(std::vector<WritesetItem> items) {
   Writeset ws;
-  ws.items = std::move(items);
+  for (const WritesetItem& item : items) {
+    ws.items.push_back(item);
+  }
   ws.table_pages = {{0, 1}};
   return ws;
 }
@@ -23,7 +29,7 @@ TEST(Certifier, AssignsMonotonicVersions) {
   EXPECT_EQ(r1.commit_version, 1u);
   EXPECT_EQ(r2.commit_version, 2u);
   EXPECT_EQ(c.head_version(), 2u);
-  EXPECT_EQ(c.log().size(), 2u);
+  EXPECT_EQ(c.log_size(), 2u);
 }
 
 TEST(Certifier, DetectsConflict) {
@@ -38,8 +44,8 @@ TEST(Certifier, DetectsConflict) {
   EXPECT_EQ(c.aborted_count(), 1u);
   EXPECT_EQ(c.certified_count(), 1u);
   // The aborted request still receives the missed remote writesets.
-  ASSERT_EQ(r2.remote.size(), 1u);
-  EXPECT_EQ(r2.remote[0]->commit_version, 1u);
+  ASSERT_EQ(r2.remote.count(), 1u);
+  EXPECT_EQ(c.LogEntry(r2.remote.from).commit_version, 1u);
 }
 
 TEST(Certifier, PiggybacksRemoteWritesets) {
@@ -52,18 +58,20 @@ TEST(Certifier, PiggybacksRemoteWritesets) {
   ws.snapshot_version = 0;
   const auto r = c.Certify(std::move(ws), 1, 0);
   EXPECT_TRUE(r.committed);
-  ASSERT_EQ(r.remote.size(), 2u);
-  EXPECT_EQ(r.remote[0]->commit_version, 1u);
-  EXPECT_EQ(r.remote[1]->commit_version, 2u);
+  ASSERT_EQ(r.remote.count(), 2u);
+  EXPECT_EQ(r.remote.from, 1u);
+  EXPECT_EQ(r.remote.to, 2u);
+  EXPECT_EQ(c.LogEntry(1).commit_version, 1u);
+  EXPECT_EQ(c.LogEntry(2).commit_version, 2u);
 }
 
 TEST(Certifier, PullReturnsMissedUpdates) {
   Certifier c;
   c.Certify(MakeWs({{1, 1}}), 0, 0);
   c.Certify(MakeWs({{1, 2}}), 0, 1);
-  const auto pulled = c.Pull(1, 0);
-  ASSERT_EQ(pulled.size(), 2u);
-  const auto empty = c.Pull(1, 2);
+  const WritesetRange pulled = c.Pull(1, 0);
+  ASSERT_EQ(pulled.count(), 2u);
+  const WritesetRange empty = c.Pull(1, 2);
   EXPECT_TRUE(empty.empty());
 }
 
@@ -100,7 +108,7 @@ TEST(Certifier, AbortedWritesetsNotInLog) {
   Writeset conflicting = MakeWs({{5, 5}});
   conflicting.snapshot_version = 0;
   c.Certify(std::move(conflicting), 1, 0);
-  EXPECT_EQ(c.log().size(), 1u);
+  EXPECT_EQ(c.log_size(), 1u);
   EXPECT_EQ(c.head_version(), 1u);
 }
 
@@ -111,8 +119,199 @@ TEST(Certifier, LogOrderMatchesVersions) {
     const auto r = c.Certify(MakeWs({{1, static_cast<uint64_t>(100 + i)}}), 0, applied);
     applied = r.commit_version;
   }
-  for (size_t i = 0; i < c.log().size(); ++i) {
-    EXPECT_EQ(c.log()[i].commit_version, i + 1);
+  for (Version v = 1; v <= c.head_version(); ++v) {
+    EXPECT_EQ(c.LogEntry(v).commit_version, v);
+  }
+}
+
+// --- log pruning + arena lifetime -------------------------------------------
+
+TEST(Certifier, WritesetsSurviveLogPrune) {
+  Certifier c;
+  Version applied = 0;
+  // Enough commits to span several log chunks; every 7th writeset spills
+  // past the inline capacity so its rows land in the arena on append.
+  const int kCommits = 3 * static_cast<int>(WritesetLog::kChunkEntries) + 10;
+  for (int i = 0; i < kCommits; ++i) {
+    Writeset ws = MakeWs({{1, static_cast<uint64_t>(i)}});
+    ws.snapshot_version = applied;
+    if (i % 7 == 0) {
+      for (uint64_t k = 0; k < 2 * Writeset::Items::inline_capacity(); ++k) {
+        ws.items.push_back(WritesetItem{2, 1000000 + k});
+      }
+    }
+    const auto r = c.Certify(std::move(ws), 0, applied);
+    ASSERT_TRUE(r.committed);
+    applied = r.commit_version;
+  }
+  EXPECT_GT(c.arena().allocated_bytes(), 0u);
+
+  const Version floor = 2 * WritesetLog::kChunkEntries;  // prune two chunks
+  c.PruneLogBelow(floor);
+  EXPECT_EQ(c.log_pruned_below(), floor);
+  EXPECT_EQ(c.log_size(), static_cast<size_t>(kCommits) - floor);
+  EXPECT_EQ(c.head_version(), static_cast<Version>(kCommits));
+
+  // Every surviving entry — spilled ones included — is intact and readable.
+  for (Version v = floor + 1; v <= c.head_version(); ++v) {
+    const Writeset& ws = c.LogEntry(v);
+    EXPECT_EQ(ws.commit_version, v);
+    ASSERT_GE(ws.items.size(), 1u);
+    EXPECT_EQ(ws.items[0].row_key, static_cast<uint64_t>(v - 1));
+    if ((v - 1) % 7 == 0) {
+      ASSERT_EQ(ws.items.size(), 1 + 2 * Writeset::Items::inline_capacity());
+      EXPECT_TRUE(ws.items.spilled());
+      EXPECT_EQ(ws.items[ws.items.size() - 1].relation, 2u);
+    }
+  }
+
+  // New commits keep working after the prune and stay readable.
+  const auto r = c.Certify(MakeWs({{3, 42}}), 0, applied);
+  ASSERT_TRUE(r.committed);
+  EXPECT_EQ(c.LogEntry(r.commit_version).items[0].relation, 3u);
+}
+
+TEST(Certifier, LogPruneRecyclesArenaBlocks) {
+  Certifier c;
+  Version applied = 0;
+  // Big spilled writesets so the arena spans multiple blocks.
+  const uint64_t rows = 4096;  // 64 KiB of items per writeset
+  for (int i = 0; i < 8; ++i) {
+    Writeset ws;
+    ws.table_pages = {{0, 1}};
+    for (uint64_t k = 0; k < rows; ++k) {
+      ws.items.push_back(WritesetItem{1, static_cast<uint64_t>(i) * rows + k});
+    }
+    const auto r = c.Certify(std::move(ws), 0, applied);
+    ASSERT_TRUE(r.committed);
+    applied = r.commit_version;
+  }
+  const uint64_t before = c.arena().allocated_bytes();
+  ASSERT_GT(before, 0u);
+  ASSERT_GT(c.arena().live_blocks(), 1u);
+
+  c.PruneLogBelow(4);
+  EXPECT_LT(c.arena().allocated_bytes(), before);
+  EXPECT_GT(c.arena().spare_blocks(), 0u);  // recycled, not freed
+
+  // Survivors still verify.
+  for (Version v = 5; v <= 8; ++v) {
+    const Writeset& ws = c.LogEntry(v);
+    ASSERT_EQ(ws.items.size(), rows);
+    EXPECT_EQ(ws.items[0].row_key, (v - 1) * rows);
+  }
+}
+
+// --- group-commit channel batching ------------------------------------------
+
+// Same-tick arrivals share one simulator event but run in submission order:
+// the observable sequence (and the certifier outcomes it produces) is
+// identical to the unbatched channel; only the event count differs.
+TEST(CertifierChannel, BatchedArrivalsPreserveOrderAndSaveEvents) {
+  for (const bool batch : {false, true}) {
+    Simulator sim;
+    CertifierChannel channel(&sim, batch);
+    std::vector<int> order;
+    // Three arrivals for tick 100, two for tick 250, interleaved submission.
+    channel.ScheduleArrival(100, [&order]() { order.push_back(1); });
+    channel.ScheduleArrival(100, [&order]() { order.push_back(2); });
+    channel.ScheduleArrival(250, [&order]() { order.push_back(10); });
+    channel.ScheduleArrival(100, [&order]() { order.push_back(3); });
+    channel.ScheduleArrival(250, [&order]() { order.push_back(11); });
+    sim.RunAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 10, 11}));
+    EXPECT_EQ(channel.arrivals(), 5u);
+    if (batch) {
+      EXPECT_EQ(channel.events_scheduled(), 2u);  // one per distinct tick
+    } else {
+      EXPECT_EQ(channel.events_scheduled(), 5u);
+    }
+  }
+}
+
+// A handler that re-submits for the *currently firing* tick gets a fresh
+// event (it must not join the batch already draining), exactly like an
+// unbatched same-tick schedule-from-within-a-tick.
+TEST(CertifierChannel, ReentrantSameTickArrivalGetsOwnEvent) {
+  Simulator sim;
+  CertifierChannel channel(&sim, /*batch_arrivals=*/true);
+  std::vector<int> order;
+  bool resubmitted = false;
+  channel.ScheduleArrival(0, [&]() {
+    order.push_back(1);
+    if (!resubmitted) {
+      resubmitted = true;
+      channel.ScheduleArrival(0, [&order]() { order.push_back(2); });
+    }
+  });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(channel.events_scheduled(), 2u);
+}
+
+// Differential: the full certification sequence of an interleaved
+// multi-replica schedule is identical with batching on and off — verdicts,
+// commit versions, remote ranges, and arrival times.
+TEST(CertifierChannel, BatchingIsResultIdenticalDifferentially) {
+  struct Observation {
+    bool committed;
+    Version commit_version;
+    Version remote_from;
+    Version remote_to;
+    SimTime at;
+  };
+  // Bundled so the parked-payload arrivals capture one pointer (mirroring the
+  // proxy's {this, slot} discipline; Arrival capacity is deliberately small).
+  struct Ctx {
+    Simulator sim;
+    Certifier certifier;
+    std::deque<Writeset> parked;  // stable addresses
+    std::vector<Observation> log;
+    std::vector<Version> applied = std::vector<Version>(3, 0);
+  };
+  auto run = [](bool batch) {
+    Ctx ctx;
+    CertifierChannel channel(&ctx.sim, batch);
+    // 30 certifications from 3 replicas; groups of three share a submission
+    // tick (and hence an arrival tick), each writing distinct rows except
+    // every 5th, which rewrites row 7 to force real conflicts.
+    for (int i = 0; i < 30; ++i) {
+      const ReplicaId replica = static_cast<ReplicaId>(i % 3);
+      const SimTime submit = (i / 3) * 400;
+      ctx.sim.ScheduleAt(submit, [c = &ctx, ch = &channel, replica, i]() {
+        Writeset ws;
+        ws.table_pages = {{0, 1}};
+        const uint64_t row = (i % 5 == 0) ? 7 : 100 + static_cast<uint64_t>(i);
+        ws.items.push_back(WritesetItem{1, row});
+        ws.snapshot_version = c->applied[replica];
+        c->parked.push_back(std::move(ws));
+        Writeset* p = &c->parked.back();
+        ch->ScheduleArrival(320, [c, replica, p]() {
+          const CertifyResult r =
+              c->certifier.Certify(std::move(*p), replica, c->applied[replica]);
+          if (r.committed) {
+            c->applied[replica] = r.commit_version;
+          } else if (!r.remote.empty()) {
+            c->applied[replica] = r.remote.to;
+          }
+          c->log.push_back(Observation{r.committed, r.commit_version, r.remote.from,
+                                       r.remote.to, c->sim.Now()});
+        });
+      });
+    }
+    ctx.sim.RunAll();
+    return ctx.log;
+  };
+
+  const auto unbatched = run(false);
+  const auto batched = run(true);
+  ASSERT_EQ(unbatched.size(), batched.size());
+  for (size_t i = 0; i < unbatched.size(); ++i) {
+    EXPECT_EQ(unbatched[i].committed, batched[i].committed) << i;
+    EXPECT_EQ(unbatched[i].commit_version, batched[i].commit_version) << i;
+    EXPECT_EQ(unbatched[i].remote_from, batched[i].remote_from) << i;
+    EXPECT_EQ(unbatched[i].remote_to, batched[i].remote_to) << i;
+    EXPECT_EQ(unbatched[i].at, batched[i].at) << i;
   }
 }
 

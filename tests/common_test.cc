@@ -1,15 +1,19 @@
 // Unit tests for src/common: units, RNG, statistics accumulators, the inline
-// callback, and the open-addressing index.
+// callback, the open-addressing index, the small vector, and the slab-list
+// helper.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/inline_callback.h"
 #include "src/common/open_hash.h"
 #include "src/common/rng.h"
+#include "src/common/slab_list.h"
+#include "src/common/small_vec.h"
 #include "src/common/stats.h"
 #include "src/common/units.h"
 
@@ -305,6 +309,171 @@ TEST(OpenHashIndex, MatchesReferenceMapUnderChurn) {
   }
   for (const auto& [key, slot] : reference) {
     EXPECT_EQ(index.Find(key), slot);
+  }
+}
+
+// --- SmallVec ----------------------------------------------------------------
+
+TEST(SmallVec, InlineUntilCapacityThenSpills) {
+  SmallVec<int, 4> v;
+  for (int i = 0; i < 4; ++i) {
+    v.push_back(i);
+  }
+  EXPECT_FALSE(v.spilled());
+  EXPECT_EQ(v.size(), 4u);
+  v.push_back(4);  // first overflowing push moves the elements to the heap
+  EXPECT_TRUE(v.spilled());
+  for (int i = 0; i < 64; ++i) {
+    v.push_back(5 + i);
+  }
+  ASSERT_EQ(v.size(), 69u);
+  for (int i = 0; i < 69; ++i) {
+    EXPECT_EQ(v[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SmallVec, MoveTransfersInlineAndSpilledStorage) {
+  SmallVec<int, 4> inline_v{1, 2, 3};
+  SmallVec<int, 4> moved_inline = std::move(inline_v);
+  EXPECT_EQ(moved_inline.size(), 3u);
+  EXPECT_EQ(moved_inline[2], 3);
+  EXPECT_TRUE(inline_v.empty());  // NOLINT(bugprone-use-after-move): spec'd
+
+  SmallVec<int, 2> spilled{1, 2, 3, 4, 5};
+  ASSERT_TRUE(spilled.spilled());
+  SmallVec<int, 2> moved_spill = std::move(spilled);
+  EXPECT_TRUE(moved_spill.spilled());
+  EXPECT_TRUE(spilled.empty());  // NOLINT(bugprone-use-after-move)
+  EXPECT_FALSE(spilled.spilled());
+  ASSERT_EQ(moved_spill.size(), 5u);
+  EXPECT_EQ(moved_spill[4], 5);
+  // The source is reusable after being moved from.
+  spilled.push_back(9);
+  EXPECT_EQ(spilled[0], 9);
+}
+
+TEST(SmallVec, CopyIsDeepForSpilledStorage) {
+  SmallVec<int, 2> a{10, 20, 30};
+  SmallVec<int, 2> b = a;
+  b.push_back(40);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(a, (SmallVec<int, 2>{10, 20, 30}));
+  a = b;
+  EXPECT_EQ(a, b);
+}
+
+TEST(SmallVec, SupportsMoveOnlyElements) {
+  SmallVec<std::unique_ptr<int>, 2> v;
+  for (int i = 0; i < 6; ++i) {
+    v.push_back(std::make_unique<int>(i));
+  }
+  SmallVec<std::unique_ptr<int>, 2> w = std::move(v);
+  ASSERT_EQ(w.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(*w[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SmallVec, MoveSpillToExternalMemory) {
+  SmallVec<uint64_t, 2> v{1, 2, 3, 4};
+  ASSERT_TRUE(v.spilled());
+  ASSERT_EQ(v.spill_bytes(), 4 * sizeof(uint64_t));
+  alignas(std::max_align_t) unsigned char arena[64];
+  v.MoveSpillTo(arena);
+  EXPECT_TRUE(v.spilled());
+  EXPECT_EQ(v[3], 4u);
+  EXPECT_EQ(reinterpret_cast<unsigned char*>(&v[0]), arena);
+  // A copy of an arena-backed vector owns its own storage again.
+  SmallVec<uint64_t, 2> copy = v;
+  EXPECT_NE(reinterpret_cast<unsigned char*>(&copy[0]), arena);
+  EXPECT_EQ(copy, v);
+  // Destroying the arena-backed original must not free the external block
+  // (ASan would flag it; nothing further to assert here).
+}
+
+// --- Slab / SlabList ---------------------------------------------------------
+
+TEST(Slab, RecyclesSlotsLifo) {
+  Slab<int> slab;
+  const uint32_t a = slab.Alloc();
+  const uint32_t b = slab.Alloc();
+  slab[a] = 1;
+  slab[b] = 2;
+  EXPECT_EQ(slab.slots(), 2u);
+  slab.Free(a);
+  EXPECT_EQ(slab.Alloc(), a);  // LIFO reuse, no growth
+  EXPECT_EQ(slab.slots(), 2u);
+  EXPECT_EQ(slab[b], 2);
+}
+
+TEST(SlabList, PushUnlinkAndWalk) {
+  SlabList<int> list;
+  const uint32_t a = list.Alloc();
+  const uint32_t b = list.Alloc();
+  const uint32_t c = list.Alloc();
+  list[a] = 1;
+  list[b] = 2;
+  list[c] = 3;
+  list.PushBack(a);
+  list.PushBack(b);
+  list.PushFront(c);  // c, a, b
+  std::vector<int> forward;
+  for (uint32_t s = list.head(); s != kNilSlot; s = list.next(s)) {
+    forward.push_back(list[s]);
+  }
+  EXPECT_EQ(forward, (std::vector<int>{3, 1, 2}));
+  std::vector<int> backward;
+  for (uint32_t s = list.tail(); s != kNilSlot; s = list.prev(s)) {
+    backward.push_back(list[s]);
+  }
+  EXPECT_EQ(backward, (std::vector<int>{2, 1, 3}));
+
+  list.Unlink(a);  // c, b
+  EXPECT_EQ(list.next(list.head()), b);
+  list.Unlink(c);  // b alone: head == tail
+  EXPECT_EQ(list.head(), b);
+  EXPECT_EQ(list.tail(), b);
+  list.Unlink(b);
+  EXPECT_EQ(list.head(), kNilSlot);
+  EXPECT_EQ(list.tail(), kNilSlot);
+  list.Free(a);
+  EXPECT_EQ(list.Alloc(), a);  // freed slot recycled
+}
+
+TEST(SlabList, ChurnKeepsListConsistent) {
+  // Differential against a std::vector model: random push/unlink/free.
+  SlabList<uint64_t> list;
+  std::vector<std::pair<uint32_t, uint64_t>> model;  // front..back
+  Rng rng(7);
+  for (int step = 0; step < 20000; ++step) {
+    const uint64_t op = rng.NextBelow(100);
+    if (op < 50 || model.empty()) {
+      const uint32_t slot = list.Alloc();
+      const uint64_t value = rng.NextU64();
+      list[slot] = value;
+      if (rng.NextBool(0.5)) {
+        list.PushFront(slot);
+        model.insert(model.begin(), {slot, value});
+      } else {
+        list.PushBack(slot);
+        model.emplace_back(slot, value);
+      }
+    } else {
+      const size_t pick = rng.NextBelow(model.size());
+      const uint32_t slot = model[pick].first;
+      list.Unlink(slot);
+      list.Free(slot);
+      model.erase(model.begin() + static_cast<ptrdiff_t>(pick));
+    }
+  }
+  std::vector<uint64_t> got;
+  for (uint32_t s = list.head(); s != kNilSlot; s = list.next(s)) {
+    got.push_back(list[s]);
+  }
+  ASSERT_EQ(got.size(), model.size());
+  for (size_t i = 0; i < model.size(); ++i) {
+    EXPECT_EQ(got[i], model[i].second);
   }
 }
 

@@ -1,6 +1,9 @@
 // Unit tests for GSI write-write conflict certification.
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+#include <vector>
+
 #include "src/gsi/certification.h"
 
 namespace tashkent {
@@ -9,7 +12,9 @@ namespace {
 Writeset MakeWs(Version snapshot, std::vector<WritesetItem> items) {
   Writeset ws;
   ws.snapshot_version = snapshot;
-  ws.items = std::move(items);
+  for (const WritesetItem& item : items) {
+    ws.items.push_back(item);
+  }
   return ws;
 }
 

@@ -105,8 +105,8 @@ TEST_F(ReplicaTest, UpdateProducesWriteset) {
   EXPECT_EQ(ws.type, 1u);
   EXPECT_EQ(ws.bytes, 275);
   ASSERT_EQ(ws.table_pages.size(), 1u);
-  EXPECT_EQ(ws.table_pages[0].first, table_);
-  EXPECT_EQ(ws.table_pages[0].second, 3);
+  EXPECT_EQ(ws.table_pages[0].relation, table_);
+  EXPECT_EQ(ws.table_pages[0].pages, 3);
   EXPECT_EQ(ws.items.size(), 3u);
 }
 

@@ -310,5 +310,79 @@ TEST(FifoServer, QueueLengthCountsWaitingAndRunning) {
   EXPECT_EQ(server.queue_length(), 0u);
 }
 
+// --- packed heap key ---------------------------------------------------------
+
+// The (when, seq) sort key is packed into one 64-bit integer with a 24-bit
+// sequence that wraps by renumbering live entries. Crossing the wrap must
+// preserve ordering exactly: same-tick events stay FIFO across the boundary.
+TEST(Simulator, SequenceRenumberPreservesSameTickFifo) {
+  // Seam: renumber once 16 sequence numbers are consumed; each round keeps
+  // ~12 events live, so the wrap path runs many times across the rounds.
+  Simulator sim(/*seq_renumber_limit=*/16);
+  std::vector<int> order;
+  for (int round = 0; round < 12; ++round) {
+    const SimTime base = Millis(10 * round);
+    // Ten same-tick events whose schedule order must survive renumbering,
+    // plus two decoys that stay pending across the next renumber passes.
+    for (int i = 0; i < 10; ++i) {
+      sim.ScheduleAt(base + Millis(5), [&order, i]() { order.push_back(i); });
+    }
+    sim.ScheduleAt(base + Millis(9), [&order]() { order.push_back(100); });
+    sim.ScheduleAt(base + Millis(9), [&order]() { order.push_back(101); });
+    sim.RunUntil(base + Millis(6));
+    // The ten same-tick events fired in schedule order.
+    ASSERT_GE(order.size(), 10u);
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(order[order.size() - 10 + static_cast<size_t>(i)], i) << "round " << round;
+    }
+  }
+  sim.RunAll();
+  EXPECT_GT(sim.seq_renumbers(), 3u);
+  // The pending decoys drained in order too.
+  EXPECT_EQ(order[order.size() - 2], 100);
+  EXPECT_EQ(order[order.size() - 1], 101);
+}
+
+TEST(Simulator, SequenceRenumberDropsCancelledEntriesAndKeepsCancelWorking) {
+  Simulator sim(/*seq_renumber_limit=*/32);
+  std::vector<int> order;
+  std::vector<Simulator::EventId> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(sim.ScheduleAt(Millis(2), [&order, i]() { order.push_back(i); }));
+  }
+  // Cancel every other event, then schedule enough decoys to push the
+  // sequence counter across the renumber limit while they are all pending.
+  for (int i = 0; i < 20; i += 2) {
+    EXPECT_TRUE(sim.Cancel(ids[static_cast<size_t>(i)]));
+    EXPECT_FALSE(sim.Cancel(ids[static_cast<size_t>(i)]));  // double-cancel detected
+  }
+  for (int i = 0; i < 14; ++i) {
+    sim.ScheduleAt(Millis(3), [&order, i]() { order.push_back(100 + i); });
+  }
+  EXPECT_GT(sim.seq_renumbers(), 0u);
+  // The renumber pass swept the lazily-cancelled heap entries.
+  EXPECT_EQ(sim.cancelled_heap_entries(), 0u);
+  // Cancelling a survivor after the renumber still works; its stale id does
+  // not resurrect.
+  EXPECT_TRUE(sim.Cancel(ids[1]));
+  EXPECT_FALSE(sim.Cancel(ids[1]));
+  sim.RunAll();
+  std::vector<int> expect;
+  for (int i = 3; i < 20; i += 2) {
+    expect.push_back(i);
+  }
+  for (int i = 0; i < 14; ++i) {
+    expect.push_back(100 + i);
+  }
+  EXPECT_EQ(order, expect);
+}
+
+TEST(Simulator, SchedulingPastPackedTimeRangeThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.ScheduleAt(Simulator::kMaxTime + 1, []() {}), std::overflow_error);
+  // The documented limit itself is schedulable (~12.7 simulated days).
+  EXPECT_NE(sim.ScheduleAt(Simulator::kMaxTime, []() {}), Simulator::kInvalidEvent);
+}
+
 }  // namespace
 }  // namespace tashkent

@@ -1,0 +1,159 @@
+// Unit tests for the writeset memory model: inline SmallVec storage, the
+// version-tagged arena, and the chunked stable-address log
+// (src/gsi/writeset.h, src/gsi/writeset_store.h). The certifier-level
+// lifetime tests (writesets surviving a log prune, spill interning on
+// append) live in tests/certifier_test.cc; these cover the store directly.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "src/gsi/writeset.h"
+#include "src/gsi/writeset_store.h"
+
+namespace tashkent {
+namespace {
+
+Writeset MakeWs(Version version, int items) {
+  Writeset ws;
+  ws.commit_version = version;
+  ws.origin = 1;
+  ws.bytes = 275;
+  ws.table_pages = {{7, 2}};
+  for (int i = 0; i < items; ++i) {
+    ws.items.push_back(WritesetItem{3, version * 1000 + static_cast<uint64_t>(i)});
+  }
+  return ws;
+}
+
+TEST(Writeset, WorkloadSizedWritesetsStayInline) {
+  // The largest transaction type in either workload writes 6 rows across 3
+  // tables (RUBiS PlaceBid); the inline capacities must cover it, or the
+  // zero-allocation claim in writeset.h is false.
+  Writeset ws;
+  for (int i = 0; i < 6; ++i) {
+    ws.items.push_back(WritesetItem{1, static_cast<uint64_t>(i)});
+  }
+  ws.table_pages = {{1, 3}, {2, 2}, {3, 1}};
+  EXPECT_FALSE(ws.items.spilled());
+  EXPECT_FALSE(ws.table_pages.spilled());
+}
+
+TEST(Writeset, TouchesAnyChecksTablePages) {
+  Writeset ws;
+  ws.table_pages = {{3, 2}, {7, 1}};
+  std::unordered_set<RelationId> sub1{7, 9};
+  std::unordered_set<RelationId> sub2{4, 5};
+  EXPECT_TRUE(ws.TouchesAny(sub1));
+  EXPECT_FALSE(ws.TouchesAny(sub2));
+}
+
+TEST(WritesetRange, CountsAndEmptiness) {
+  EXPECT_TRUE((WritesetRange{5, 4}).empty());
+  EXPECT_EQ((WritesetRange{5, 4}).count(), 0u);
+  EXPECT_EQ((WritesetRange{5, 5}).count(), 1u);
+  EXPECT_EQ((WritesetRange{3, 10}).count(), 8u);
+  EXPECT_TRUE(WritesetRange{}.empty());  // the default range is empty
+}
+
+TEST(WritesetLog, AppendGetAcrossChunks) {
+  WritesetLog log;
+  WritesetArena arena;
+  const Version n = 2 * WritesetLog::kChunkEntries + 17;
+  for (Version v = 1; v <= n; ++v) {
+    log.Append(MakeWs(v, 2), arena);
+  }
+  EXPECT_EQ(log.head(), n);
+  EXPECT_EQ(log.size(), n);
+  EXPECT_EQ(log.chunk_count(), 3u);
+  for (Version v = 1; v <= n; ++v) {
+    EXPECT_EQ(log.Get(v).commit_version, v);
+    EXPECT_EQ(log.Get(v).items[0].row_key, v * 1000);
+  }
+}
+
+TEST(WritesetLog, EntriesHaveStableAddressesWhileGrowing) {
+  WritesetLog log;
+  WritesetArena arena;
+  log.Append(MakeWs(1, 3), arena);
+  const Writeset* first = &log.Get(1);
+  for (Version v = 2; v <= 4 * WritesetLog::kChunkEntries; ++v) {
+    log.Append(MakeWs(v, 1), arena);
+  }
+  EXPECT_EQ(first, &log.Get(1));  // proxies hold these across growth
+  EXPECT_EQ(first->items.size(), 3u);
+}
+
+TEST(WritesetLog, PruneRecyclesChunksAndKeepsSurvivors) {
+  WritesetLog log;
+  WritesetArena arena;
+  const Version n = 3 * WritesetLog::kChunkEntries;
+  for (Version v = 1; v <= n; ++v) {
+    log.Append(MakeWs(v, 1), arena);
+  }
+  // Prune mid-chunk: the floor's chunk survives (it still holds live
+  // versions); only wholly-dead chunks are recycled.
+  const Version floor = WritesetLog::kChunkEntries + 5;
+  log.PruneBelow(floor, arena);
+  EXPECT_EQ(log.pruned_below(), floor);
+  EXPECT_EQ(log.size(), n - floor);
+  EXPECT_EQ(log.chunk_count(), 2u);
+  for (Version v = floor + 1; v <= n; ++v) {
+    EXPECT_EQ(log.Get(v).commit_version, v);
+  }
+  // Appending after a prune reuses recycled chunks (no unbounded growth).
+  for (Version v = n + 1; v <= n + WritesetLog::kChunkEntries; ++v) {
+    log.Append(MakeWs(v, 1), arena);
+  }
+  EXPECT_EQ(log.Get(n + 1).commit_version, n + 1);
+  EXPECT_EQ(log.chunk_count(), 3u);
+}
+
+TEST(WritesetLog, SpilledWritesetIsInternedIntoArena) {
+  WritesetLog log;
+  WritesetArena arena;
+  Writeset big = MakeWs(1, 3 * static_cast<int>(Writeset::Items::inline_capacity()));
+  ASSERT_TRUE(big.items.spilled());
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+  const Writeset& stored = log.Append(std::move(big), arena);
+  EXPECT_TRUE(stored.items.spilled());
+  EXPECT_GT(arena.allocated_bytes(), 0u);
+  EXPECT_EQ(stored.items.size(), 3 * Writeset::Items::inline_capacity());
+  EXPECT_EQ(stored.items[0].row_key, 1000u);
+}
+
+TEST(WritesetArena, VersionTaggedBlocksPruneAsAPrefix) {
+  WritesetArena arena;
+  // Three versions, each filling most of a block so they land in distinct
+  // blocks.
+  const size_t big = WritesetArena::kBlockBytes - 64;
+  arena.Allocate(big, 1);
+  arena.Allocate(big, 2);
+  void* survivor = arena.Allocate(big, 3);
+  ASSERT_EQ(arena.live_blocks(), 3u);
+  static_cast<unsigned char*>(survivor)[0] = 0xAB;
+
+  arena.PruneBelow(2);
+  EXPECT_EQ(arena.live_blocks(), 1u);
+  EXPECT_EQ(arena.spare_blocks(), 2u);
+  EXPECT_EQ(static_cast<unsigned char*>(survivor)[0], 0xAB);  // live data intact
+
+  // New allocations reuse the recycled blocks instead of growing.
+  arena.Allocate(big, 4);
+  arena.Allocate(big, 5);
+  EXPECT_EQ(arena.live_blocks(), 3u);
+  EXPECT_EQ(arena.spare_blocks(), 0u);
+}
+
+TEST(WritesetArena, OversizedAllocationGetsDedicatedBlock) {
+  WritesetArena arena;
+  arena.Allocate(16, 1);
+  void* huge = arena.Allocate(4 * WritesetArena::kBlockBytes, 2);
+  ASSERT_NE(huge, nullptr);
+  EXPECT_EQ(arena.live_blocks(), 2u);
+  arena.PruneBelow(2);
+  EXPECT_EQ(arena.live_blocks(), 0u);
+}
+
+}  // namespace
+}  // namespace tashkent
