@@ -3,7 +3,7 @@
 # ASan+UBSan), then exercise the campaign runner (smoke + perf campaigns) and
 # check the docs cover every campaign.
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 cmake -B build -S .
 cmake --build build -j"$(nproc)"
@@ -76,12 +76,12 @@ if [ -z "${verbs}" ]; then
   echo "ci: no 'verb:' tags found in src/cluster/mutator.h" >&2
   exit 1
 fi
-for verb in ${verbs}; do
+while IFS= read -r verb; do
   if ! grep -q "\b${verb}\b" docs/OPERATIONS.md; then
     echo "ci: ClusterMutator verb '${verb}' is not documented in docs/OPERATIONS.md" >&2
     missing=1
   fi
-done
+done <<< "${verbs}"
 if [ "${missing}" -ne 0 ]; then
   exit 1
 fi

@@ -578,11 +578,13 @@ uint64_t MalbBalancer::PackingSignature(const PackingResult& packing) const {
   return h;
 }
 
-std::unordered_set<RelationId> MalbBalancer::GroupTables(const RuntimeGroup& group) const {
+RelationSet MalbBalancer::GroupTables(const RuntimeGroup& group) const {
   // Subscription = every relation referenced by any member type (not just the
   // packed/scanned ones): the replica must apply updates for all tables its
-  // transactions read.
-  std::unordered_set<RelationId> tables;
+  // transactions read. Returned as a RelationSet: this set becomes the
+  // replica's update-filtering subscription, so its iteration order is part
+  // of the determinism contract.
+  RelationSet tables;
   for (size_t p : group.packed) {
     for (TxnTypeId t : packing_.groups[p].types) {
       for (const auto& e : working_sets_[t].relations) {
@@ -623,7 +625,7 @@ void MalbBalancer::MaybeInstallFiltering(bool moved, const std::vector<GroupLoad
 
 void MalbBalancer::InstallSubscriptions() {
   std::vector<std::vector<ReplicaId>> group_replicas;
-  std::vector<std::unordered_set<RelationId>> group_tables;
+  std::vector<RelationSet> group_tables;
   for (const auto& g : groups_) {
     std::vector<ReplicaId> ids;
     for (size_t r : g.replicas) {
@@ -637,7 +639,7 @@ void MalbBalancer::InstallSubscriptions() {
   for (size_t g = 0; g < groups_.size(); ++g) {
     for (size_t r : groups_[g].replicas) {
       Proxy* proxy = context_.proxies[r];
-      std::unordered_set<RelationId> subscription = group_tables[g];
+      RelationSet subscription = group_tables[g];
       // A replica can serve several merged groups; GroupTables already merged
       // them. Add standby duties.
       auto it = standbys.find(proxy->replica_id());

@@ -32,8 +32,6 @@
 #define SRC_BALANCER_MALB_H_
 
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/balancer/balancer.h"
@@ -162,7 +160,7 @@ class MalbBalancer : public LoadBalancer {
   bool TryMerge(const std::vector<GroupLoad>& loads);
   void MaybeInstallFiltering(bool moved, const std::vector<GroupLoad>& loads);
   void InstallSubscriptions();
-  std::unordered_set<RelationId> GroupTables(const RuntimeGroup& group) const;
+  RelationSet GroupTables(const RuntimeGroup& group) const;
   uint64_t PackingSignature(const PackingResult& packing) const;
 
   MalbConfig config_;

@@ -19,6 +19,7 @@ namespace tashkent {
 namespace {
 
 double SinceSeconds(std::chrono::steady_clock::time_point start) {
+  // lint: allow(wall-clock) host wall_s measurement only; never feeds simulation state
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
@@ -192,6 +193,7 @@ json::Value ManifestJson(const CampaignRunSummary& summary) {
 
 CampaignRunSummary RunCampaigns(const std::vector<const Campaign*>& campaigns,
                                 const CampaignRunOptions& options) {
+  // lint: allow(wall-clock) run wall_s measurement only; never feeds simulation state
   const auto run_start = std::chrono::steady_clock::now();
 
   CampaignRunSummary summary;
@@ -235,6 +237,7 @@ CampaignRunSummary RunCampaigns(const std::vector<const Campaign*>& campaigns,
   ParallelFor(options.jobs, work.size(), [&](size_t w) {
     const FlatCell& flat = work[w];
     CellRecord& record = summary.campaigns[flat.campaign_index].cells[flat.cell_index];
+    // lint: allow(wall-clock) cell wall_s measurement only; never feeds simulation state
     const auto cell_start = std::chrono::steady_clock::now();
     try {
       record.output = flat.cell.run(record.seed);

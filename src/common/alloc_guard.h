@@ -1,0 +1,181 @@
+// AllocGuard: a test-only global operator-new interposer that turns the
+// "zero allocations per transaction" hot-path claim (docs/ARCHITECTURE.md,
+// "Hot path & performance model") into an executable assertion.
+//
+// Including this header REPLACES the global operator new/delete for the
+// binary it is compiled into. Each test in tests/ is a single translation
+// unit linked against the tashkent library, so including it from a test
+// gives exactly one replacement definition per binary; do NOT include it
+// from more than one TU of the same binary, and never from library code —
+// it is a test instrument, not a shipping allocator.
+//
+// Usage:
+//   {
+//     AllocGuard::Forbid forbid;        // heap is now off-limits (this thread)
+//     ... build -> certify -> apply ...
+//     EXPECT_EQ(forbid.seen(), 0u);     // every allocation inside was counted
+//   }
+//
+// A Forbid region never aborts by default: allocations are *counted* so the
+// test can assert and print a useful failure. Set TASHKENT_ALLOC_GUARD_ABORT=1
+// to abort at the first forbidden allocation instead (run under a debugger to
+// get the offending stack). AllocGuard::Allow re-permits allocation inside a
+// Forbid region for scaffolding that legitimately allocates (e.g. collecting
+// results between measured sections).
+//
+// Counters are thread_local: a Forbid region constrains only the thread that
+// opened it, so background pool threads (none on the certify/apply path —
+// that is the point) are unaffected.
+#ifndef SRC_COMMON_ALLOC_GUARD_H_
+#define SRC_COMMON_ALLOC_GUARD_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+namespace tashkent {
+
+class AllocGuard {
+ public:
+  // Counts (and, with TASHKENT_ALLOC_GUARD_ABORT=1, traps) every heap
+  // allocation made by this thread while in scope.
+  class Forbid {
+   public:
+    Forbid() : start_(Violations()) { ++Depth(); }
+    ~Forbid() { --Depth(); }
+    Forbid(const Forbid&) = delete;
+    Forbid& operator=(const Forbid&) = delete;
+
+    // Forbidden allocations observed by this scope so far.
+    uint64_t seen() const { return Violations() - start_; }
+
+   private:
+    uint64_t start_;
+  };
+
+  // Temporarily re-permits allocation inside an enclosing Forbid region.
+  class Allow {
+   public:
+    Allow() { ++Bypass(); }
+    ~Allow() { --Bypass(); }
+    Allow(const Allow&) = delete;
+    Allow& operator=(const Allow&) = delete;
+  };
+
+  // Total operator-new calls on this thread since process start (guarded or
+  // not); lets tests assert "exactly N allocations" for setup-path budgets.
+  static uint64_t TotalAllocations() { return Total(); }
+
+  static void OnAllocate(std::size_t size) {
+    ++Total();
+    if (Depth() > 0 && Bypass() == 0) {
+      ++Violations();
+#ifdef TASHKENT_ALLOC_GUARD_DIAG
+      // Diagnostic build: print the offending stack for every violation.
+      // The defining TU must #include <execinfo.h> before this header and
+      // link with -rdynamic for symbolized frames.
+      {
+        void* frames[32];
+        int n = backtrace(frames, 32);
+        std::fprintf(stderr, "--- forbidden alloc of %zu bytes ---\n", size);
+        backtrace_symbols_fd(frames, n, 2);
+      }
+#endif
+      if (AbortOnViolation()) {
+        std::fprintf(stderr,
+                     "AllocGuard: forbidden heap allocation of %zu bytes "
+                     "inside a Forbid region\n",
+                     size);
+        std::abort();
+      }
+    }
+  }
+
+ private:
+  static uint64_t& Total() {
+    thread_local uint64_t count = 0;
+    return count;
+  }
+  static uint64_t& Violations() {
+    thread_local uint64_t count = 0;
+    return count;
+  }
+  static int& Depth() {
+    thread_local int depth = 0;
+    return depth;
+  }
+  static int& Bypass() {
+    thread_local int depth = 0;
+    return depth;
+  }
+  static bool AbortOnViolation() {
+    static const bool enabled = [] {
+      const char* v = std::getenv("TASHKENT_ALLOC_GUARD_ABORT");
+      return v != nullptr && v[0] != '\0' && v[0] != '0';
+    }();
+    return enabled;
+  }
+};
+
+namespace alloc_guard_internal {
+
+inline void* GuardedNew(std::size_t size) {
+  AllocGuard::OnAllocate(size);
+  if (size == 0) {
+    size = 1;
+  }
+  void* p = std::malloc(size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+inline void* GuardedNewAligned(std::size_t size, std::align_val_t align) {
+  AllocGuard::OnAllocate(size);
+  const std::size_t alignment = static_cast<std::size_t>(align);
+  // aligned_alloc requires size to be a multiple of alignment.
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  void* p = std::aligned_alloc(alignment, rounded ? rounded : alignment);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace alloc_guard_internal
+}  // namespace tashkent
+
+// Replacement global allocation functions. Non-inline by design: the binary
+// that includes this header gets these definitions instead of the library
+// ones, which is what routes every `new` through the guard.
+void* operator new(std::size_t size) { return tashkent::alloc_guard_internal::GuardedNew(size); }
+void* operator new[](std::size_t size) { return tashkent::alloc_guard_internal::GuardedNew(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return tashkent::alloc_guard_internal::GuardedNewAligned(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return tashkent::alloc_guard_internal::GuardedNewAligned(size, align);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  tashkent::AllocGuard::OnAllocate(size);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  tashkent::AllocGuard::OnAllocate(size);
+  return std::malloc(size ? size : 1);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+#endif  // SRC_COMMON_ALLOC_GUARD_H_

@@ -1,13 +1,13 @@
 #include "src/core/availability.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace tashkent {
 
 namespace {
 
-bool SubscribesToAll(const std::unordered_set<RelationId>& subscription,
-                     const std::unordered_set<RelationId>& tables) {
+bool SubscribesToAll(const RelationSet& subscription, const RelationSet& tables) {
   for (RelationId t : tables) {
     if (subscription.find(t) == subscription.end()) {
       return false;
@@ -20,8 +20,8 @@ bool SubscribesToAll(const std::unordered_set<RelationId>& subscription,
 
 AvailabilityReport CheckAvailability(
     const std::vector<std::vector<ReplicaId>>& group_replicas,
-    const std::vector<std::unordered_set<RelationId>>& group_tables,
-    const std::unordered_map<ReplicaId, std::unordered_set<RelationId>>& subscriptions,
+    const std::vector<RelationSet>& group_tables,
+    const std::map<ReplicaId, RelationSet>& subscriptions,
     int min_copies) {
   AvailabilityReport report;
 
@@ -45,7 +45,7 @@ AvailabilityReport CheckAvailability(
 
   // Table availability: every table referenced by any group must be applied on
   // at least min_copies replicas.
-  std::unordered_set<RelationId> all_tables;
+  RelationSet all_tables;
   for (const auto& tables : group_tables) {
     all_tables.insert(tables.begin(), tables.end());
   }
@@ -61,18 +61,18 @@ AvailabilityReport CheckAvailability(
       report.under_replicated_tables.push_back(t);
     }
   }
-  std::sort(report.under_replicated_tables.begin(), report.under_replicated_tables.end());
   (void)group_replicas;
   return report;
 }
 
-std::unordered_map<ReplicaId, std::unordered_set<RelationId>> PlanStandbys(
+std::map<ReplicaId, RelationSet> PlanStandbys(
     const std::vector<std::vector<ReplicaId>>& group_replicas,
-    const std::vector<std::unordered_set<RelationId>>& group_tables, int min_copies) {
-  std::unordered_map<ReplicaId, std::unordered_set<RelationId>> extra;
+    const std::vector<RelationSet>& group_tables, int min_copies) {
+  std::map<ReplicaId, RelationSet> extra;
 
   // Current subscription volume per replica (tables from its own group plus
   // any standby duties assigned so far) -- used to spread standby load.
+  // Lookup-only (never iterated), so an unordered map is contract-safe here.
   std::unordered_map<ReplicaId, size_t> volume;
   std::vector<ReplicaId> all_replicas;
   for (size_t g = 0; g < group_replicas.size(); ++g) {

@@ -13,13 +13,13 @@
 #ifndef SRC_CORE_AVAILABILITY_H_
 #define SRC_CORE_AVAILABILITY_H_
 
+#include <map>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/core/bin_packing.h"
 #include "src/gsi/writeset.h"
+#include "src/storage/relation_set.h"
 
 namespace tashkent {
 
@@ -33,19 +33,21 @@ struct AvailabilityReport {
 
 // `group_replicas[g]` lists replicas serving group g; `group_tables[g]` lists
 // the tables group g's types reference; `subscriptions[r]` is the table set
-// replica r applies updates for.
+// replica r applies updates for. All table sets are RelationSet and the
+// replica map is ordered: these sets flow into subscriptions and reports, so
+// their iteration order is part of the determinism contract.
 AvailabilityReport CheckAvailability(
     const std::vector<std::vector<ReplicaId>>& group_replicas,
-    const std::vector<std::unordered_set<RelationId>>& group_tables,
-    const std::unordered_map<ReplicaId, std::unordered_set<RelationId>>& subscriptions,
+    const std::vector<RelationSet>& group_tables,
+    const std::map<ReplicaId, RelationSet>& subscriptions,
     int min_copies);
 
 // For every group with fewer than `min_copies` serving replicas, selects
 // standby replicas (from other groups, least-subscribed first) that must also
 // subscribe to the group's tables. Returns replica -> extra tables to add.
-std::unordered_map<ReplicaId, std::unordered_set<RelationId>> PlanStandbys(
+std::map<ReplicaId, RelationSet> PlanStandbys(
     const std::vector<std::vector<ReplicaId>>& group_replicas,
-    const std::vector<std::unordered_set<RelationId>>& group_tables, int min_copies);
+    const std::vector<RelationSet>& group_tables, int min_copies);
 
 }  // namespace tashkent
 

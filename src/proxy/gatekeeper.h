@@ -8,10 +8,10 @@
 #define SRC_PROXY_GATEKEEPER_H_
 
 #include <cstdint>
-#include <deque>
 #include <utility>
 
 #include "src/common/inline_callback.h"
+#include "src/common/ring_queue.h"
 
 namespace tashkent {
 
@@ -41,7 +41,7 @@ class Gatekeeper {
  private:
   int max_in_flight_;
   int in_flight_ = 0;
-  std::deque<Work> queue_;
+  RingQueue<Work> queue_;
 };
 
 }  // namespace tashkent

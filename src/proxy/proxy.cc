@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/common/small_vec.h"
+
 namespace tashkent {
 
 const char* ReplicaLifecycleName(ReplicaLifecycle s) {
@@ -205,9 +207,11 @@ void Proxy::AdvanceApplied(Version v) {
   // Fire satisfied waiters. A waiter may advance the version further (a local
   // commit) or enqueue more work, so collect-then-run. The single-waiter case
   // (the common one: a commit waiting on its own predecessor) runs without
-  // touching the heap; bursts spill into a vector.
+  // touching the heap; bursts stay inline up to the gatekeeper's default
+  // admission limit (the waiter count is bounded by in-flight commits), so
+  // the whole drain is allocation-free in steady state.
   AppliedHook first;
-  std::vector<AppliedHook> rest;
+  SmallVec<AppliedHook, 7> rest;
   for (size_t i = 0; i < waiters_.size();) {
     if (waiters_[i].target <= applied_version_) {
       if (!first) {
@@ -276,7 +280,7 @@ void Proxy::PullUpdates() {
   });
 }
 
-void Proxy::SetSubscription(std::optional<std::unordered_set<RelationId>> tables) {
+void Proxy::SetSubscription(std::optional<RelationSet> tables) {
   subscription_ = std::move(tables);
 }
 

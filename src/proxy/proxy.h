@@ -27,7 +27,6 @@
 
 #include <memory>
 #include <optional>
-#include <unordered_set>
 #include <vector>
 
 #include "src/certifier/certifier.h"
@@ -36,6 +35,7 @@
 #include "src/common/slab_list.h"
 #include "src/proxy/gatekeeper.h"
 #include "src/replica/replica.h"
+#include "src/storage/relation_set.h"
 
 namespace tashkent {
 
@@ -100,8 +100,8 @@ class Proxy {
 
   // Installs (or clears) the update-filtering subscription. An empty optional
   // means "apply everything" (filtering off).
-  void SetSubscription(std::optional<std::unordered_set<RelationId>> tables);
-  const std::optional<std::unordered_set<RelationId>>& subscription() const {
+  void SetSubscription(std::optional<RelationSet> tables);
+  const std::optional<RelationSet>& subscription() const {
     return subscription_;
   }
 
@@ -187,7 +187,7 @@ class Proxy {
   Version applied_version_ = 0;
   SimTime last_certifier_contact_ = 0;
   bool pull_in_progress_ = false;
-  std::optional<std::unordered_set<RelationId>> subscription_;
+  std::optional<RelationSet> subscription_;
   ProxyStats stats_;
 
   Version apply_next_ = 1;  // next log version the applier will look at

@@ -8,18 +8,20 @@
 // how the OS elevator favors reads over lazy write-back.
 //
 // Hot-path layout: completion callbacks are InlineCallbacks (captures stored
-// inline in the queue's deque nodes, no per-job heap allocation), and the
-// in-service job's callback is parked in a member slot so the simulator event
-// that completes it captures only `this`.
+// inline in the queue slots, no per-job heap allocation), the queues are
+// RingQueues (steady-state pushes never touch the heap — a deque of these
+// ~460-byte jobs would allocate a node per job), and the in-service job's
+// callback is parked in a member slot so the simulator event that completes
+// it captures only `this`.
 #ifndef SRC_SIM_FIFO_SERVER_H_
 #define SRC_SIM_FIFO_SERVER_H_
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <utility>
 
 #include "src/common/inline_callback.h"
+#include "src/common/ring_queue.h"
 #include "src/common/stats.h"
 #include "src/common/units.h"
 #include "src/sim/simulator.h"
@@ -68,8 +70,8 @@ class FifoServer {
 
   Simulator* sim_;
   std::string name_;
-  std::deque<Job> fg_queue_;
-  std::deque<Job> bg_queue_;
+  RingQueue<Job> fg_queue_;
+  RingQueue<Job> bg_queue_;
   Done active_done_;  // completion callback of the job in service
   bool busy_ = false;
   UtilizationIntegrator util_;

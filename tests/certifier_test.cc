@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/certifier/certifier.h"
+#include "src/common/alloc_guard.h"
 #include "src/certifier/channel.h"
 #include "src/sim/simulator.h"
 
@@ -199,6 +200,60 @@ TEST(Certifier, LogPruneRecyclesArenaBlocks) {
     const Writeset& ws = c.LogEntry(v);
     ASSERT_EQ(ws.items.size(), rows);
     EXPECT_EQ(ws.items[0].row_key, (v - 1) * rows);
+  }
+}
+
+// --- allocation guard: steady-state certification is allocation-free ---------
+
+// The PR-5 "allocation-free writeset pipeline" claim, pinned: once the
+// conflict map has seen a row set and the log's current chunk has capacity,
+// certifying a workload-sized writeset — build, conflict check, version
+// assignment, log append — performs zero heap allocations. (Cold-path
+// allocations are real but amortized: a new log chunk every
+// WritesetLog::kChunkEntries commits, a conflict-map node per first-ever
+// row, an arena block per ~64 KiB of spilled rows.)
+TEST(Certifier, SteadyStateCertifyIsAllocationFree) {
+  Certifier c;
+  Version applied = 0;
+  // Warm up: touch every row the measured phase will write, so the conflict
+  // map is fully populated, and stay well inside the first log chunk.
+  const uint64_t kRows = 16;
+  auto make = [](uint64_t row) {
+    Writeset ws;
+    ws.items.push_back(WritesetItem{1, row});
+    ws.table_pages = {{0, 1}};
+    return ws;
+  };
+  for (uint64_t i = 0; i < kRows; ++i) {
+    const auto r = c.Certify(make(i), 0, applied);
+    ASSERT_TRUE(r.committed);
+    applied = r.commit_version;
+  }
+
+  const int kMeasured = 64;
+  ASSERT_LT(kRows + kMeasured, WritesetLog::kChunkEntries);
+  AllocGuard::Forbid forbid;
+  for (int i = 0; i < kMeasured; ++i) {
+    Writeset ws = make(static_cast<uint64_t>(i) % kRows);
+    ws.snapshot_version = applied;
+    const CertifyResult r = c.Certify(std::move(ws), 0, applied);
+    ASSERT_TRUE(r.committed);
+    applied = r.commit_version;
+  }
+  EXPECT_EQ(forbid.seen(), 0u)
+      << "certify/log-append hot path allocated on a warmed certifier";
+
+  // Aborting certifications must not allocate either: the conflict answer
+  // comes from probes, and aborted writesets never reach the log.
+  {
+    AllocGuard::Forbid abort_forbid;
+    Writeset stale = make(0);
+    stale.snapshot_version = 0;  // row 0 was rewritten after version 0
+    // Replica 0 is already registered; a first-contact replica would hit the
+    // cold-path replica_version_ resize, which is not the claim under test.
+    const CertifyResult r = c.Certify(std::move(stale), 0, applied);
+    ASSERT_FALSE(r.committed);
+    EXPECT_EQ(abort_forbid.seen(), 0u);
   }
 }
 

@@ -6,12 +6,12 @@
 namespace tashkent {
 namespace {
 
-using Tables = std::unordered_set<RelationId>;
+using Tables = RelationSet;
 
 TEST(Availability, OkWhenEveryGroupHasEnoughSubscribers) {
   const std::vector<std::vector<ReplicaId>> group_replicas = {{0, 1}, {2, 3}};
   const std::vector<Tables> group_tables = {{10, 11}, {12}};
-  std::unordered_map<ReplicaId, Tables> subs = {
+  std::map<ReplicaId, Tables> subs = {
       {0, {10, 11}}, {1, {10, 11}}, {2, {12}}, {3, {12}}};
   const auto report = CheckAvailability(group_replicas, group_tables, subs, 2);
   EXPECT_TRUE(report.ok);
@@ -22,7 +22,7 @@ TEST(Availability, OkWhenEveryGroupHasEnoughSubscribers) {
 TEST(Availability, DetectsUnderReplicatedGroup) {
   const std::vector<std::vector<ReplicaId>> group_replicas = {{0}, {1, 2}};
   const std::vector<Tables> group_tables = {{10}, {11}};
-  std::unordered_map<ReplicaId, Tables> subs = {{0, {10}}, {1, {11}}, {2, {11}}};
+  std::map<ReplicaId, Tables> subs = {{0, {10}}, {1, {11}}, {2, {11}}};
   const auto report = CheckAvailability(group_replicas, group_tables, subs, 2);
   EXPECT_FALSE(report.ok);
   ASSERT_EQ(report.under_replicated_types.size(), 1u);
@@ -36,7 +36,7 @@ TEST(Availability, PartialSubscriptionDoesNotCount) {
   // transactions.
   const std::vector<std::vector<ReplicaId>> group_replicas = {{0, 1}};
   const std::vector<Tables> group_tables = {{10, 11}};
-  std::unordered_map<ReplicaId, Tables> subs = {{0, {10, 11}}, {1, {10}}};
+  std::map<ReplicaId, Tables> subs = {{0, {10, 11}}, {1, {10}}};
   const auto report = CheckAvailability(group_replicas, group_tables, subs, 2);
   EXPECT_FALSE(report.ok);
 }
@@ -60,7 +60,7 @@ TEST(Standbys, SingleReplicaGroupGetsOneStandby) {
 TEST(Standbys, StandbysMakeAvailabilityCheckPass) {
   const std::vector<std::vector<ReplicaId>> group_replicas = {{0}, {1}, {2, 3}};
   const std::vector<Tables> group_tables = {{10}, {11}, {12}};
-  std::unordered_map<ReplicaId, Tables> subs = {{0, {10}}, {1, {11}}, {2, {12}}, {3, {12}}};
+  std::map<ReplicaId, Tables> subs = {{0, {10}}, {1, {11}}, {2, {12}}, {3, {12}}};
   EXPECT_FALSE(CheckAvailability(group_replicas, group_tables, subs, 2).ok);
 
   for (const auto& [replica, tables] : PlanStandbys(group_replicas, group_tables, 2)) {

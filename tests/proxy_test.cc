@@ -2,6 +2,7 @@
 // ordered writeset application, update filtering, pulls and prods.
 #include <gtest/gtest.h>
 
+#include "src/common/alloc_guard.h"
 #include "src/proxy/gatekeeper.h"
 #include "src/proxy/proxy.h"
 
@@ -118,7 +119,7 @@ TEST_F(ProxyTest, RemoteWritesetsApplyBeforeLocalCommit) {
 TEST_F(ProxyTest, FilteringSkipsUnsubscribedTables) {
   // Replica 1 subscribes only to table b; replica 0's updates to a are
   // filtered, but the version still advances.
-  proxies_[1]->SetSubscription(std::unordered_set<RelationId>{table_b_});
+  proxies_[1]->SetSubscription(RelationSet{table_b_});
   proxies_[0]->SubmitTransaction(update_a_, [](bool) {});
   sim_.RunAll();
   proxies_[1]->SubmitTransaction(update_b_, [](bool) {});
@@ -194,6 +195,57 @@ TEST_F(ProxyTest, GatekeeperLimitsConcurrency) {
   sim_.RunAll();
   EXPECT_EQ(proxies_[0]->outstanding(), 0u);
   EXPECT_EQ(proxies_[0]->stats().read_only, 20u);
+}
+
+// --- allocation guard: the end-to-end transaction hot path -------------------
+
+// The full build -> certify -> apply round trip through the proxy — admission,
+// replica execution, writeset build, parked certification round trip, remote
+// apply on the peer — performs zero heap allocations once the cluster is warm
+// (event slab sized, buffer-pool pages resident, conflict map populated,
+// gatekeeper deque block live). This is the PR-4/5 hot-path contract; if a
+// future change adds so much as one std::function or vector to the path, this
+// test fails in Debug and CI.
+TEST(ProxyAllocGuard, WarmTransactionRoundTripIsAllocationFree) {
+  Schema tiny;
+  const RelationId hot = tiny.AddTable("hot", PagesToBytes(1));
+  ReplicaConfig rc;
+  rc.memory = 16 * kMiB;
+  rc.reserved = 0;
+  Simulator sim;
+  Certifier cert;
+  Replica r0(&sim, &tiny, 0, rc, Rng(1));
+  Replica r1(&sim, &tiny, 1, rc, Rng(2));
+  Proxy p0(&sim, &r0, &cert);
+  Proxy p1(&sim, &r1, &cert);
+  TxnType hot_update;
+  hot_update.name = "hot";
+  hot_update.id = 0;
+  hot_update.writeset_bytes = 100;
+  hot_update.plan.steps = {Write(hot, 0, 8)};  // 8 of the 16 possible keys
+
+  int done = 0;
+  auto submit_round = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      p0.SubmitTransaction(hot_update, [&done](bool) { ++done; });
+      p1.SubmitTransaction(hot_update, [&done](bool) { ++done; });
+    }
+    sim.RunAll();
+  };
+
+  // Warm: cover the 16-key row space, fault in the single page on both
+  // replicas, and size the event slab, parked-cert slab, and the gatekeeper
+  // and job-queue rings (the burst backlog is part of what we warm).
+  submit_round(50);
+  ASSERT_EQ(done, 100);
+
+  AllocGuard::Forbid forbid;
+  submit_round(50);
+  EXPECT_EQ(done, 200);
+  EXPECT_EQ(forbid.seen(), 0u)
+      << "warm transaction round trip allocated on the certify/apply hot path";
+  EXPECT_GT(cert.certified_count(), 0u);
+  EXPECT_GT(r1.stats().writesets_applied + r0.stats().writesets_applied, 0u);
 }
 
 }  // namespace

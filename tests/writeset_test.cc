@@ -8,7 +8,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/alloc_guard.h"
 #include "src/gsi/writeset.h"
+#include "src/storage/relation_set.h"
 #include "src/gsi/writeset_store.h"
 
 namespace tashkent {
@@ -153,6 +155,50 @@ TEST(WritesetArena, OversizedAllocationGetsDedicatedBlock) {
   EXPECT_EQ(arena.live_blocks(), 2u);
   arena.PruneBelow(2);
   EXPECT_EQ(arena.live_blocks(), 0u);
+}
+
+// --- allocation guard: the zero-alloc writeset claim, machine-checked --------
+
+TEST(AllocGuard, WorkloadSizedWritesetLifecycleIsAllocationFree) {
+  // Build, move, filter-test, and copy a workload-sized writeset (the
+  // largest real transaction writes 6 rows / 3 tables) under a Forbid
+  // region: the whole lifecycle must stay inside the inline storage.
+  RelationSet subscription{1, 3};
+  AllocGuard::Forbid forbid;
+  Writeset ws;
+  for (int i = 0; i < 6; ++i) {
+    ws.items.push_back(WritesetItem{static_cast<RelationId>(1 + i / 2),
+                                    static_cast<uint64_t>(100 + i)});
+  }
+  ws.table_pages = {{1, 3}, {2, 2}, {3, 1}};
+  ws.bytes = 275;
+  EXPECT_TRUE(ws.TouchesAny(subscription));
+  Writeset moved = std::move(ws);
+  EXPECT_EQ(moved.items.size(), 6u);
+  EXPECT_FALSE(moved.items.spilled());
+  EXPECT_EQ(forbid.seen(), 0u);
+}
+
+TEST(AllocGuard, SpilledWritesetIsCountedByTheGuard) {
+  // Sanity check of the instrument itself: exceeding the inline capacity
+  // must allocate, and the guard must see it.
+  AllocGuard::Forbid forbid;
+  Writeset ws;
+  for (uint64_t i = 0; i < 2 * Writeset::Items::inline_capacity(); ++i) {
+    ws.items.push_back(WritesetItem{1, i});
+  }
+  EXPECT_TRUE(ws.items.spilled());
+  EXPECT_GT(forbid.seen(), 0u);
+}
+
+TEST(AllocGuard, AllowReopensTheHeapInsideForbid) {
+  AllocGuard::Forbid forbid;
+  {
+    AllocGuard::Allow allow;
+    std::vector<int> v(64);
+    EXPECT_EQ(v.size(), 64u);
+  }
+  EXPECT_EQ(forbid.seen(), 0u);
 }
 
 }  // namespace
