@@ -12,8 +12,9 @@
 //   * hetero/*      — heterogeneous replica memories (same total RAM,
 //     different split). MALB's heterogeneous bin packing must keep groups on
 //     replicas that can host them instead of assuming replica 0's size.
-//   * elastic/*     — AddReplica scale-out (new replicas replay the whole
-//     log before serving) and ResizeMemory grow-in-place.
+//   * elastic/*     — AddReplica scale-out (new replicas install a checkpoint
+//     image and replay the suffix before serving) and ResizeMemory
+//     grow-in-place.
 //
 // Metrics: availability (fraction of client attempts not lost to
 // unavailability), recovery lag (replay seconds per completed recovery), and
@@ -91,7 +92,8 @@ std::vector<CampaignCell> Cells() {
 
   // --- elastic: scale-out and resize ---------------------------------------
   // Scale-out: 6 replicas; two more join inside the "join" window (each
-  // replays the whole log before serving — counted as recoveries there).
+  // installs a checkpoint image and replays the suffix before serving —
+  // counted as recoveries and joins there).
   bench::CellOptions six;
   six.replicas = 6;
   cells.push_back(bench::ScenarioCell(

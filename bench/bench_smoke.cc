@@ -36,6 +36,19 @@ std::vector<CampaignCell> Cells() {
                               .Advance(Seconds(30.0))
                               .Measure(Seconds(60.0), "browsing"),
                           opts),
+      // Small marathon cell: churn + a checkpoint join under the default
+      // auto-pruning policy, so the golden digest pins the bounded-log and
+      // state-transfer paths (log_chunks_hwm / arena_bytes_hwm /
+      // join_latency_s columns) byte-for-byte.
+      bench::ScenarioCell("marathon-smoke", Small, kTpcwOrdering, "MALB-SC",
+                          ScenarioBuilder()
+                              .Warmup(Seconds(30.0))
+                              .KillReplicaAt(Seconds(10.0), 1)
+                              .RecoverReplicaAt(Seconds(40.0), 1)
+                              .Measure(Seconds(90.0), "churn")
+                              .AddReplicaAt(Seconds(10.0))
+                              .Measure(Seconds(90.0), "join"),
+                          opts),
   };
 }
 
@@ -50,7 +63,12 @@ void Report(const CampaignOutputs& r, ResultSink& out) {
   out.AddRun(bench::RecOf("MALB-SC", r.Get("malb-sc")));
   out.AddRun(bench::RecOf("MALB-SC ordering window", r.Get("mix-switch"), 0, 0, 0, "ordering"));
   out.AddRun(bench::RecOf("MALB-SC browsing window", r.Get("mix-switch"), 0, 0, 0, "browsing"));
+  const CellOutput& marathon = r.Get("marathon-smoke");
+  out.AddRun(bench::RecOf("marathon churn window", marathon, 0, 0, 0, "churn"));
+  out.AddRun(bench::RecOf("marathon join window", marathon, 0, 0, 0, "join"));
   out.AddScalar("MALB-SC / LC speedup", lc.tps > 0 ? malb.tps / lc.tps : 0.0);
+  out.AddScalar("marathon-smoke log chunks hwm",
+                static_cast<double>(marathon.Result("join").log_chunks_hwm));
 }
 
 RegisterCampaign smoke{{"smoke", "", "Smoke: campaign machinery end-to-end",

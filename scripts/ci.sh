@@ -19,22 +19,44 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
 cmake --build build-asan -j"$(nproc)"
 (cd build-asan && ctest --output-on-failure -j"$(nproc)")
 
-# --- smoke + perf campaigns --------------------------------------------------
+# --- smoke + perf + marathon campaigns ---------------------------------------
 # A short parallel run through the real binary: grid expansion, worker pool,
 # JSON sinks, and the merged manifest all have to work; the perf campaign's
 # old-vs-new hot-path comparison (legacy baselines, checksum cross-checks,
-# representative cells) must run end to end. ONE invocation, so the manifest
-# covers both campaigns and the perf_diff step below can compare both against
-# the baseline (each invocation rewrites BENCH_campaign.json from scratch).
+# representative cells) must run end to end; the marathon campaign's bounded
+# certifier log must actually be bounded. ONE invocation, so the manifest
+# covers all three campaigns and the perf_diff step below can compare them
+# against the baseline (each invocation rewrites BENCH_campaign.json from
+# scratch).
 rm -rf build/bench-out
 mkdir -p build/bench-out
-./build/tashkent_bench run smoke perf --jobs 2 --json build/bench-out
+./build/tashkent_bench run smoke perf marathon --jobs 2 --json build/bench-out
 test -s build/bench-out/BENCH_smoke.json
 test -s build/bench-out/BENCH_perf.json
+test -s build/bench-out/BENCH_marathon.json
 test -s build/bench-out/BENCH_campaign.json
 if grep -q "checksums diverge" build/bench-out/BENCH_perf.json; then
   echo "ci: perf campaign checksum mismatch — old/new hot paths diverged" >&2
   exit 1
+fi
+
+# The bounded-log gate: with auto-pruning on, the certifier log's chunk
+# high-water mark must PLATEAU across the marathon's churn epochs (last epoch
+# within 3x of the first — generous; measured ~1.2x), while the legacy
+# control (pruning off) must keep growing. Deterministic simulated values,
+# so this gates hard.
+grep -q '"bounded log chunks hwm epoch5"' build/bench-out/BENCH_marathon.json || {
+  echo "ci: marathon report is missing the bounded log HWM scalar" >&2; exit 1; }
+if command -v python3 > /dev/null 2>&1; then
+  python3 - <<'EOF' || { echo "ci: marathon bounded-log gate failed" >&2; exit 1; }
+import json, sys
+s = json.load(open('build/bench-out/BENCH_marathon.json'))['scalars']
+b1, b5 = s['bounded log chunks hwm epoch1'], s['bounded log chunks hwm epoch5']
+l1, l5 = s['legacy log chunks hwm epoch1'], s['legacy log chunks hwm epoch5']
+print(f"marathon gate: bounded epoch1={b1:.0f} epoch5={b5:.0f}, legacy epoch1={l1:.0f} epoch5={l5:.0f}")
+ok = b5 <= 3 * b1 and l5 > 1.5 * l1 and b5 < l5
+sys.exit(0 if ok else 1)
+EOF
 fi
 
 # --- perf trajectory report --------------------------------------------------

@@ -97,11 +97,15 @@ class Certifier {
   void PruneBelow(Version floor) { checker_.PruneBelow(floor); }
 
   // Prunes the log itself: drops entries with version <= floor, recycling
-  // their chunks and arena blocks. Caller contract: no replica — including
-  // one added later, which replays from version 0 — may ever need a pruned
-  // version again. The cluster wiring never prunes on its own.
+  // their chunks and arena blocks. Caller contract: floor must stay at or
+  // below every replica's durable applied version AND the version of any
+  // checkpoint install in flight (an installing replica resumes reading at
+  // install-version + 1). The cluster's auto-pruner computes exactly that
+  // floor; replicas joining past the floor install a checkpoint image instead
+  // of replaying the (gone) prefix.
   void PruneLogBelow(Version floor) { log_.PruneBelow(floor, arena_); }
   Version log_pruned_below() const { return log_.pruned_below(); }
+  size_t log_chunk_count() const { return log_.chunk_count(); }
   const WritesetArena& arena() const { return arena_; }
 
  private:

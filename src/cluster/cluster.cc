@@ -1,9 +1,12 @@
 #include "src/cluster/cluster.h"
 
+#include <algorithm>
+#include <cassert>
 #include <stdexcept>
 #include <utility>
 
 #include "src/balancer/registry.h"
+#include "src/storage/checkpoint.h"
 
 namespace tashkent {
 
@@ -39,6 +42,11 @@ Cluster::Cluster(const Workload& workload, std::string mix_name, std::string pol
       proxies_[r]->OnProd();
     }
   });
+  if (config_.checkpoint.checkpoint_join) {
+    for (auto& p : proxies_) {
+      p->SetCheckpointSource([this]() { return BuildCheckpointImage(); });
+    }
+  }
 
   BalancerContext ctx;
   ctx.sim = &sim_;
@@ -87,6 +95,10 @@ void Cluster::Advance(SimDuration d) {
     }
     balancer_->Start();
     clients_->Start();
+    if (config_.checkpoint.auto_prune) {
+      const SimDuration period = config_.checkpoint.prune_period;
+      sim_.SchedulePeriodic(sim_.Now() + period, period, [this]() { AutoPrune(); });
+    }
   }
   sim_.RunUntil(sim_.Now() + d);
 }
@@ -125,10 +137,63 @@ size_t Cluster::AddReplica(Bytes memory) {
   // The balancer learns about the proxy before it joins, so routing state is
   // ready the moment recovery completes.
   balancer_->OnReplicaAdded(proxy);
-  // A new replica starts from an empty database: it replays the entire
-  // certifier log (filtered by any subscription) before serving.
+  // A new replica starts from an empty database: with checkpoint joins it
+  // installs the cluster's checkpoint image and replays only the suffix;
+  // otherwise it replays the entire certifier log (filtered by any
+  // subscription) before serving.
+  if (config_.checkpoint.checkpoint_join) {
+    proxy->SetCheckpointSource([this]() { return BuildCheckpointImage(); });
+  }
   proxy->JoinAsNew();
   return proxies_.size() - 1;
+}
+
+ClusterCheckpoint Cluster::BuildCheckpointImage() const {
+  // Any up replica can donate: its on-disk state is the complete database at
+  // its applied version (replicas never hold partial prefixes). The image
+  // version is the freshest the cluster can serve — at least the prune line
+  // (the recipient cannot replay versions that no longer exist), at best the
+  // most advanced up replica.
+  Version v = certifier_.log_pruned_below();
+  for (const auto& p : proxies_) {
+    if (p->lifecycle() == ReplicaLifecycle::kUp && p->applied_version() > v) {
+      v = p->applied_version();
+    }
+  }
+  return BuildCheckpoint(workload_->schema, v);
+}
+
+void Cluster::SampleLogHwm() {
+  log_chunks_hwm_ =
+      std::max(log_chunks_hwm_, static_cast<uint64_t>(certifier_.log_chunk_count()));
+  arena_bytes_hwm_ = std::max(arena_bytes_hwm_, certifier_.arena().allocated_bytes());
+}
+
+void Cluster::AutoPrune() {
+  // Sample memory high-water marks BEFORE pruning so the window's metric
+  // reflects the worst the log grew to, not the post-prune residue.
+  SampleLogHwm();
+  // Safe floor: every replica — up, down, or recovering — has durably applied
+  // through its applied_version and resumes log reads above it; a replica
+  // mid-install resumes above its image version instead. Down replicas pin
+  // the floor (their durable prefix must stay replayable), so pruning is
+  // provably inert: no log read below the floor can ever happen.
+  Version floor = certifier_.head_version();
+  for (const auto& p : proxies_) {
+    const Version v = p->installing_checkpoint().value_or(p->applied_version());
+    floor = std::min(floor, v);
+  }
+  assert(floor <= certifier_.head_version());
+  if (floor <= certifier_.log_pruned_below()) {
+    // Nothing new to reclaim. Also covers a floor "regression": a joiner that
+    // crashed mid-install reports its stale applied version (possibly below
+    // the prune line) — safe, because its recovery installs a fresh
+    // checkpoint rather than reading pruned entries (WritesetLog::Get asserts
+    // every read is above the prune line as the backstop).
+    return;
+  }
+  certifier_.PruneLogBelow(floor);
+  ++prunes_;
 }
 
 void Cluster::ResizeMemory(size_t index, Bytes memory) {
@@ -146,6 +211,9 @@ void Cluster::ResetMetrics() {
   for (auto& p : proxies_) {
     p->ResetStats();
   }
+  // Window-scope the log-memory HWMs: start from the current live footprint.
+  log_chunks_hwm_ = static_cast<uint64_t>(certifier_.log_chunk_count());
+  arena_bytes_hwm_ = certifier_.arena().allocated_bytes();
 }
 
 ExperimentResult Cluster::Measure(SimDuration measure) {
@@ -177,13 +245,20 @@ ExperimentResult Cluster::Collect(SimDuration measure_window) const {
   }
 
   double recovery_time_s = 0.0;
+  double join_time_s = 0.0;
   for (const auto& p : proxies_) {
     out.rejected += p->stats().rejected;
     out.recoveries += p->stats().recoveries;
     recovery_time_s += p->stats().recovery_time_s;
     out.replay_applied += p->stats().replay_applied;
     out.replay_filtered += p->stats().replay_filtered;
+    out.joins += p->stats().joins;
+    join_time_s += p->stats().join_time_s;
   }
+  out.join_latency_s = out.joins > 0 ? join_time_s / static_cast<double>(out.joins) : 0.0;
+  out.log_chunks_hwm =
+      std::max(log_chunks_hwm_, static_cast<uint64_t>(certifier_.log_chunk_count()));
+  out.arena_bytes_hwm = std::max(arena_bytes_hwm_, certifier_.arena().allocated_bytes());
   // Client-visible attempts = commits + aborts (the abort count includes the
   // rejections, since a refused submission reports as an abort to its client).
   const double attempts = static_cast<double>(committed_ + aborted_);

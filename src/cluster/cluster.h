@@ -30,6 +30,23 @@
 
 namespace tashkent {
 
+// Checkpoint/state-transfer joins and the bounded certifier log
+// (docs/OPERATIONS.md, "Checkpoints and log pruning").
+struct CheckpointPolicy {
+  // Joining (AddReplica) and backfilling (RecoverReplica past the prune line)
+  // replicas install a checkpoint image at version V and replay only
+  // (V, head], instead of the legacy full-log replay. Off = legacy joins,
+  // which throw once the log is pruned.
+  bool checkpoint_join = true;
+  // Periodically prune the certifier log below the cluster-wide safe floor
+  // (min over every replica of its durable applied version, with an in-flight
+  // checkpoint install counting as its image version). The floor is
+  // conservative — entries below it are provably dead — so pruning never
+  // changes results, only bounds log memory.
+  bool auto_prune = true;
+  SimDuration prune_period = Seconds(30.0);
+};
+
 struct ClusterConfig {
   size_t replicas = 16;
   ReplicaConfig replica;
@@ -40,6 +57,7 @@ struct ClusterConfig {
   std::vector<Bytes> replica_memory;
   CertifierConfig certifier;
   ProxyConfig proxy;
+  CheckpointPolicy checkpoint;
   LardConfig lard;
   MalbConfig malb;  // method is overridden by the MALB-S/SC/SCAP factories
   // Clients per replica; 0 means the caller must calibrate (see
@@ -86,6 +104,19 @@ struct ExperimentResult {
   uint64_t replay_applied = 0;
   uint64_t replay_filtered = 0;
 
+  // --- checkpoint / bounded-log metrics ------------------------------------
+  // High-water marks of certifier-log memory over the window (sampled at
+  // each prune tick, before pruning, and at collection): live log chunks and
+  // live arena bytes. Bounded under churn when auto-pruning is on; grow
+  // monotonically when it is off.
+  uint64_t log_chunks_hwm = 0;
+  uint64_t arena_bytes_hwm = 0;
+  // JoinAsNew lifecycles completed in the window and their mean latency
+  // (state transfer + delta replay, end to end). With checkpoint joins the
+  // latency is independent of cluster age; legacy joins replay the whole log.
+  uint64_t joins = 0;
+  double join_latency_s = 0.0;
+
   // --- host-side accounting (not rendered into run records) ----------------
   // Simulator events executed over the cluster's whole life up to the moment
   // this result was collected. Kernel-throughput bookkeeping for the campaign
@@ -126,11 +157,14 @@ class Cluster {
   void KillReplica(size_t index);
   // Begins recovery of a killed replica: cold cache, replays the certifier's
   // committed-writeset log (through its update-filtering subscription) and
-  // rejoins once caught up with the log head.
+  // rejoins once caught up with the log head. If the log has been pruned past
+  // the replica's durable prefix, a checkpoint image is installed first
+  // (CheckpointPolicy::checkpoint_join).
   void RecoverReplica(size_t index);
   // Grows the cluster by one replica (`memory` = 0 uses the configured
-  // default). The new replica joins recovering — it replays the whole log —
-  // and the balancer is told via OnReplicaAdded. Returns the new index.
+  // default). The new replica installs a checkpoint image and replays only
+  // the suffix (or, with checkpoint_join off, replays the whole log); the
+  // balancer is told via OnReplicaAdded. Returns the new index.
   size_t AddReplica(Bytes memory = 0);
   // Changes replica `index`'s RAM at runtime; shrinking evicts cache, and the
   // balancer re-packs via OnTopologyChange. Throws std::invalid_argument
@@ -145,6 +179,10 @@ class Cluster {
   ExperimentResult Measure(SimDuration measure);
 
   Simulator& sim() { return sim_; }
+  Certifier& certifier() { return certifier_; }
+  const Certifier& certifier() const { return certifier_; }
+  // Prune ticks that actually advanced the log's prune line.
+  uint64_t prunes() const { return prunes_; }
   MalbBalancer* malb() { return malb_; }
   LoadBalancer& balancer() { return *balancer_; }
   const std::vector<std::unique_ptr<Replica>>& replicas() const { return replicas_; }
@@ -164,6 +202,12 @@ class Cluster {
  private:
   void ResetMetrics();
   ExperimentResult Collect(SimDuration measure_window) const;
+  // The image a joining/backfilling replica installs: full database pages at
+  // the freshest version the cluster can donate (never below the prune line).
+  ClusterCheckpoint BuildCheckpointImage() const;
+  // One prune tick: sample log-memory HWMs, then prune below the safe floor.
+  void AutoPrune();
+  void SampleLogHwm();
 
   const Workload* workload_;
   std::string mix_name_;
@@ -186,6 +230,11 @@ class Cluster {
   // Measurement state.
   uint64_t committed_ = 0;
   uint64_t aborted_ = 0;
+  // Window-scoped log-memory high-water marks (see ExperimentResult) and the
+  // lifetime count of effective prunes.
+  uint64_t log_chunks_hwm_ = 0;
+  uint64_t arena_bytes_hwm_ = 0;
+  uint64_t prunes_ = 0;
   PercentileTracker response_s_;
   TimeSeries timeline_;
   bool started_ = false;

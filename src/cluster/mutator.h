@@ -18,7 +18,9 @@
 //                           much must actually be applied), rejoin when
 //                           caught up. The replay time is the recovery lag.
 //   * AddReplica(mem)     — elastic scale-out: a new replica joins in
-//                           recovering state and replays the whole log.
+//                           recovering state, installs a checkpoint image,
+//                           and replays only the suffix (legacy mode, with
+//                           checkpoint_join off, replays the whole log).
 //   * ResizeMemory(i, mem)— elastic resize: shrink evicts cache; the
 //                           balancer re-packs against the new capacities.
 //

@@ -184,6 +184,10 @@ std::string JsonSink::Render() const {
     AppendNumber(out, r.result.recovery_lag_s);
     out << ", \"replay_applied\": " << r.result.replay_applied;
     out << ", \"replay_filtered\": " << r.result.replay_filtered;
+    out << ", \"log_chunks_hwm\": " << r.result.log_chunks_hwm;
+    out << ", \"arena_bytes_hwm\": " << r.result.arena_bytes_hwm;
+    out << ", \"join_latency_s\": ";
+    AppendNumber(out, r.result.join_latency_s);
     out << ", \"groups\": ";
     AppendGroups(out, r.result.groups);
     out << '}';

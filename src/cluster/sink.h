@@ -23,6 +23,8 @@
 //                 "rejected", "availability", "recoveries",          // churn metrics
 //                 "recovery_lag_s", "replay_applied",                // (glossary:
 //                 "replay_filtered",                                 // docs/OPERATIONS.md)
+//                 "log_chunks_hwm", "arena_bytes_hwm",               // bounded-log metrics
+//                 "join_latency_s",                                  // checkpoint joins
 //                 "groups": [{"replicas": N, "types": [name...]}]}],
 //     "ratios": [{"label", "paper", "measured"}],
 //     "scalars": {<key>: <value>, ...},                              // AddScalar calls

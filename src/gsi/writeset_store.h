@@ -22,10 +22,11 @@
 // commit order, so a prefix prune of the log frees a prefix of arena blocks.
 //
 // Contract: PruneBelow(floor) requires that no replica will ever ask for a
-// version <= floor again — i.e. every replica (including future joiners,
-// which replay from version 0) has durably applied through floor. The
-// cluster wiring never prunes on its own; pruning is an operator/test
-// surface until a checkpoint-transfer join path exists.
+// version <= floor again — i.e. every replica has durably applied through
+// floor (a checkpoint install in flight counts as its image version). Future
+// joiners are covered by the checkpoint-transfer join path: they install an
+// image at some version >= floor and replay only the suffix. The cluster's
+// auto-pruner (ClusterConfig::checkpoint) computes this floor periodically.
 #ifndef SRC_GSI_WRITESET_STORE_H_
 #define SRC_GSI_WRITESET_STORE_H_
 

@@ -1,5 +1,7 @@
 #include "src/proxy/proxy.h"
 
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "src/common/small_vec.h"
@@ -51,6 +53,10 @@ void Proxy::Crash() {
   // replay (the durable applied_version_ prefix survives either way).
   lifecycle_ = ReplicaLifecycle::kDown;
   ++crash_epoch_;
+  // A crash mid-install abandons the image (torn installs never advance
+  // applied_version_: the completion callback is epoch-guarded). Recover()
+  // restarts the state transfer from scratch.
+  installing_ = false;
 }
 
 void Proxy::Recover() {
@@ -66,7 +72,47 @@ void Proxy::Recover() {
   lifecycle_ = ReplicaLifecycle::kRecovering;
   recovery_started_ = sim_->Now();
   replica_->pool().Clear();
+  const Version pruned = certifier_->log_pruned_below();
+  if (checkpoint_source_ && (join_pending_ || applied_version_ < pruned)) {
+    // Fresh joiner, or the log no longer covers our durable prefix: state
+    // transfer first, then replay only (checkpoint_version, head].
+    InstallCheckpoint();
+    return;
+  }
+  if (applied_version_ < pruned) {
+    throw std::runtime_error(
+        "replica " + std::to_string(replica_->id()) + ": recovery needs log versions (" +
+        std::to_string(applied_version_) + ", head] but the log is pruned below " +
+        std::to_string(pruned) +
+        " and no checkpoint source is installed (legacy full-log replay is only "
+        "legal while the log is complete; enable checkpoint joins)");
+  }
   PullUpdates();
+}
+
+void Proxy::InstallCheckpoint() {
+  ClusterCheckpoint ckpt = checkpoint_source_();
+  if (ckpt.version <= applied_version_) {
+    // Our durable prefix already covers the image (e.g. a join into a young
+    // cluster); plain replay is strictly cheaper.
+    PullUpdates();
+    return;
+  }
+  installing_ = true;
+  installing_version_ = ckpt.version;
+  ++stats_.checkpoint_installs;
+  const uint64_t epoch = crash_epoch_;
+  replica_->InstallCheckpoint(ckpt, [this, epoch, v = ckpt.version]() {
+    if (epoch != crash_epoch_) {
+      return;  // crashed mid-install; the torn image is discarded
+    }
+    installing_ = false;
+    AdvanceApplied(v);
+    if (apply_next_ <= v) {
+      apply_next_ = v + 1;  // never read log entries the image already covers
+    }
+    PullUpdates();
+  });
 }
 
 void Proxy::RunAdmitted(const TxnType& type, TxnDone done) {
@@ -137,7 +183,14 @@ void Proxy::PumpApplier() {
   if (lifecycle_ == ReplicaLifecycle::kDown) {
     return;  // a fail-stopped machine applies nothing; Recover() drains later
   }
+  if (installing_) {
+    return;  // the image covers these versions; the install completion resumes
+  }
   if (pump_active_ || applying_) {
+    return;
+  }
+  if (lifecycle_ == ReplicaLifecycle::kRecovering && config_.batched_recovery_apply) {
+    PumpApplierBatched();
     return;
   }
   pump_active_ = true;
@@ -175,8 +228,51 @@ void Proxy::PumpApplier() {
   MaybeFinishRecovery();
 }
 
+void Proxy::PumpApplierBatched() {
+  // Recovery fast path: stage every pending log entry's buffer-pool work
+  // (identical draws, identical order as the per-writeset pump), then charge
+  // disk and CPU once for the whole run. Version bookkeeping advances when
+  // the batch completes — during recovery nothing commits locally, so the
+  // deferred AdvanceApplied only changes wall time, not outcomes.
+  pump_active_ = true;
+  Replica::ApplyBatch batch;
+  Version last = applied_version_;
+  while (!ApplyQueueEmpty()) {
+    if (apply_next_ <= applied_version_) {
+      ++apply_next_;  // already covered (e.g. the checkpoint image)
+      continue;
+    }
+    const Writeset& ws = certifier_->LogEntry(apply_next_);
+    ++apply_next_;
+    const bool wanted = !subscription_.has_value() || ws.TouchesAny(*subscription_);
+    if (!wanted) {
+      ++stats_.writesets_filtered;
+      ++stats_.replay_filtered;
+    } else {
+      ++stats_.writesets_applied;
+      ++stats_.replay_applied;
+      replica_->StageApply(ws, batch);
+    }
+    last = ws.commit_version;
+  }
+  pump_active_ = false;
+  if (batch.count == 0) {
+    AdvanceApplied(last);  // everything filtered (or queue already drained)
+    MaybeFinishRecovery();
+    return;
+  }
+  applying_ = true;
+  replica_->SubmitApplyBatch(batch, [this, last]() {
+    applying_ = false;
+    AdvanceApplied(last);
+    PumpApplier();
+  });
+  MaybeFinishRecovery();
+}
+
 void Proxy::MaybeFinishRecovery() {
-  if (lifecycle_ != ReplicaLifecycle::kRecovering || applying_ || !ApplyQueueEmpty()) {
+  if (lifecycle_ != ReplicaLifecycle::kRecovering || applying_ || installing_ ||
+      !ApplyQueueEmpty()) {
     return;
   }
   if (applied_version_ < certifier_->head_version()) {
@@ -186,7 +282,13 @@ void Proxy::MaybeFinishRecovery() {
   }
   lifecycle_ = ReplicaLifecycle::kUp;
   ++stats_.recoveries;
-  stats_.recovery_time_s += ToSeconds(sim_->Now() - recovery_started_);
+  const double dt = ToSeconds(sim_->Now() - recovery_started_);
+  stats_.recovery_time_s += dt;
+  if (join_pending_) {
+    ++stats_.joins;
+    stats_.join_time_s += dt;  // state transfer + delta replay, end to end
+    join_pending_ = false;
+  }
 }
 
 void Proxy::WaitApplied(Version target, AppliedHook fn) {
@@ -265,7 +367,7 @@ void Proxy::OnProd() {
 }
 
 void Proxy::PullUpdates() {
-  if (lifecycle_ == ReplicaLifecycle::kDown || pull_in_progress_) {
+  if (lifecycle_ == ReplicaLifecycle::kDown || installing_ || pull_in_progress_) {
     return;
   }
   pull_in_progress_ = true;

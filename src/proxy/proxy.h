@@ -25,6 +25,7 @@
 #ifndef SRC_PROXY_PROXY_H_
 #define SRC_PROXY_PROXY_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -35,6 +36,7 @@
 #include "src/common/slab_list.h"
 #include "src/proxy/gatekeeper.h"
 #include "src/replica/replica.h"
+#include "src/storage/checkpoint.h"
 #include "src/storage/relation_set.h"
 
 namespace tashkent {
@@ -42,6 +44,12 @@ namespace tashkent {
 struct ProxyConfig {
   // Gatekeeper limit on transactions concurrently inside the database.
   int max_in_flight = 8;
+  // Recovery replay drains each contiguous pending log run as ONE batched
+  // disk/CPU submission (Replica::SubmitApplyBatch) instead of one
+  // round trip per writeset. Cache trajectory and replay volume are
+  // identical; only the replay's wall time shrinks. Off = the pre-checkpoint
+  // per-writeset replay, kept for differential tests.
+  bool batched_recovery_apply = true;
 };
 
 // Replica lifecycle as the proxy tracks it (docs/OPERATIONS.md diagrams it):
@@ -71,6 +79,10 @@ struct ProxyStats {
   uint64_t replay_filtered = 0;   // writesets the subscription filtered during replay
   uint64_t recoveries = 0;        // recoveries completed (kRecovering -> kUp)
   double recovery_time_s = 0.0;   // summed replay durations of those recoveries
+  // --- checkpoint join -------------------------------------------------------
+  uint64_t joins = 0;              // JoinAsNew lifecycles completed (subset of recoveries)
+  double join_time_s = 0.0;        // summed join durations (the join-latency metric)
+  uint64_t checkpoint_installs = 0;  // checkpoint images installed (join or backfill)
 };
 
 class Proxy {
@@ -110,18 +122,27 @@ class Proxy {
   // dropped (clients see aborts and retry elsewhere).
   //
   // Recover: begins recovery from the crashed state. The cache restarts cold;
-  // the durable state is the certifier log prefix at applied_version_, so the
-  // proxy REPLAYS the committed-writeset log (through its update-filtering
-  // subscription, which decides how much must actually be applied) and only
-  // rejoins — becomes available — once caught up with the log head. The
-  // replay duration is recorded as the recovery lag.
+  // the durable state is the certifier log prefix at applied_version_. When
+  // the log still covers that prefix, the proxy REPLAYS the committed-
+  // writeset log from there (through its update-filtering subscription, which
+  // decides how much must actually be applied). When the prefix has been
+  // pruned away — or the replica is a fresh joiner — it first INSTALLS a
+  // checkpoint image at version V from the cluster's checkpoint source and
+  // replays only (V, head]. Either way it rejoins — becomes available — once
+  // caught up with the log head; the elapsed time is the recovery lag.
+  // A recovery that needs pruned versions with no checkpoint source installed
+  // throws std::runtime_error (the legacy replay-from-0 join is only legal
+  // while the log is complete).
   //
-  // JoinAsNew: lifecycle entry point for a replica added at runtime — same as
-  // recovery, but replaying from version 0 (an empty database).
+  // JoinAsNew: lifecycle entry point for a replica added at runtime — a
+  // recovery starting from version 0 (an empty database), which the
+  // checkpoint source (when installed) turns into a state transfer whose cost
+  // is independent of cluster age.
   void Crash();
   void Recover();
   void JoinAsNew() {
     lifecycle_ = ReplicaLifecycle::kDown;
+    join_pending_ = true;
     Recover();
   }
   // Deprecated alias for Recover(); pre-churn callers named the verb Restart.
@@ -129,6 +150,22 @@ class Proxy {
 
   ReplicaLifecycle lifecycle() const { return lifecycle_; }
   bool available() const { return lifecycle_ == ReplicaLifecycle::kUp; }
+
+  // --- Checkpoint source -----------------------------------------------------
+  // Installed by the cluster when checkpoint joins are enabled: returns the
+  // image a joining/backfilling replica should install. Cold path (a join or
+  // a backfill), so a plain std::function is fine. When absent, joins fall
+  // back to the legacy full-log replay.
+  using CheckpointSource = std::function<ClusterCheckpoint()>;
+  void SetCheckpointSource(CheckpointSource source) {
+    checkpoint_source_ = std::move(source);
+  }
+  // The version of the checkpoint currently being installed, if any. An
+  // install in progress pins the cluster's prune floor at this version (the
+  // replica will replay (version, head] once the image lands).
+  std::optional<Version> installing_checkpoint() const {
+    return installing_ ? std::optional<Version>(installing_version_) : std::nullopt;
+  }
 
   size_t outstanding() const { return gatekeeper_.outstanding(); }
   int max_in_flight() const { return gatekeeper_.max_in_flight(); }
@@ -143,6 +180,12 @@ class Proxy {
   void RunAdmitted(const TxnType& type, TxnDone done);
   void FinishTransaction(bool committed, const TxnDone& done);
   void CertifyAndCommit(ExecOutcome outcome, TxnDone done);
+  // Starts the asynchronous checkpoint install (state transfer) that Recover
+  // chose; pulls the (version, head] delta once the image lands.
+  void InstallCheckpoint();
+  // Drains the pending log run [apply_next_, apply_hi_] as one batched
+  // disk/CPU submission (the recovery fast path).
+  void PumpApplierBatched();
   // Arrival of a certification response (one RTT after submission); `slot`
   // indexes the parked payload in pending_certs_.
   void OnCertifyArrive(uint32_t slot);
@@ -197,6 +240,10 @@ class Proxy {
   ReplicaLifecycle lifecycle_ = ReplicaLifecycle::kUp;
   SimTime recovery_started_ = 0;
   uint64_t crash_epoch_ = 0;  // invalidates callbacks from before a crash
+  CheckpointSource checkpoint_source_;
+  bool installing_ = false;          // a checkpoint install is in flight
+  Version installing_version_ = 0;   // its image version (prune-floor pin)
+  bool join_pending_ = false;        // JoinAsNew was requested; counted at rejoin
   struct Waiter {
     Version target;
     AppliedHook fn;

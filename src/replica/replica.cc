@@ -117,22 +117,47 @@ Writeset Replica::BuildWriteset(const TxnType& type) {
 }
 
 void Replica::ApplyWriteset(const Writeset& ws, ApplyDone done) {
-  SimDuration disk_time = 0;
-  SimDuration cpu_time = 0;
-  Pages missed = 0;
-  Pages touched = 0;
+  ApplyBatch batch;
+  StageApply(ws, batch);
+  SubmitApplyBatch(batch, std::move(done));
+}
+
+void Replica::StageApply(const Writeset& ws, ApplyBatch& batch) {
   for (const auto& [rel_id, pages] : ws.table_pages) {
     const RelationMeta& rel = schema_->Get(rel_id);
     const BufferPool::DirtyResult dirt =
         pool_.DirtyRandom(rel, pages, rng_, config_.write_skew);
-    missed += dirt.access.pages_missed;
-    touched += pages;
+    batch.missed += dirt.access.pages_missed;
+    batch.touched += pages;
   }
-  disk_time = config_.disk.RandomReadTime(missed);
-  cpu_time = touched * config_.cpu_per_apply_page;
-  stats_.apply_read_bytes += PagesToBytes(missed);
-  ++stats_.writesets_applied;
+  ++batch.count;
+}
 
+void Replica::SubmitApplyBatch(const ApplyBatch& batch, ApplyDone done) {
+  const SimDuration disk_time = config_.disk.RandomReadTime(batch.missed);
+  const SimDuration cpu_time = batch.touched * config_.cpu_per_apply_page;
+  stats_.apply_read_bytes += PagesToBytes(batch.missed);
+  stats_.writesets_applied += batch.count;
+
+  auto cpu_stage = [this, cpu_time, done = std::move(done)]() mutable {
+    cpu_.Submit(cpu_time, [done = std::move(done)]() {
+      if (done) {
+        done();
+      }
+    });
+  };
+  if (disk_time > 0) {
+    disk_.Submit(disk_time, std::move(cpu_stage));
+  } else {
+    cpu_stage();
+  }
+}
+
+void Replica::InstallCheckpoint(const ClusterCheckpoint& ckpt, ApplyDone done) {
+  ++stats_.checkpoint_installs;
+  stats_.checkpoint_bytes += ckpt.bytes();
+  const SimDuration disk_time = config_.disk.SequentialReadTime(ckpt.total_pages);
+  const SimDuration cpu_time = ckpt.total_pages * config_.cpu_per_apply_page;
   auto cpu_stage = [this, cpu_time, done = std::move(done)]() mutable {
     cpu_.Submit(cpu_time, [done = std::move(done)]() {
       if (done) {

@@ -29,6 +29,7 @@
 #include "src/sim/fifo_server.h"
 #include "src/sim/simulator.h"
 #include "src/storage/buffer_pool.h"
+#include "src/storage/checkpoint.h"
 #include "src/storage/disk_model.h"
 #include "src/storage/schema.h"
 
@@ -81,6 +82,11 @@ struct ReplicaStats {
   Bytes disk_read_bytes = 0;     // transaction reads (seq + random misses)
   Bytes disk_write_bytes = 0;    // background write-back of dirty pages
   Bytes apply_read_bytes = 0;    // reads caused by remote writeset application
+  // Checkpoint installs (state-transfer joins) and the image bytes they
+  // streamed in; tracked apart from disk_read_bytes so the per-transaction
+  // I/O metrics keep their steady-state meaning across a join.
+  uint64_t checkpoint_installs = 0;
+  Bytes checkpoint_bytes = 0;
 };
 
 class Replica {
@@ -107,6 +113,29 @@ class Replica {
   // Applies a remote writeset: reads and dirties the pages it touches.
   // `done` fires when the apply has been processed by disk and CPU.
   void ApplyWriteset(const Writeset& ws, ApplyDone done);
+
+  // --- Batched apply (the recovery-replay fast path) ------------------------
+  // A contiguous WritesetRange run can be applied as ONE disk/CPU submission:
+  // StageApply performs each writeset's buffer-pool work (dirtying pages,
+  // consuming exactly the same random draws as ApplyWriteset would, in the
+  // same order) while accumulating the aggregate cost; SubmitApplyBatch then
+  // charges the disk once with the combined random-read time and the CPU once
+  // with the combined apply burst. Costs and cache trajectory are identical
+  // to the per-writeset path — only the event-level interleaving (and thus
+  // the replay's wall time) differs.
+  struct ApplyBatch {
+    Pages missed = 0;   // pool misses staged so far (disk random reads)
+    Pages touched = 0;  // pages dirtied so far (CPU apply burst)
+    uint64_t count = 0;  // writesets staged
+  };
+  void StageApply(const Writeset& ws, ApplyBatch& batch);
+  void SubmitApplyBatch(const ApplyBatch& batch, ApplyDone done);
+
+  // Installs a checkpoint image: one sequential-bandwidth disk transfer of
+  // the whole image plus one CPU pass over its pages, after which `done`
+  // fires. The cache stays cold (the image lands on disk; pages warm through
+  // ordinary use), so install cost depends on database size only.
+  void InstallCheckpoint(const ClusterCheckpoint& ckpt, ApplyDone done);
 
   // Starts the background writer and the monitor daemon.
   void StartDaemons();

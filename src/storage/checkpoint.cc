@@ -1,0 +1,16 @@
+#include "src/storage/checkpoint.h"
+
+namespace tashkent {
+
+ClusterCheckpoint BuildCheckpoint(const Schema& schema, Version version) {
+  ClusterCheckpoint ckpt;
+  ckpt.version = version;
+  ckpt.tables.reserve(schema.size());
+  for (const RelationMeta& rel : schema.relations()) {
+    ckpt.tables.push_back(TableImage{rel.id, rel.pages});
+    ckpt.total_pages += rel.pages;
+  }
+  return ckpt;
+}
+
+}  // namespace tashkent

@@ -1,0 +1,52 @@
+// ClusterCheckpoint: the state-transfer image a joining replica installs
+// instead of replaying the certifier log from version 0.
+//
+// Tashkent's durable state is the certifier log; a replica's database is the
+// prefix of that log it has applied. A checkpoint captures that prefix as a
+// per-table page image at one version V: install the image, set
+// applied_version = V, then replay only (V, head]. The install cost is
+// modeled as ONE batched transfer — a sequential disk read of the whole image
+// plus a CPU pass over its pages — so join latency is a function of database
+// size, not of how long the cluster has lived (the log-replay join it
+// replaces grows with cluster age). This is the backfill half of Ceph-style
+// recovery: log-covered replicas replay, everyone else gets the image.
+//
+// The image is synthesized from the schema (every relation at its full page
+// count): update filtering only thins what a replica APPLIES while up, the
+// on-disk database is always the complete prefix, so a joiner needs every
+// table regardless of the subscription it will later be given.
+#ifndef SRC_STORAGE_CHECKPOINT_H_
+#define SRC_STORAGE_CHECKPOINT_H_
+
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/gsi/writeset.h"
+#include "src/storage/schema.h"
+
+namespace tashkent {
+
+// One relation's slice of the image.
+struct TableImage {
+  RelationId relation = 0;
+  Pages pages = 0;
+};
+
+struct ClusterCheckpoint {
+  // The log prefix the image represents: every writeset with commit version
+  // <= `version` is reflected in the pages. A joiner that installs this image
+  // still needs (version, head] from the log, so an install in progress pins
+  // the prune floor at `version`.
+  Version version = 0;
+  std::vector<TableImage> tables;
+  Pages total_pages = 0;
+
+  Bytes bytes() const { return PagesToBytes(total_pages); }
+};
+
+// Builds the image of `schema` at `version` (all relations, full size).
+ClusterCheckpoint BuildCheckpoint(const Schema& schema, Version version);
+
+}  // namespace tashkent
+
+#endif  // SRC_STORAGE_CHECKPOINT_H_

@@ -149,7 +149,8 @@ TEST(Elastic, AddedReplicaReplaysLogThenServes) {
   const size_t index = cluster.AddReplica();
   EXPECT_EQ(index, 4u);
   ASSERT_EQ(cluster.replicas().size(), 5u);
-  // Joins via recovery: replays the whole log before serving.
+  // Joins via recovery: installs a checkpoint image (or replays the log when
+  // the image would not help) before serving.
   EXPECT_EQ(cluster.proxies()[index]->lifecycle(), ReplicaLifecycle::kRecovering);
   cluster.Advance(Seconds(120.0));
   EXPECT_TRUE(cluster.proxies()[index]->available());

@@ -9,6 +9,16 @@
 // is host-side timing metadata added after the golden was captured (see the
 // schema note in src/cluster/sink.h).
 //
+// Regenerated for the checkpoint/bounded-log PR (new run columns
+// log_chunks_hwm / arena_bytes_hwm / join_latency_s and a marathon-smoke
+// cell that pins the checkpoint-join + auto-prune paths): every pre-existing
+// run's pre-existing fields were diffed byte-identical against the previous
+// golden before the swap, proving auto-pruning (on by default) perturbs no
+// simulated outcome. The golden now also covers state transfer: the
+// marathon-smoke cell kills/recovers a replica and joins a new one under the
+// default CheckpointPolicy, so any drift in the install cost model or the
+// prune floor shows up as a digest mismatch.
+//
 // If this test fails after an intentional semantic change to the simulation,
 // regenerate the golden:
 //   ./build/tashkent_bench run smoke --json /tmp/g --no-progress

@@ -5,10 +5,13 @@
 // append) live in tests/certifier_test.cc; these cover the store directly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
 #include <unordered_set>
 #include <vector>
 
 #include "src/common/alloc_guard.h"
+#include "src/common/rng.h"
 #include "src/gsi/writeset.h"
 #include "src/storage/relation_set.h"
 #include "src/gsi/writeset_store.h"
@@ -155,6 +158,143 @@ TEST(WritesetArena, OversizedAllocationGetsDedicatedBlock) {
   EXPECT_EQ(arena.live_blocks(), 2u);
   arena.PruneBelow(2);
   EXPECT_EQ(arena.live_blocks(), 0u);
+}
+
+// --- prune-safety churn model -------------------------------------------------
+// Property test for the cluster's auto-pruning contract: randomized
+// interleavings of certify (append), apply (cursor advance), kill, recover
+// (log-covered replay or checkpoint install), and prune — mirrored against a
+// naive model that never prunes (a plain vector of deep copies). The pruned
+// store must serve every version a replica's cursor can reach, with content
+// identical to the model's, and pruning must actually reclaim chunks and
+// arena blocks.
+TEST(WritesetLogChurnModel, RandomizedPruneNeverLosesANeededVersion) {
+  WritesetLog log;
+  WritesetArena arena;
+  std::vector<Writeset> model;  // unpruned reference; model[v - 1] is version v
+  Rng rng(0xC0FFEE);
+
+  // Replica cursors as the cluster tracks them for the prune floor: a durable
+  // applied version, an up/down bit, and (recovering past the prune line) an
+  // in-flight checkpoint install pinning the floor at its image version.
+  struct Rep {
+    Version applied = 0;
+    bool up = true;
+    std::optional<Version> installing;
+  };
+  std::vector<Rep> reps(4);
+  Version head = 0;
+  const int spill_items = 3 * static_cast<int>(Writeset::Items::inline_capacity());
+
+  // Reads version v from the pruned store and checks it against the model.
+  auto check_entry = [&](Version v) {
+    const Writeset& got = log.Get(v);
+    const Writeset& want = model[v - 1];
+    ASSERT_EQ(got.commit_version, want.commit_version);
+    ASSERT_EQ(got.items.size(), want.items.size());
+    for (size_t i = 0; i < want.items.size(); ++i) {
+      ASSERT_EQ(got.items[i].row_key, want.items[i].row_key) << "v=" << v << " item " << i;
+    }
+  };
+  // The donor version a checkpoint install would use: the freshest up replica
+  // (never below the prune line — the image recipient replays the suffix).
+  auto donor_version = [&]() {
+    Version v = log.pruned_below();
+    for (const Rep& rep : reps) {
+      if (rep.up) {
+        v = std::max(v, rep.applied);
+      }
+    }
+    return v;
+  };
+
+  uint64_t prunes = 0;
+  for (int step = 0; step < 6000; ++step) {
+    const size_t r = rng.NextBelow(reps.size());
+    Rep& rep = reps[r];
+    switch (rng.NextBelow(6)) {
+      case 0:
+      case 1: {  // certify: append the next version (sometimes a spilled one)
+        const int items =
+            rng.NextBelow(24) == 0 ? spill_items : 1 + static_cast<int>(rng.NextBelow(5));
+        ++head;
+        Writeset ws = MakeWs(head, items);
+        model.push_back(ws);  // deep copy before the append re-homes spills
+        log.Append(std::move(ws), arena);
+        break;
+      }
+      case 2: {  // apply: an up replica advances its cursor, reading the log
+        if (!rep.up || rep.installing || rep.applied >= head) {
+          break;
+        }
+        const Version target =
+            std::min(head, rep.applied + 1 + rng.NextBelow(64));
+        for (Version v = rep.applied + 1; v <= target; ++v) {
+          check_entry(v);
+        }
+        rep.applied = target;
+        break;
+      }
+      case 3: {  // kill: fail-stop (its durable cursor keeps pinning the floor)
+        rep.up = false;
+        rep.installing.reset();  // a crash mid-install abandons the image
+        break;
+      }
+      case 4: {  // recover / finish an install
+        if (rep.up) {
+          break;
+        }
+        if (rep.installing) {  // the image lands: resume reading above it
+          rep.applied = *rep.installing;
+          rep.installing.reset();
+          rep.up = true;
+        } else if (rep.applied < log.pruned_below()) {
+          rep.installing = donor_version();  // state transfer, floor pinned
+        } else {
+          rep.up = true;  // log-covered replay; applies via case 2
+        }
+        break;
+      }
+      case 5: {  // prune at the cluster's conservative floor
+        Version floor = head;
+        for (const Rep& other : reps) {
+          floor = std::min(floor, other.installing.value_or(other.applied));
+        }
+        if (floor > log.pruned_below()) {
+          log.PruneBelow(floor, arena);
+          ++prunes;
+        }
+        break;
+      }
+    }
+  }
+
+  // The interleaving really exercised pruning, and no read above ever failed.
+  EXPECT_GT(prunes, 0u);
+  EXPECT_GT(log.pruned_below(), 0u);
+  EXPECT_EQ(log.head(), head);
+  ASSERT_EQ(model.size(), static_cast<size_t>(head));
+  // Every still-live version must match the model (one full sweep).
+  for (Version v = log.pruned_below() + 1; v <= head; ++v) {
+    check_entry(v);
+  }
+
+  // Reclamation is real: once every replica catches up and the floor reaches
+  // the head, the store keeps at most one partially-filled chunk and the
+  // arena frees every version-covered block.
+  const size_t chunks_before = log.chunk_count();
+  const size_t blocks_before = arena.live_blocks();
+  log.PruneBelow(head, arena);
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_LE(log.chunk_count(), 1u);
+  EXPECT_EQ(arena.live_blocks(), 0u);
+  EXPECT_LE(log.chunk_count(), chunks_before);
+  EXPECT_LE(arena.live_blocks(), blocks_before);
+  // An unpruned log of `head` entries would hold ceil(head / kChunkEntries)
+  // chunks; the churn kept the live footprint strictly below that.
+  EXPECT_LT(chunks_before,
+            (static_cast<size_t>(head) + WritesetLog::kChunkEntries - 1) /
+                WritesetLog::kChunkEntries);
 }
 
 // --- allocation guard: the zero-alloc writeset claim, machine-checked --------
