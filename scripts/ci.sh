@@ -19,21 +19,43 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
 cmake --build build-asan -j"$(nproc)"
 (cd build-asan && ctest --output-on-failure -j"$(nproc)")
 
-# --- smoke + perf + marathon campaigns ---------------------------------------
+# --- determinism lint --------------------------------------------------------
+# Static gate for the `--jobs N` == `--jobs 1` bit-identity contract: no
+# unordered-container iteration feeding reported state, no wall-clock or
+# unseeded randomness in src/ or the campaign definitions.
+if command -v python3 > /dev/null 2>&1; then
+  python3 scripts/lint_determinism.py src/ bench/ \
+    || { echo "ci: determinism lint failed" >&2; exit 1; }
+fi
+
+# --- python tool tests -------------------------------------------------------
+# The python tools are themselves gates; their behavior is pinned by tests:
+# perf_diff.py's ratio math and --fail-cell-below normalization, and the
+# determinism lint's rule set.
+if command -v python3 > /dev/null 2>&1; then
+  python3 tests/perf_diff_test.py \
+    || { echo "ci: perf_diff tool tests failed" >&2; exit 1; }
+  python3 tests/lint_test.py \
+    || { echo "ci: determinism-lint tests failed" >&2; exit 1; }
+fi
+
+# --- smoke + perf + marathon + skew campaigns --------------------------------
 # A short parallel run through the real binary: grid expansion, worker pool,
 # JSON sinks, and the merged manifest all have to work; the perf campaign's
 # old-vs-new hot-path comparison (legacy baselines, checksum cross-checks,
 # representative cells) must run end to end; the marathon campaign's bounded
-# certifier log must actually be bounded. ONE invocation, so the manifest
-# covers all three campaigns and the perf_diff step below can compare them
+# certifier log must actually be bounded; the skew campaign's fluid-client
+# inert pair must stay byte-identical. ONE invocation, so the manifest
+# covers all four campaigns and the perf_diff step below can compare them
 # against the baseline (each invocation rewrites BENCH_campaign.json from
 # scratch).
 rm -rf build/bench-out
 mkdir -p build/bench-out
-./build/tashkent_bench run smoke perf marathon --jobs 2 --json build/bench-out
+./build/tashkent_bench run smoke perf marathon skew --jobs 2 --json build/bench-out
 test -s build/bench-out/BENCH_smoke.json
 test -s build/bench-out/BENCH_perf.json
 test -s build/bench-out/BENCH_marathon.json
+test -s build/bench-out/BENCH_skew.json
 test -s build/bench-out/BENCH_campaign.json
 if grep -q "checksums diverge" build/bench-out/BENCH_perf.json; then
   echo "ci: perf campaign checksum mismatch — old/new hot paths diverged" >&2
@@ -59,16 +81,49 @@ sys.exit(0 if ok else 1)
 EOF
 fi
 
-# --- perf trajectory report --------------------------------------------------
+# --- skew inert-pair byte gate -----------------------------------------------
+# The skew campaign's inert cell runs the same seed twice: once plain, once
+# with every new knob armed at its degenerate value (workload skew at the
+# replica default, SetPopulation restating the population, SwitchMix to the
+# already-active mix). The two measured run records must be IDENTICAL on
+# every reported field — the bench already throws if not, but this re-checks
+# the emitted JSON byte-for-byte (modulo the label) so a silently-softened
+# in-bench comparison can't pass CI.
+if command -v python3 > /dev/null 2>&1; then
+  python3 - <<'EOF' || { echo "ci: skew inert-pair byte gate failed" >&2; exit 1; }
+import json, sys
+doc = json.load(open('build/bench-out/BENCH_skew.json'))
+runs = {}
+for r in doc['runs']:
+    if r['label'].startswith('inert armed'):
+        runs['armed'] = dict(r)
+    elif r['label'].startswith('inert plain'):
+        runs['plain'] = dict(r)
+if set(runs) != {'armed', 'plain'}:
+    sys.exit("inert pair runs not found in BENCH_skew.json")
+runs['armed'].pop('label'); runs['plain'].pop('label')
+a = json.dumps(runs['armed'], sort_keys=True)
+p = json.dumps(runs['plain'], sort_keys=True)
+print(f"skew inert gate: armed == plain ({len(a)} bytes compared)")
+sys.exit(0 if a == p else 1)
+EOF
+fi
+
+# --- perf trajectory report + storm-cell gate --------------------------------
 # Diff this run's manifest against the committed baseline (the full-grid
 # manifest checked in with the PR that captured it). Wall numbers are
-# host-dependent, so this REPORTS rather than gates — but the executed-event
-# counts it prints are deterministic, and a change there means the simulation
-# itself changed. Campaigns not in both manifests (the CI run covers only
-# smoke + perf) are listed, not compared.
+# host-dependent, so the run-wide table REPORTS rather than gates — but the
+# executed-event counts it prints are deterministic, and a change there means
+# the simulation itself changed. Campaigns not in both manifests are listed,
+# not compared.
+#
+# The slab event-kernel storm cell DOES gate: its events/sec ratio is
+# normalized by the run-wide ratio, so a uniformly slower CI host cancels out
+# and only kernel/slab regressing relative to the rest of the run trips it.
 if command -v python3 > /dev/null 2>&1; then
   python3 scripts/perf_diff.py bench/baselines/BENCH_campaign.json \
     build/bench-out/BENCH_campaign.json --threshold 0.25 \
+    --fail-cell-below "perf:kernel/slab=0.6" \
     || { echo "ci: perf_diff failed" >&2; exit 1; }
 else
   echo "ci: python3 unavailable; skipping perf_diff report" >&2

@@ -25,6 +25,14 @@ table (use --fail-below to turn it into one on dedicated hardware).
 Usage:
   scripts/perf_diff.py BASELINE.json CURRENT.json [--threshold 0.10]
                        [--fail-below RATIO]
+                       [--fail-cell-below CAMPAIGN:CELL=RATIO ...]
+
+--fail-cell-below gates a single cell's events/sec ratio NORMALIZED by the
+run-wide ratio (cell_ratio / total_ratio), so a uniformly slower host cancels
+out and only a relative regression of that cell against the rest of the run
+trips the gate. The separator is ':' between campaign and cell because cell
+ids contain '/' (e.g. perf:kernel/slab=0.6). Repeatable; a spec whose cell is
+missing from either manifest fails hard (a silently skipped gate is no gate).
 """
 
 import argparse
@@ -80,6 +88,10 @@ def main():
                     help="per-cell events/sec change worth listing (default 0.10 = 10%%)")
     ap.add_argument("--fail-below", type=float, default=None,
                     help="exit 1 if the run-wide events/sec ratio drops below this")
+    ap.add_argument("--fail-cell-below", action="append", default=[],
+                    metavar="CAMPAIGN:CELL=RATIO",
+                    help="exit 1 if the cell's events/sec ratio, normalized by "
+                         "the run-wide ratio, drops below RATIO (repeatable)")
     args = ap.parse_args()
 
     base = campaign_stats(load_manifest(args.baseline))
@@ -127,19 +139,55 @@ def main():
     for name in only_cur:
         print(f"{name:<12} only in current ({cur[name]['cells']} cells)")
 
+    exit_code = 0
+    total_ratio = 0.0
     if total_base_wall > 0 and total_cur_wall > 0:
         b_eps = total_base_events / total_base_wall
         c_eps = total_cur_events / total_cur_wall
-        ratio = c_eps / b_eps if b_eps > 0 else 0.0
+        total_ratio = c_eps / b_eps if b_eps > 0 else 0.0
         print(f"{'TOTAL':<12} {'':>5} {total_base_wall:>7.1f}->{total_cur_wall:<7.1f} "
               f"{b_eps:>11.0f}->{c_eps:<11.0f} {fmt_ratio(c_eps, b_eps)}")
-        if args.fail_below is not None and ratio < args.fail_below:
-            print(f"perf_diff: FAIL — run-wide events/sec ratio {ratio:.2f} "
+        if args.fail_below is not None and total_ratio < args.fail_below:
+            print(f"perf_diff: FAIL — run-wide events/sec ratio {total_ratio:.2f} "
                   f"below --fail-below {args.fail_below}", file=sys.stderr)
-            return 1
+            exit_code = 1
+
+    for spec in args.fail_cell_below:
+        try:
+            coords, floor_text = spec.rsplit("=", 1)
+            campaign, cell = coords.split(":", 1)
+            floor = float(floor_text)
+        except ValueError:
+            sys.exit(f"--fail-cell-below: malformed spec '{spec}' "
+                     f"(want CAMPAIGN:CELL=RATIO, e.g. perf:kernel/slab=0.6)")
+        bcell = base.get(campaign, {}).get("by_cell", {}).get(cell)
+        ccell = cur.get(campaign, {}).get("by_cell", {}).get(cell)
+        if bcell is None or ccell is None:
+            which = "baseline" if bcell is None else "current"
+            print(f"perf_diff: FAIL — --fail-cell-below cell {campaign}:{cell} "
+                  f"missing from the {which} manifest", file=sys.stderr)
+            exit_code = 1
+            continue
+        if bcell["events_per_s"] <= 0 or total_ratio <= 0:
+            print(f"perf_diff: FAIL — --fail-cell-below cell {campaign}:{cell} "
+                  f"has no baseline rate to compare against", file=sys.stderr)
+            exit_code = 1
+            continue
+        cell_ratio = ccell["events_per_s"] / bcell["events_per_s"]
+        normalized = cell_ratio / total_ratio
+        if normalized < floor:
+            print(f"perf_diff: FAIL — {campaign}:{cell} events/sec ratio "
+                  f"{cell_ratio:.2f} is {normalized:.2f}x the run-wide ratio "
+                  f"{total_ratio:.2f}, below --fail-cell-below {floor}",
+                  file=sys.stderr)
+            exit_code = 1
+        else:
+            print(f"cell gate ok: {campaign}:{cell} ratio {cell_ratio:.2f} "
+                  f"({normalized:.2f}x run-wide, floor {floor})")
+
     if not shared:
         print("perf_diff: no campaign appears in both manifests", file=sys.stderr)
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -418,6 +418,7 @@ bool MalbBalancer::TrySplitMostLoaded(const std::vector<GroupLoad>& loads) {
   }
   groups_[most].packed.resize(1);
   second.replicas.push_back(stolen);
+  ++replica_moves_;
   groups_.push_back(std::move(second));
   RebuildTypeMap();
   return true;
@@ -466,6 +467,7 @@ bool MalbBalancer::TryMerge(const std::vector<GroupLoad>& loads) {
   } else {
     groups_[ThinnestFeasibleGroup(freed)].replicas.push_back(freed);
   }
+  ++replica_moves_;
   RebuildTypeMap();
   return true;
 }
@@ -504,6 +506,7 @@ void MalbBalancer::MoveReplica(size_t from_group, size_t to_group) {
     return;  // no donor replica can host the destination group
   }
   groups_[to_group].replicas.push_back(replica);
+  ++replica_moves_;
 }
 
 void MalbBalancer::ApplyFastTargets(const std::vector<int>& targets) {
@@ -536,6 +539,7 @@ void MalbBalancer::ApplyFastTargets(const std::vector<int>& targets) {
       const size_t replica = pool.back();
       pool.pop_back();
       groups_[ThinnestFeasibleGroup(replica)].replicas.push_back(replica);
+      ++replica_moves_;
       continue;
     }
     // Newest pool entry first (preserves the homogeneous pop_back order),
@@ -552,6 +556,7 @@ void MalbBalancer::ApplyFastTargets(const std::vector<int>& targets) {
       continue;
     }
     groups_[needy].replicas.push_back(pool[take]);
+    ++replica_moves_;
     pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(take));
   }
 }

@@ -134,6 +134,13 @@ class MalbBalancer : public LoadBalancer {
     config_.spill_factor = 0.0;
   }
 
+  // Cumulative count of rebalance-driven replica placements (group moves,
+  // fast-realloc pushes, split steals, merge re-homes) over the balancer's
+  // life. Excludes churn-driven adoption (PruneAndAdoptReplicas) — that is
+  // availability work, not load rebalancing. The skew campaign reports the
+  // window delta as its rebalance-cost column.
+  uint64_t replica_moves() const { return replica_moves_; }
+
  private:
   void RefreshCapacities();
   Pages GroupNeedPages(const RuntimeGroup& group) const;
@@ -172,6 +179,7 @@ class MalbBalancer : public LoadBalancer {
   int stable_ticks_ = 0;
   bool filtering_installed_ = false;
   uint64_t packing_signature_ = 0;
+  uint64_t replica_moves_ = 0;
 };
 
 }  // namespace tashkent

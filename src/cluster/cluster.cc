@@ -5,8 +5,11 @@
 #include <stdexcept>
 #include <utility>
 
+#include <cmath>
+
 #include "src/balancer/registry.h"
 #include "src/storage/checkpoint.h"
+#include "src/workload/fluid_pool.h"
 
 namespace tashkent {
 
@@ -21,6 +24,11 @@ Cluster::Cluster(const Workload& workload, std::string mix_name, std::string pol
       timeline_(config.timeline_bucket) {
   Rng root(config_.seed);
 
+  if (workload.skew) {
+    // Workload-specified key popularity overrides the read-path skew of every
+    // replica (including ones added at runtime, which copy config_.replica).
+    config_.replica.skew = *workload.skew;
+  }
   if (!config_.replica_memory.empty() && config_.replica_memory.size() != config_.replicas) {
     throw std::invalid_argument(
         "ClusterConfig.replica_memory has " + std::to_string(config_.replica_memory.size()) +
@@ -60,9 +68,17 @@ Cluster::Cluster(const Workload& workload, std::string mix_name, std::string pol
   malb_ = dynamic_cast<MalbBalancer*>(balancer_.get());
 
   const size_t n_clients = static_cast<size_t>(config_.clients_per_replica) * config_.replicas;
-  clients_ = std::make_unique<ClientPool>(&sim_, workload_, &workload_->MixByName(mix_name_),
-                                          n_clients, config_.mean_think, root.Fork());
-  clients_->SetDispatch([this](const TxnType& type, ClientPool::TxnDone done) {
+  // Both models fork the client stream from the same root position, so
+  // switching models never perturbs the replica or topology seed streams.
+  if (config_.fluid_clients) {
+    clients_ = std::make_unique<FluidClientPool>(&sim_, workload_,
+                                                 &workload_->MixByName(mix_name_), n_clients,
+                                                 config_.mean_think, root.Fork());
+  } else {
+    clients_ = std::make_unique<ClientPool>(&sim_, workload_, &workload_->MixByName(mix_name_),
+                                            n_clients, config_.mean_think, root.Fork());
+  }
+  clients_->SetDispatch([this](const TxnType& type, ClientSource::TxnDone done) {
     const size_t idx = balancer_->Route(type);
     proxies_[idx]->SubmitTransaction(type, [this, idx, &type,
                                             done = std::move(done)](bool committed) {
@@ -107,6 +123,8 @@ void Cluster::SwitchMix(const std::string& mix_name) {
   clients_->SetMix(&workload_->MixByName(mix_name));
   mix_name_ = mix_name;
 }
+
+void Cluster::SetPopulation(size_t population) { clients_->SetPopulation(population); }
 
 void Cluster::FreezeAllocation() {
   // Stops MALB reallocation ticks from changing anything further.
@@ -214,6 +232,14 @@ void Cluster::ResetMetrics() {
   // Window-scope the log-memory HWMs: start from the current live footprint.
   log_chunks_hwm_ = static_cast<uint64_t>(certifier_.log_chunk_count());
   arena_bytes_hwm_ = certifier_.arena().allocated_bytes();
+  // Window-scope the cumulative pool/move counters via snapshots.
+  pool_hits_snap_ = 0;
+  pool_misses_snap_ = 0;
+  for (const auto& r : replicas_) {
+    pool_hits_snap_ += r->pool().stats().hits;
+    pool_misses_snap_ += r->pool().stats().misses;
+  }
+  malb_moves_snap_ = malb_ != nullptr ? malb_->replica_moves() : 0;
 }
 
 ExperimentResult Cluster::Measure(SimDuration measure) {
@@ -271,6 +297,39 @@ ExperimentResult Cluster::Collect(SimDuration measure_window) const {
     out.read_kb_per_txn = static_cast<double>(reads) / denom / 1024.0;
     out.write_kb_per_txn = static_cast<double>(writes) / denom / 1024.0;
   }
+
+  // Unevenness: coefficient of variation of per-replica executed
+  // transactions over the window (window-scoped because ResetMetrics resets
+  // ReplicaStats). Includes down replicas — an outage IS uneven load.
+  if (!replicas_.empty()) {
+    double sum = 0.0;
+    for (const auto& r : replicas_) {
+      sum += static_cast<double>(r->stats().txns_executed);
+    }
+    const double mean = sum / static_cast<double>(replicas_.size());
+    if (mean > 0.0) {
+      double var = 0.0;
+      for (const auto& r : replicas_) {
+        const double d = static_cast<double>(r->stats().txns_executed) - mean;
+        var += d * d;
+      }
+      out.unevenness = std::sqrt(var / static_cast<double>(replicas_.size())) / mean;
+    }
+  }
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+  for (const auto& r : replicas_) {
+    pool_hits += r->pool().stats().hits;
+    pool_misses += r->pool().stats().misses;
+  }
+  const uint64_t d_hits = pool_hits - pool_hits_snap_;
+  const uint64_t d_misses = pool_misses - pool_misses_snap_;
+  out.miss_rate = (d_hits + d_misses) > 0
+                      ? static_cast<double>(d_misses) / static_cast<double>(d_hits + d_misses)
+                      : 0.0;
+  out.realloc_moves = malb_ != nullptr ? malb_->replica_moves() - malb_moves_snap_ : 0;
+  out.clients_modeled = static_cast<uint64_t>(clients_->population());
+  out.fluid = config_.fluid_clients;
 
   if (malb_ != nullptr) {
     const auto ids = malb_->GroupTypeIds();

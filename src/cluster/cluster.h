@@ -64,6 +64,11 @@ struct ClusterConfig {
   // calibration.h) — the Cluster constructor requires a concrete value.
   int clients_per_replica = 6;
   SimDuration mean_think = Millis(500);
+  // Generate load with the O(1)-state fluid aggregate model
+  // (src/workload/fluid_pool.h) instead of one event chain per client.
+  // Law-identical but not bit-identical to the per-client model; required
+  // for O(100k-1M) populations.
+  bool fluid_clients = false;
   uint64_t seed = 42;
   // Width of the throughput timeline buckets (Figure 6 uses 30 s).
   SimDuration timeline_bucket = Seconds(30.0);
@@ -117,6 +122,21 @@ struct ExperimentResult {
   uint64_t joins = 0;
   double join_latency_s = 0.0;
 
+  // --- skew-campaign metrics (load shape under fluid/Zipfian workloads) ----
+  // Coefficient of variation (stddev/mean) of per-replica transactions
+  // executed over the window: 0 = perfectly even load, grows with skew.
+  double unevenness = 0.0;
+  // Buffer-pool miss fraction over the window, summed across replicas
+  // (misses / (hits + misses) of read-path and apply-path touches).
+  double miss_rate = 0.0;
+  // Balancer-initiated replica moves during the window (MALB reallocation
+  // cost: group moves, pool pushes, splits, merges; 0 for other policies).
+  uint64_t realloc_moves = 0;
+  // Client population target at collection time (fluid or per-client).
+  uint64_t clients_modeled = 0;
+  // True when the fluid aggregate client model generated the load.
+  bool fluid = false;
+
   // --- host-side accounting (not rendered into run records) ----------------
   // Simulator events executed over the cluster's whole life up to the moment
   // this result was collected. Kernel-throughput bookkeeping for the campaign
@@ -147,6 +167,9 @@ class Cluster {
   void Advance(SimDuration d);
   // Switches the client mix immediately.
   void SwitchMix(const std::string& mix_name);
+  // Retargets the client population immediately (flash crowds, diurnal
+  // curves). Works for both client models; see ClientSource::SetPopulation.
+  void SetPopulation(size_t population);
   // Freezes MALB allocation in its current state (static-configuration
   // baseline). No-op for non-MALB policies.
   void FreezeAllocation();
@@ -187,7 +210,7 @@ class Cluster {
   LoadBalancer& balancer() { return *balancer_; }
   const std::vector<std::unique_ptr<Replica>>& replicas() const { return replicas_; }
   const std::vector<std::unique_ptr<Proxy>>& proxies() const { return proxies_; }
-  ClientPool& clients() { return *clients_; }
+  ClientSource& clients() { return *clients_; }
 
   const Workload& workload() const { return *workload_; }
   const std::string& policy_name() const { return policy_name_; }
@@ -222,7 +245,7 @@ class Cluster {
   std::vector<std::unique_ptr<Proxy>> proxies_;
   std::unique_ptr<LoadBalancer> balancer_;
   MalbBalancer* malb_ = nullptr;  // non-owning view when the balancer is MALB
-  std::unique_ptr<ClientPool> clients_;
+  std::unique_ptr<ClientSource> clients_;
   // Seed stream for replicas added at runtime; forked from the root LAST so
   // pre-churn seed streams (replicas, clients) are unchanged.
   Rng topology_rng_{0};
@@ -235,6 +258,12 @@ class Cluster {
   uint64_t log_chunks_hwm_ = 0;
   uint64_t arena_bytes_hwm_ = 0;
   uint64_t prunes_ = 0;
+  // Buffer-pool and MALB-move counters are cumulative (never reset — the
+  // Section 5.3 bench reads them across windows), so window metrics are
+  // deltas against these ResetMetrics-time snapshots.
+  uint64_t pool_hits_snap_ = 0;
+  uint64_t pool_misses_snap_ = 0;
+  uint64_t malb_moves_snap_ = 0;
   PercentileTracker response_s_;
   TimeSeries timeline_;
   bool started_ = false;

@@ -41,7 +41,22 @@ ScenarioBuilder& ScenarioBuilder::Measure(SimDuration d, std::string label) {
 }
 
 ScenarioBuilder& ScenarioBuilder::SwitchMix(std::string mix_name) {
-  phases_.push_back({ScenarioPhase::Kind::kSwitchMix, Seconds(0.0), std::move(mix_name), 0});
+  return SwitchMixAt(Seconds(0.0), std::move(mix_name));
+}
+
+ScenarioBuilder& ScenarioBuilder::SwitchMixAt(SimDuration delay, std::string mix_name) {
+  phases_.push_back(
+      {ScenarioPhase::Kind::kSwitchMix, Seconds(0.0), std::move(mix_name), 0, delay, 0});
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::SetPopulation(size_t population) {
+  return SetPopulationAt(Seconds(0.0), population);
+}
+
+ScenarioBuilder& ScenarioBuilder::SetPopulationAt(SimDuration delay, size_t population) {
+  phases_.push_back(
+      {ScenarioPhase::Kind::kSetPopulation, Seconds(0.0), {}, 0, delay, 0, population});
   return *this;
 }
 
@@ -112,7 +127,21 @@ ScenarioResult ScenarioBuilder::RunOn(Cluster& cluster) const {
         break;
       }
       case ScenarioPhase::Kind::kSwitchMix:
-        cluster.SwitchMix(phase.label);
+        if (phase.delay > 0) {
+          cluster.sim().ScheduleAfter(
+              phase.delay, [cl = &cluster, name = phase.label]() { cl->SwitchMix(name); });
+        } else {
+          cluster.SwitchMix(phase.label);
+        }
+        break;
+      case ScenarioPhase::Kind::kSetPopulation:
+        if (phase.delay > 0) {
+          cluster.sim().ScheduleAfter(phase.delay, [cl = &cluster, n = phase.population]() {
+            cl->SetPopulation(n);
+          });
+        } else {
+          cluster.SetPopulation(phase.population);
+        }
         break;
       case ScenarioPhase::Kind::kKillReplica:
         if (phase.delay > 0) {

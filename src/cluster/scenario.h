@@ -26,7 +26,13 @@
 //     labels are not rejected, ByLabel returns the first.
 //   * SwitchMix(name)        — switch every client to the named mix at the
 //     current instant (takes effect for each client's next transaction).
-//     Zero duration.
+//     Zero duration. SwitchMixAt(d, name) schedules the switch `d` after the
+//     instant this phase executes (a mix spike INSIDE a measure window).
+//   * SetPopulation(n)       — retarget the client population at the current
+//     instant (flash crowds, diurnal curves); growing staggers new clients
+//     in over one think time, shrinking drains surplus in-flight work.
+//     SetPopulationAt(d, n) schedules it like the other *At forms. Zero
+//     duration.
 //   * KillReplica(i) / RecoverReplica(i) / AddReplica(mem) /
 //     ResizeMemory(i, mem) — the ClusterMutator churn verbs
 //     (src/cluster/mutator.h), applied at the current instant. Zero
@@ -68,7 +74,8 @@ struct ScenarioPhase {
     kWarmup,       // advance, metrics discarded (alias of kAdvance, named for intent)
     kAdvance,      // advance, metrics discarded
     kMeasure,      // reset counters, advance, record a labeled result
-    kSwitchMix,    // switch the client mix immediately
+    kSwitchMix,    // switch the client mix (delay 0 = now, > 0 = scheduled)
+    kSetPopulation,    // retarget the client population (delay semantics idem)
     kKillReplica,      // ClusterMutator verbs; `delay` 0 = apply now,
     kRecoverReplica,   // > 0 = schedule as a simulator event `delay` from
     kAddReplica,       // the instant the phase executes (fires inside the
@@ -81,6 +88,7 @@ struct ScenarioPhase {
   size_t replica = 0;                   // mutation target replica index
   SimDuration delay = Seconds(0.0);     // mutation schedule offset (0 = now)
   Bytes memory = 0;                     // kAddReplica / kResizeMemory (0 = default)
+  size_t population = 0;                // kSetPopulation target
 };
 
 struct MeasureRecord {
@@ -118,6 +126,9 @@ class ScenarioBuilder {
   ScenarioBuilder& Warmup(SimDuration d);
   ScenarioBuilder& Measure(SimDuration d, std::string label);
   ScenarioBuilder& SwitchMix(std::string mix_name);
+  ScenarioBuilder& SwitchMixAt(SimDuration delay, std::string mix_name);
+  ScenarioBuilder& SetPopulation(size_t population);
+  ScenarioBuilder& SetPopulationAt(SimDuration delay, size_t population);
   ScenarioBuilder& FreezeAllocation();
   ScenarioBuilder& Advance(SimDuration d);
 

@@ -188,6 +188,13 @@ std::string JsonSink::Render() const {
     out << ", \"arena_bytes_hwm\": " << r.result.arena_bytes_hwm;
     out << ", \"join_latency_s\": ";
     AppendNumber(out, r.result.join_latency_s);
+    out << ", \"unevenness\": ";
+    AppendNumber(out, r.result.unevenness);
+    out << ", \"miss_rate\": ";
+    AppendNumber(out, r.result.miss_rate);
+    out << ", \"realloc_moves\": " << r.result.realloc_moves;
+    out << ", \"clients_modeled\": " << r.result.clients_modeled;
+    out << ", \"fluid\": " << (r.result.fluid ? "true" : "false");
     out << ", \"groups\": ";
     AppendGroups(out, r.result.groups);
     out << '}';

@@ -25,6 +25,11 @@
 //                 "replay_filtered",                                 // docs/OPERATIONS.md)
 //                 "log_chunks_hwm", "arena_bytes_hwm",               // bounded-log metrics
 //                 "join_latency_s",                                  // checkpoint joins
+//                 "unevenness", "miss_rate",                         // skew-campaign metrics
+//                 "realloc_moves", "clients_modeled",                // (per-replica load CV,
+//                 "fluid",                                           //  pool miss fraction,
+//                                                                    //  MALB moves, population,
+//                                                                    //  fluid-model flag)
 //                 "groups": [{"replicas": N, "types": [name...]}]}],
 //     "ratios": [{"label", "paper", "measured"}],
 //     "scalars": {<key>: <value>, ...},                              // AddScalar calls

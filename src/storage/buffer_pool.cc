@@ -1,12 +1,36 @@
 #include "src/storage/buffer_pool.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace tashkent {
+
+uint64_t AccessSkew::SampleZipfRank(Rng& rng, uint64_t n) const {
+  if (n <= 1) {
+    return 0;
+  }
+  // Inverse CDF of the density f(x) ~ x^(-s) on [1, n+1): for s != 1,
+  // x = (1 + u*((n+1)^(1-s) - 1))^(1/(1-s)); for s == 1, x = (n+1)^u.
+  // floor(x) - 1 is the rank; the clamp guards the u -> 1 boundary.
+  const double u = rng.NextDouble();
+  const double top = static_cast<double>(n) + 1.0;
+  double x;
+  if (zipf_s == 1.0) {
+    x = std::pow(top, u);
+  } else {
+    const double one_minus_s = 1.0 - zipf_s;
+    x = std::pow(1.0 + u * (std::pow(top, one_minus_s) - 1.0), 1.0 / one_minus_s);
+  }
+  const uint64_t rank = static_cast<uint64_t>(x) - 1;
+  return rank >= n ? n - 1 : rank;
+}
 
 uint64_t AccessSkew::SamplePage(Rng& rng, Pages pages) const {
   if (pages <= 1) {
     return 0;
+  }
+  if (zipf_s > 0.0) {
+    return SampleZipfRank(rng, static_cast<uint64_t>(pages));
   }
   const Pages hot = std::max<Pages>(static_cast<Pages>(hot_fraction * static_cast<double>(pages)), 1);
   if (rng.NextBool(hot_weight)) {
@@ -20,6 +44,9 @@ uint64_t AccessSkew::SampleWindowStart(Rng& rng, Pages pages, Pages window) cons
     return 0;
   }
   const Pages span = pages - window;  // valid starts: [0, span]
+  if (zipf_s > 0.0) {
+    return SampleZipfRank(rng, static_cast<uint64_t>(span + 1));
+  }
   const Pages hot_span = std::max<Pages>(
       std::min<Pages>(static_cast<Pages>(hot_fraction * static_cast<double>(pages)), span), 1);
   if (rng.NextBool(hot_weight)) {

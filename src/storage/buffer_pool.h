@@ -52,12 +52,23 @@ struct PoolAccess {
 struct AccessSkew {
   double hot_fraction = 0.35;
   double hot_weight = 0.90;
+  // Zipfian rank-popularity exponent. 0 (the default) keeps the two-level
+  // hot/cold model above — and its exact RNG draw sequence, which the golden
+  // digest pins. > 0 replaces the page draw with a bounded Zipf(s) rank
+  // sample over the relation's pages: page 0 is the hottest rank and
+  // P(rank r) ~ 1/(r+1)^s. Typical web skews are s in [0.6, 1.3].
+  double zipf_s = 0.0;
 
   // Samples a page in [0, pages).
   uint64_t SamplePage(Rng& rng, Pages pages) const;
   // Samples a window start so the window [start, start+window) stays in
   // range.
   uint64_t SampleWindowStart(Rng& rng, Pages pages, Pages window) const;
+  // Samples a rank in [0, n) with P(rank r) proportional to 1/(r+1)^zipf_s,
+  // via the inverse CDF of the continuous bounded power law — one uniform
+  // draw per sample, no per-n tables, so the cost is independent of n and
+  // the draw count is identical across ranks (determinism under --jobs N).
+  uint64_t SampleZipfRank(Rng& rng, uint64_t n) const;
 };
 
 struct BufferPoolStats {

@@ -7,7 +7,7 @@ ClientPool::ClientPool(Simulator* sim, const Workload* workload, const Mix* mix,
     : sim_(sim),
       workload_(workload),
       mix_(mix),
-      clients_(clients),
+      population_(clients),
       mean_think_(mean_think),
       rng_(rng) {}
 
@@ -16,7 +16,8 @@ void ClientPool::Start() {
     return;
   }
   started_ = true;
-  for (size_t c = 0; c < clients_; ++c) {
+  running_.assign(population_, 1);
+  for (size_t c = 0; c < population_; ++c) {
     // Stagger initial arrivals over one think time to avoid a thundering
     // herd at t=0.
     const SimDuration offset = Seconds(rng_.NextExponential(ToSeconds(mean_think_)));
@@ -24,7 +25,32 @@ void ClientPool::Start() {
   }
 }
 
+void ClientPool::SetPopulation(size_t population) {
+  if (population > running_.size()) {
+    running_.resize(population, 0);
+  }
+  population_ = population;
+  if (!started_) {
+    return;  // Start() spawns exactly population_ clients
+  }
+  // Shrinks need no action here: clients at or above the target park when
+  // their current chain reaches its next think/commit. Growth (re)spawns
+  // every non-running client below the target, staggered like Start().
+  for (size_t c = 0; c < population; ++c) {
+    if (running_[c]) {
+      continue;
+    }
+    running_[c] = 1;
+    const SimDuration offset = Seconds(rng_.NextExponential(ToSeconds(mean_think_)));
+    sim_->ScheduleAfter(offset, [this, c]() { ClientThink(c); });
+  }
+}
+
 void ClientPool::ClientThink(size_t client) {
+  if (client >= population_) {
+    running_[client] = 0;  // parked by a population shrink
+    return;
+  }
   const TxnTypeId type = mix_->Sample(rng_);
   ClientSubmit(client, type, sim_->Now());
 }
@@ -46,6 +72,10 @@ void ClientPool::ClientSubmit(size_t client, TxnTypeId type, SimTime started) {
     }
     if (on_commit_) {
       on_commit_(workload_->registry.Get(type), sim_->Now() - started);
+    }
+    if (client >= population_) {
+      running_[client] = 0;  // parked by a population shrink
+      return;
     }
     const SimDuration think = Seconds(rng_.NextExponential(ToSeconds(mean_think_)));
     sim_->ScheduleAfter(think, [this, client]() { ClientThink(client); });

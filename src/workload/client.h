@@ -7,12 +7,23 @@
 // replica at the client count that drives a standalone database to 85% of its
 // peak throughput; src/cluster/calibration.h implements that procedure.
 //
-// The active mix can be switched at runtime (the Figure 6 workload change).
+// The active mix can be switched at runtime (the Figure 6 workload change),
+// and the population can be retargeted mid-run (flash crowds, diurnal
+// curves): surplus clients park at their next think/commit, new clients
+// stagger in over one think time.
+//
+// ClientSource is the abstract surface the Cluster drives; ClientPool is the
+// per-client discrete model, FluidClientPool (src/workload/fluid_pool.h) the
+// aggregate arrival-rate model for O(100k-1M) populations. Both share the
+// dispatch/commit/abort callback wiring here.
 #ifndef SRC_WORKLOAD_CLIENT_H_
 #define SRC_WORKLOAD_CLIENT_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "src/common/inline_callback.h"
 #include "src/common/rng.h"
@@ -21,7 +32,10 @@
 
 namespace tashkent {
 
-class ClientPool {
+// Abstract client-workload generator: whatever model produces transactions,
+// the Cluster wires it identically (dispatch through the balancer, commit and
+// abort counters) and scenarios drive it through the same verbs.
+class ClientSource {
  public:
   // Per-transaction completion callback handed to the dispatcher (hot: one
   // per submission; the capture is the client's retry/think continuation).
@@ -35,19 +49,45 @@ class ClientPool {
   using OnCommit = std::function<void(const TxnType&, SimDuration)>;
   using OnAbort = std::function<void(const TxnType&)>;
 
-  ClientPool(Simulator* sim, const Workload* workload, const Mix* mix, size_t clients,
-             SimDuration mean_think, Rng rng);
+  virtual ~ClientSource() = default;
 
   void SetDispatch(Dispatch dispatch) { dispatch_ = std::move(dispatch); }
   void SetOnCommit(OnCommit cb) { on_commit_ = std::move(cb); }
   void SetOnAbort(OnAbort cb) { on_abort_ = std::move(cb); }
 
-  // Switches the active mix; takes effect at each client's next transaction.
-  void SetMix(const Mix* mix) { mix_ = mix; }
+  // Switches the active mix; takes effect at the next transaction sample.
+  virtual void SetMix(const Mix* mix) = 0;
 
-  void Start();
+  virtual void Start() = 0;
 
-  size_t clients() const { return clients_; }
+  // Retargets the modeled client population at runtime. Growing spawns the
+  // extra clients (staggered over one think time); shrinking drains — the
+  // surplus finish their in-flight work and stop. A no-op call (same
+  // population) consumes no randomness, so an "armed but degenerate"
+  // scenario stays byte-identical to one that never calls it.
+  virtual void SetPopulation(size_t population) = 0;
+  // The current population target.
+  virtual size_t population() const = 0;
+
+ protected:
+  Dispatch dispatch_;
+  OnCommit on_commit_;
+  OnAbort on_abort_;
+};
+
+class ClientPool : public ClientSource {
+ public:
+  ClientPool(Simulator* sim, const Workload* workload, const Mix* mix, size_t clients,
+             SimDuration mean_think, Rng rng);
+
+  void SetMix(const Mix* mix) override { mix_ = mix; }
+
+  void Start() override;
+
+  void SetPopulation(size_t population) override;
+  size_t population() const override { return population_; }
+
+  size_t clients() const { return population_; }
 
  private:
   void ClientThink(size_t client);
@@ -56,12 +96,14 @@ class ClientPool {
   Simulator* sim_;
   const Workload* workload_;
   const Mix* mix_;
-  size_t clients_;
+  size_t population_;
   SimDuration mean_think_;
   Rng rng_;
-  Dispatch dispatch_;
-  OnCommit on_commit_;
-  OnAbort on_abort_;
+  // 1 while client c has a think event or transaction in flight; a client
+  // parked by a population shrink clears its flag when its chain ends, and
+  // only flag-clear clients are respawned on growth (never double-started).
+  // Grows monotonically to the largest population ever targeted.
+  std::vector<uint8_t> running_;
   bool started_ = false;
 };
 

@@ -10,6 +10,7 @@
 #define SRC_WORKLOAD_WORKLOAD_H_
 
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -17,6 +18,7 @@
 
 #include "src/common/rng.h"
 #include "src/engine/txn_type.h"
+#include "src/storage/buffer_pool.h"
 #include "src/storage/schema.h"
 
 namespace tashkent {
@@ -45,6 +47,13 @@ struct Workload {
   Schema schema;
   TxnTypeRegistry registry;
   std::vector<Mix> mixes;
+  // Optional key-popularity override the Cluster plumbs into every replica's
+  // read-path buffer-pool touches (ReplicaConfig::skew): hot/cold fractions
+  // and/or a Zipfian rank exponent. nullopt keeps ReplicaConfig's default —
+  // byte-identical to the pre-skew model (the write-path skew is not
+  // overridden; update locality is a property of the schema, not the client
+  // population).
+  std::optional<AccessSkew> skew;
 
   const Mix& MixByName(std::string_view mix_name) const {
     for (const auto& m : mixes) {

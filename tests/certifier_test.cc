@@ -370,5 +370,64 @@ TEST(CertifierChannel, BatchingIsResultIdenticalDifferentially) {
   }
 }
 
+// Flash-crowd burst: hundreds of arrivals land on one tick (the fluid client
+// model's crowd spike compressed into the certifier RTT), a quarter of them
+// re-entrantly chase with zero-delay re-submissions two levels deep (the
+// recovery-pull pattern). The full firing sequence must match the unbatched
+// channel exactly, batch vectors must be recycled across waves, and the
+// event saving must scale with the burst size.
+TEST(CertifierChannel, FlashCrowdBurstReentrancyMatchesUnbatched) {
+  struct BurstCtx {
+    Simulator sim;
+    CertifierChannel* channel = nullptr;
+    std::vector<std::pair<int, SimTime>> log;
+    void Arrive(int id, int depth) {
+      log.push_back({id, sim.Now()});
+      if (depth > 0) {
+        // Same-tick chaser: must get a fresh event (the firing batch is
+        // already detached), in both modes firing after everything queued.
+        channel->ScheduleArrival(0, [this, id, depth]() { Arrive(id + 10000, depth - 1); });
+      }
+    }
+  };
+  auto run = [](bool batch) {
+    BurstCtx ctx;
+    CertifierChannel channel(&ctx.sim, batch);
+    ctx.channel = &channel;
+    // Wave 1: 200 arrivals on tick 100; every 4th spawns a 2-deep chaser
+    // chain. Wave 2: 100 more on tick 500, reusing recycled batch storage.
+    for (int i = 0; i < 200; ++i) {
+      const int depth = (i % 4 == 0) ? 2 : 0;
+      ctx.sim.ScheduleAt(0, [c = &ctx, ch = &channel, i, depth]() {
+        ch->ScheduleArrival(100, [c, i, depth]() { c->Arrive(i, depth); });
+      });
+    }
+    for (int i = 200; i < 300; ++i) {
+      ctx.sim.ScheduleAt(0, [c = &ctx, ch = &channel, i]() {
+        ch->ScheduleArrival(500, [c, i]() { c->Arrive(i, 0); });
+      });
+    }
+    ctx.sim.RunAll();
+    return std::make_tuple(ctx.log, channel.arrivals(), channel.events_scheduled());
+  };
+
+  const auto [unbatched_log, unbatched_arrivals, unbatched_events] = run(false);
+  const auto [batched_log, batched_arrivals, batched_events] = run(true);
+
+  // 300 direct + 50 chasers * 2 levels = 400 arrivals either way.
+  EXPECT_EQ(unbatched_arrivals, 400u);
+  EXPECT_EQ(batched_arrivals, 400u);
+  ASSERT_EQ(unbatched_log.size(), batched_log.size());
+  for (size_t i = 0; i < unbatched_log.size(); ++i) {
+    EXPECT_EQ(unbatched_log[i].first, batched_log[i].first) << "position " << i;
+    EXPECT_EQ(unbatched_log[i].second, batched_log[i].second) << "position " << i;
+  }
+  EXPECT_EQ(unbatched_events, 400u);  // one event per arrival
+  // Batched: one event per wave plus one per cascade LEVEL — the first
+  // re-entrant chaser of a level opens a fresh batch (the firing one is
+  // detached) and the other 49 join it. 400 arrivals ride 4 events.
+  EXPECT_EQ(batched_events, 4u);
+}
+
 }  // namespace
 }  // namespace tashkent

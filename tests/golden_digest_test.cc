@@ -19,6 +19,13 @@
 // default CheckpointPolicy, so any drift in the install cost model or the
 // prune floor shows up as a digest mismatch.
 //
+// Regenerated again for the fluid-client/skew PR (new run columns
+// unevenness / miss_rate / realloc_moves / clients_modeled / fluid): the
+// pre-existing fields of every run were diffed byte-identical against the
+// previous golden before the swap, proving the skew plumbing (zipf_s 0 by
+// default) and the ClientSource virtualization perturb no simulated outcome
+// — the diff is pure key insertion.
+//
 // If this test fails after an intentional semantic change to the simulation,
 // regenerate the golden:
 //   ./build/tashkent_bench run smoke --json /tmp/g --no-progress

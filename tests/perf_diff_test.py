@@ -135,6 +135,59 @@ class PerfDiffTest(unittest.TestCase):
         self.assertEqual(r.returncode, 0)
         self.assertIn("FAILED CELLS", r.stdout)
 
+    def test_fail_cell_below_normalizes_by_run_ratio(self):
+        # Host twice as slow uniformly: every cell halves, normalized ratio
+        # stays 1.0, so the gate must NOT trip.
+        base = manifest({"perf": [("kernel/slab", 1.0, 8000, True),
+                                  ("kernel/heap", 1.0, 8000, True)]})
+        cur = manifest({"perf": [("kernel/slab", 2.0, 8000, True),
+                                 ("kernel/heap", 2.0, 8000, True)]})
+        r = self.diff(self.write("b.json", base), self.write("c.json", cur),
+                      "--fail-cell-below", "perf:kernel/slab=0.9")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("cell gate ok", r.stdout)
+
+    def test_fail_cell_below_trips_on_relative_regression(self):
+        # One cell regresses 8x while its sibling holds. The regression also
+        # drags the run-wide ratio down (cell ratio 0.125, run 0.22), so the
+        # normalized ratio lands at 0.5625 — below the 0.6 floor.
+        base = manifest({"perf": [("kernel/slab", 1.0, 8000, True),
+                                  ("kernel/heap", 1.0, 8000, True)]})
+        cur = manifest({"perf": [("kernel/slab", 8.0, 8000, True),
+                                 ("kernel/heap", 1.0, 8000, True)]})
+        r = self.diff(self.write("b.json", base), self.write("c.json", cur),
+                      "--fail-cell-below", "perf:kernel/slab=0.6")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("kernel/slab", r.stderr)
+        self.assertIn("FAIL", r.stderr)
+
+    def test_fail_cell_below_missing_cell_fails_hard(self):
+        # A gate whose cell vanished must fail, not silently skip.
+        base = manifest({"perf": [("kernel/slab", 1.0, 8000, True)]})
+        cur = manifest({"perf": [("kernel/other", 1.0, 8000, True)]})
+        r = self.diff(self.write("b.json", base), self.write("c.json", cur),
+                      "--fail-cell-below", "perf:kernel/slab=0.6")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("missing", r.stderr)
+
+    def test_fail_cell_below_malformed_spec_errors(self):
+        doc = manifest({"perf": [("kernel/slab", 1.0, 8000, True)]})
+        bp, cp = self.write("b.json", doc), self.write("c.json", doc)
+        r = self.diff(bp, cp, "--fail-cell-below", "no-equals-sign")
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("malformed", r.stderr)
+
+    def test_fail_cell_below_is_repeatable(self):
+        base = manifest({"perf": [("a", 1.0, 8000, True), ("b", 1.0, 8000, True)]})
+        cur = manifest({"perf": [("a", 8.0, 8000, True), ("b", 1.0, 8000, True)]})
+        r = self.diff(self.write("b.json", base), self.write("c.json", cur),
+                      "--fail-cell-below", "perf:a=0.6",
+                      "--fail-cell-below", "perf:b=0.6")
+        self.assertEqual(r.returncode, 1)
+        # The regressed cell fails; the healthy cell still reports ok.
+        self.assertIn("perf:a", r.stderr)
+        self.assertIn("cell gate ok: perf:b", r.stdout)
+
     def test_wrong_schema_is_rejected(self):
         bad = {"schema": "something-else", "campaigns": []}
         good = manifest({"fig3": [("a", 1.0, 100, True)]})

@@ -1,8 +1,12 @@
-// Unit tests for workload models and the closed-loop client pool.
+// Unit tests for workload models, the closed-loop client pool, and the
+// Zipfian key-popularity sampler.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
+#include <vector>
 
+#include "src/storage/buffer_pool.h"
 #include "src/workload/client.h"
 #include "src/workload/rubis.h"
 #include "src/workload/tpcw.h"
@@ -112,6 +116,148 @@ TEST(Rubis, MixWeightsSumTo100) {
     }
     EXPECT_NEAR(sum, 100.0, 1e-9) << mix.name();
   }
+}
+
+// --- Zipf sampler properties (AccessSkew::SampleZipfRank) --------------------
+
+TEST(ZipfSampler, RankFrequencyMatchesBoundedPowerLaw) {
+  AccessSkew skew;
+  skew.zipf_s = 1.0;
+  Rng rng(17);
+  const uint64_t n = 10000;
+  const int samples = 200000;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < samples; ++i) {
+    const uint64_t rank = skew.SampleZipfRank(rng, n);
+    ASSERT_LT(rank, n);
+    ++counts[rank];
+  }
+  // Bounded power law at s=1: P(rank < k) = log(k+1) / log(n+1). The top
+  // 100 of 10000 ranks carry log(101)/log(10001) ~= 50% of the mass.
+  int top100 = 0;
+  for (int r = 0; r < 100; ++r) {
+    top100 += counts[r];
+  }
+  const double expected = std::log(101.0) / std::log(10001.0);
+  EXPECT_NEAR(static_cast<double>(top100) / samples, expected, 0.01);
+  // First moment: P(rank r) = log((r+2)/(r+1))/log(n+1), so rank 0 carries
+  // log(2)/log(10001) ~= 7.5% and frequencies decay monotonically in
+  // expectation.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / samples,
+              std::log(2.0) / std::log(10001.0), 0.005);
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[1000]);
+}
+
+TEST(ZipfSampler, SteeperExponentConcentratesMass) {
+  const uint64_t n = 10000;
+  const int samples = 100000;
+  double top_mass[2];
+  double exponents[2] = {0.8, 1.2};
+  for (int i = 0; i < 2; ++i) {
+    AccessSkew skew;
+    skew.zipf_s = exponents[i];
+    Rng rng(23);
+    int top = 0;
+    for (int s = 0; s < samples; ++s) {
+      if (skew.SampleZipfRank(rng, n) < 100) {
+        ++top;
+      }
+    }
+    top_mass[i] = static_cast<double>(top) / samples;
+  }
+  EXPECT_GT(top_mass[1], top_mass[0] + 0.2);
+}
+
+TEST(ZipfSampler, DeterministicAcrossIdenticalSeeds) {
+  AccessSkew skew;
+  skew.zipf_s = 0.9;
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(skew.SampleZipfRank(a, 5000), skew.SampleZipfRank(b, 5000));
+  }
+}
+
+// One uniform draw per sample regardless of exponent, bound, or outcome:
+// this is what keeps per-cell skew streams pure (a cell's draw sequence is a
+// function of its own seed alone, so `--jobs 4` == `--jobs 1`). A
+// rejection-sampling implementation would break this invariant.
+TEST(ZipfSampler, ConsumesExactlyOneDrawPerSample) {
+  const int k = 777;
+  AccessSkew steep;
+  steep.zipf_s = 1.3;
+  AccessSkew shallow;
+  shallow.zipf_s = 0.5;
+  Rng a(4242);
+  Rng b(4242);
+  Rng reference(4242);
+  for (int i = 0; i < k; ++i) {
+    steep.SampleZipfRank(a, 1000000);
+    shallow.SampleZipfRank(b, 7);
+    reference.NextDouble();
+  }
+  // After k samples every stream sits at the same position as a stream that
+  // made k raw draws.
+  EXPECT_EQ(a.NextDouble(), reference.NextDouble());
+  a = Rng(4242);
+  reference = Rng(4242);
+  for (int i = 0; i < k; ++i) {
+    a.NextDouble();
+    reference.NextDouble();
+  }
+  EXPECT_EQ(b.NextDouble(), a.NextDouble());
+}
+
+// zipf_s == 0 must leave the hot/cold model's draw sequence untouched — the
+// golden digest pins it.
+TEST(ZipfSampler, ZeroExponentPreservesHotColdDrawSequence) {
+  const AccessSkew plain;  // defaults: hot/cold, zipf_s 0
+  AccessSkew armed;
+  armed.zipf_s = 0.0;
+  armed.hot_fraction = plain.hot_fraction;
+  armed.hot_weight = plain.hot_weight;
+  Rng a(31);
+  Rng b(31);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(plain.SamplePage(a, 12345), armed.SamplePage(b, 12345));
+    EXPECT_EQ(plain.SampleWindowStart(a, 12345, 100), armed.SampleWindowStart(b, 12345, 100));
+  }
+}
+
+// --- ClientPool population retargeting ---------------------------------------
+
+TEST(ClientPool, SetPopulationGrowsAndShrinksThroughput) {
+  Simulator sim;
+  const Workload w = BuildTpcw(kTpcwSmallEbs);
+  ClientPool pool(&sim, &w, &w.mixes[0], 10, Millis(100), Rng(5));
+  int completed = 0;
+  pool.SetDispatch([&sim](const TxnType&, ClientPool::TxnDone done) {
+    sim.ScheduleAfter(Micros(1), [done = std::move(done)]() { done(true); });
+  });
+  pool.SetOnCommit([&](const TxnType&, SimDuration) { ++completed; });
+  pool.Start();
+  sim.RunUntil(Seconds(10.0));
+  const int base = completed;  // ~1000: 10 clients / 0.1 s think
+  EXPECT_NEAR(base, 1000, 150);
+
+  pool.SetPopulation(30);
+  EXPECT_EQ(pool.population(), 30u);
+  completed = 0;
+  sim.RunUntil(Seconds(20.0));
+  EXPECT_NEAR(completed, 3000, 300);
+
+  pool.SetPopulation(5);
+  completed = 0;
+  sim.RunUntil(Seconds(30.0));  // surplus clients park at their next think
+  EXPECT_NEAR(completed, 500, 150);
+
+  // Regrow: parked clients respawn (never double-started — throughput
+  // returns to the 10-client rate, not above it).
+  pool.SetPopulation(10);
+  completed = 0;
+  sim.RunUntil(Seconds(40.0));
+  EXPECT_NEAR(completed, 1000, 200);
 }
 
 TEST(ClientPool, ClosedLoopThroughput) {
