@@ -27,13 +27,19 @@
 // note, and the golden-digest determinism test deliberately excludes this
 // campaign.
 #include <chrono>
+#include <memory>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "bench/legacy_baseline.h"
+#include "src/certifier/certifier.h"
+#include "src/proxy/proxy.h"
+#include "src/replica/replica.h"
 #include "src/sim/simulator.h"
+#include "src/storage/schema.h"
 #include "src/workload/rubis.h"
 #include "src/workload/tpcw.h"
 
@@ -170,6 +176,133 @@ PoolOutcome RunPoolStorm(Pool& pool, uint64_t seed, int iters) {
   return out;
 }
 
+// --- filter storm ------------------------------------------------------------
+
+// Many replicas × narrow subscriptions × a high off-subscription update rate:
+// the wanted-probe hot path in isolation. One writer certifies bursts of
+// writesets touching a "hot" table pool no subscriber wants; 15 subscribers
+// each hold a narrow slice of a disjoint "cold" pool, so nearly every probe
+// filters. Every kFilterColdEvery-th writeset also touches one cold table, so
+// chunks are occasionally mixed and real applies happen. One subscriber
+// crashes early and recovers after the last burst, routing a ~200k-version
+// replay through the batched recovery pump — the chunk skip-scan's headline
+// case. Run once with the mask fast path and once with mask_filtering=false
+// (the frozen TouchesAny baseline); filtering decisions, event counts, and
+// the stats checksum must be identical — only wall time may differ.
+constexpr int kFilterReplicas = 16;    // replica 0 writes; 1..15 subscribe
+constexpr int kFilterHotTables = 48;   // update-stream pool (unsubscribed)
+constexpr int kFilterColdTables = 32;  // subscription pool
+constexpr int kFilterSubWidth = 16;    // tables per subscription
+constexpr int kFilterBatches = 200;    // one certify burst per simulated ms
+constexpr int kFilterPerBatch = 1000;  // writesets per burst
+constexpr int kFilterColdEvery = 997;  // every nth writeset hits a cold table
+
+struct FilterStormOutcome {
+  double wall_s = 0.0;
+  uint64_t executed = 0;
+  uint64_t checksum = 0;
+  uint64_t mask_skipped = 0;
+  uint64_t filtered = 0;
+};
+
+FilterStormOutcome RunFilterStorm(bool mask_filtering) {
+  Simulator sim;
+  Schema schema;
+  std::vector<RelationId> tables;
+  for (int t = 0; t < kFilterHotTables + kFilterColdTables; ++t) {
+    tables.push_back(schema.AddTable("t" + std::to_string(t), MiB(4)));
+  }
+  Certifier cert;
+  ReplicaConfig rc;
+  rc.memory = 64 * kMiB;
+  rc.reserved = 0;
+  ProxyConfig pc;
+  pc.mask_filtering = mask_filtering;
+  std::vector<std::unique_ptr<Replica>> replicas;
+  std::vector<std::unique_ptr<Proxy>> proxies;
+  for (ReplicaId r = 0; r < kFilterReplicas; ++r) {
+    replicas.push_back(std::make_unique<Replica>(&sim, &schema, r, rc, Rng(r + 1)));
+    proxies.push_back(std::make_unique<Proxy>(&sim, replicas.back().get(), &cert, pc));
+  }
+  cert.SetProdCallback([&proxies](ReplicaId r) { proxies[r]->OnProd(); });
+  for (int r = 1; r < kFilterReplicas; ++r) {
+    RelationSet sub;
+    for (int j = 0; j < kFilterSubWidth; ++j) {
+      sub.insert(tables[static_cast<size_t>(
+          kFilterHotTables + ((r - 1) * 2 + j) % kFilterColdTables)]);
+    }
+    proxies[static_cast<size_t>(r)]->SetSubscription(std::move(sub));
+    // Bootstrap prod: the first pull registers the replica with the
+    // certifier so real prods reach it from then on (no periodic daemons in
+    // the storm — every subsequent pull is prod-driven).
+    proxies[static_cast<size_t>(r)]->OnProd();
+  }
+  // One subscriber rides a crash/recover arc so the batched recovery replay
+  // is part of the measured storm.
+  sim.ScheduleAt(Millis(5), [&proxies]() { proxies[kFilterReplicas - 1]->Crash(); });
+  sim.ScheduleAt(Millis(kFilterBatches + 5),
+                 [&proxies]() { proxies[kFilterReplicas - 1]->Recover(); });
+
+  uint64_t produced = 0;
+  for (int b = 0; b < kFilterBatches; ++b) {
+    sim.ScheduleAt(Millis(b + 1), [&cert, &tables, &produced]() {
+      for (int i = 0; i < kFilterPerBatch; ++i) {
+        Writeset ws;
+        ws.origin = 0;
+        ws.type = 0;
+        ws.bytes = 275;
+        ws.snapshot_version = cert.head_version();
+        // Rows never repeat, so certification always commits; 4 hot tables
+        // per writeset keep the TouchesAny baseline honest (4 binary
+        // searches over a 16-table subscription per probe).
+        ws.items.push_back(WritesetItem{tables[produced % kFilterHotTables], produced});
+        for (uint64_t k = 0; k < 4; ++k) {
+          ws.table_pages.push_back(
+              TableWrite{tables[(produced * 4 + k) % kFilterHotTables], 1});
+        }
+        if (produced % kFilterColdEvery == 0) {
+          ws.table_pages.push_back(TableWrite{
+              tables[kFilterHotTables +
+                     (produced / kFilterColdEvery) % kFilterColdTables],
+              1});
+        }
+        ++produced;
+        cert.Certify(std::move(ws), 0, cert.head_version());
+      }
+    });
+  }
+
+  FilterStormOutcome out;
+  // lint: allow(wall-clock) throughput timing; scalars are documented as host-dependent
+  const auto start = std::chrono::steady_clock::now();
+  sim.RunAll();
+  out.wall_s = SecondsSince(start);
+  out.executed = sim.executed_events();
+  for (const auto& proxy : proxies) {
+    const ProxyStats& st = proxy->stats();
+    // Everything filtering DECIDES folds into the checksum; mask_skipped is
+    // deliberately excluded (it measures how the decision was reached).
+    for (uint64_t v :
+         {proxy->applied_version(), st.writesets_applied, st.writesets_filtered,
+          st.replay_applied, st.replay_filtered, st.pulls, st.prods, st.recoveries}) {
+      out.checksum = out.checksum * 1099511628211ull + v;
+    }
+    out.mask_skipped += st.mask_skipped;
+    out.filtered += st.writesets_filtered;
+  }
+  return out;
+}
+
+CellOutput FilterStormOutput(const FilterStormOutcome& o) {
+  CellOutput out;
+  out.scalars.emplace_back("wall_s", o.wall_s);
+  out.scalars.emplace_back("writesets_filtered", static_cast<double>(o.filtered));
+  out.scalars.emplace_back("mask_skipped", static_cast<double>(o.mask_skipped));
+  out.scalars.emplace_back("checksum", static_cast<double>(o.checksum % (1ull << 52)));
+  out.executed_events = o.executed;
+  return out;
+}
+
 // --- cells -------------------------------------------------------------------
 
 // Storm sizes: big enough to dominate setup cost, small enough for CI.
@@ -295,6 +428,18 @@ std::vector<CampaignCell> Cells() {
   cells.push_back(TimedPolicyCell("cell/rubis", Rubis, kRubisBidding));
   cells.push_back(TimedChurnCell("cell/churn", Tpcw, kTpcwOrdering));
   cells.push_back(TimedPolicyCell("cell/filter", Tpcw, kTpcwOrdering, /*filtering=*/true));
+  {
+    CampaignCell c;
+    c.id = "cell/filter-storm";
+    c.run = [](uint64_t) { return FilterStormOutput(RunFilterStorm(/*mask_filtering=*/true)); };
+    cells.push_back(std::move(c));
+  }
+  {
+    CampaignCell c;
+    c.id = "cell/filter-storm-legacy";
+    c.run = [](uint64_t) { return FilterStormOutput(RunFilterStorm(/*mask_filtering=*/false)); };
+    cells.push_back(std::move(c));
+  }
   return cells;
 }
 
@@ -315,7 +460,8 @@ void Report(const CampaignOutputs& r, ResultSink& out) {
 
   out.Begin("Perf: hot-path throughput, old vs new",
             "event storm 2M ticks / 64 actors; pool storm 400k ops / 256MB; "
-            "representative 4-replica cells (steady, churn, filtering)");
+            "representative 4-replica cells (steady, churn, filtering); "
+            "filter storm 200k writesets x 15 narrow subscriptions, mask vs TouchesAny");
 
   const double kernel_legacy = Scalar(kl, "events_per_s");
   const double kernel_slab = Scalar(ks, "events_per_s");
@@ -361,13 +507,45 @@ void Report(const CampaignOutputs& r, ResultSink& out) {
     out.Note("WARNING: cell/churn completed no recovery — the churn cell is "
              "not exercising the replay path");
   }
+
+  // Filter storm: the mask fast path against the frozen TouchesAny baseline.
+  // The checksum folds every filtering DECISION (applied/filtered counts,
+  // applied versions, pulls, prods, recoveries), so a divergence means the
+  // mask path changed what was filtered, not just how fast.
+  const CellOutput& fm = r.Get("cell/filter-storm");
+  const CellOutput& fl = r.Get("cell/filter-storm-legacy");
+  const double storm_mask_wall = Scalar(fm, "wall_s");
+  const double storm_legacy_wall = Scalar(fl, "wall_s");
+  out.AddScalar("filter-storm mask wall_s", storm_mask_wall);
+  out.AddScalar("filter-storm legacy wall_s", storm_legacy_wall);
+  out.AddScalar("filter-storm speedup (mask / touchesany)",
+                storm_mask_wall > 0 ? storm_legacy_wall / storm_mask_wall : 0.0);
+  out.AddScalar("filter-storm mask_skipped", Scalar(fm, "mask_skipped"));
+  if (Scalar(fm, "checksum") != Scalar(fl, "checksum")) {
+    throw std::runtime_error(
+        "filter-storm checksums diverge — the mask fast path is NOT making "
+        "the same filtering decisions as TouchesAny");
+  }
+  if (Scalar(fm, "mask_skipped") <= 0) {
+    throw std::runtime_error(
+        "filter-storm mask cell skipped no chunks — the chunk skip-scan "
+        "never engaged; the cell is not exercising what it exists for");
+  }
+  if (Scalar(fl, "mask_skipped") != 0) {
+    throw std::runtime_error(
+        "filter-storm legacy cell used the mask path — the frozen TouchesAny "
+        "baseline is not frozen");
+  }
+  out.Note("filter-storm checksums match: mask-wanted ≡ TouchesAny-wanted "
+           "across 200k versions × 15 subscriptions + one batched recovery replay");
   out.Note("host-timing campaign: scalars vary per machine/run; checksums are "
            "the only deterministic outputs (excluded from golden-digest checks)");
 }
 
 RegisterCampaign perf{{"perf", "", "Perf: hot-path throughput, old vs new",
                        "event storm 2M ticks / 64 actors; pool storm 400k ops / 256MB; "
-                       "representative 4-replica cells (steady, churn, filtering)",
+                       "representative 4-replica cells (steady, churn, filtering); "
+                       "filter storm 200k writesets x 15 narrow subscriptions, mask vs TouchesAny",
                        Cells, Report}};
 
 }  // namespace

@@ -37,6 +37,8 @@ if command -v python3 > /dev/null 2>&1; then
     || { echo "ci: perf_diff tool tests failed" >&2; exit 1; }
   python3 tests/lint_test.py \
     || { echo "ci: determinism-lint tests failed" >&2; exit 1; }
+  python3 tests/perf_trajectory_test.py \
+    || { echo "ci: perf_trajectory tool tests failed" >&2; exit 1; }
 fi
 
 # --- smoke + perf + marathon + skew campaigns --------------------------------
@@ -120,13 +122,24 @@ fi
 # The slab event-kernel storm cell DOES gate: its events/sec ratio is
 # normalized by the run-wide ratio, so a uniformly slower CI host cancels out
 # and only kernel/slab regressing relative to the rest of the run trips it.
+# Same deal for the filter-storm cell — the mask fast path's chunk skip-scan
+# must keep its measured edge over the frozen TouchesAny baseline cell.
 if command -v python3 > /dev/null 2>&1; then
   python3 scripts/perf_diff.py bench/baselines/BENCH_campaign.json \
     build/bench-out/BENCH_campaign.json --threshold 0.25 \
     --fail-cell-below "perf:kernel/slab=0.6" \
+    --fail-cell-below "perf:cell/filter-storm=0.5" \
     || { echo "ci: perf_diff failed" >&2; exit 1; }
 else
   echo "ci: python3 unavailable; skipping perf_diff report" >&2
+fi
+
+# The committed perf-trajectory report (docs/PERF_TRAJECTORY.md) renders the
+# baselines under bench/baselines/; a PR that refreshes a baseline without
+# regenerating the report fails here.
+if command -v python3 > /dev/null 2>&1; then
+  python3 scripts/perf_trajectory.py --check docs/PERF_TRAJECTORY.md \
+    || { echo "ci: perf trajectory report is stale" >&2; exit 1; }
 fi
 
 # --- docs check --------------------------------------------------------------

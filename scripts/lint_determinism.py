@@ -32,6 +32,15 @@ the digest flips; this lint *prevents* the common ways one gets written:
                          jobs-N == jobs-1. Accumulate per-slot, reduce
                          serially afterwards.
 
+  mask-order             Any ForEachMaskBit(...) call site. TableMask bit
+                         order is registry *intern* order (first-touch order
+                         of tables at the certifier), not RelationId order —
+                         feeding decoded bits into a subscription, report, or
+                         any other ordered sink makes the artifact depend on
+                         traffic arrival order. Iterate the schema or a
+                         RelationSet and *test* bits instead; annotate the
+                         rare order-insensitive uses.
+
 Escape hatch — a reviewed, reasoned annotation on the same line or the
 line directly above the hit:
 
@@ -57,6 +66,7 @@ RULES = {
     "wall-clock": "wall-clock or nondeterministic seed source",
     "ptr-key": "pointer-keyed ordered/hashed container",
     "float-parallel-accum": "float accumulation inside a ParallelFor body",
+    "mask-order": "mask-bit iteration (intern order) feeding an ordered sink",
 }
 
 SOURCE_EXTS = (".h", ".cc", ".cpp", ".hpp")
@@ -240,6 +250,7 @@ COPY_SINK_RES = [
     re.compile(r"\.assign\s*\(\s*([\w.\->\s]+?)\.begin\s*\("),
 ]
 PTR_LESS_RE = re.compile(r"\bstd\s*::\s*less\s*<[^>]*\*\s*>")
+MASK_ORDER_RE = re.compile(r"\bForEachMaskBit\s*\(")
 ASSOC_TYPE_RE = re.compile(r"\bstd\s*::\s*(?:multi)?(?:map|set|unordered_map|unordered_set)\s*<")
 
 
@@ -384,6 +395,14 @@ def check_file(path, findings, errors):
                 report(m.start(), "unordered-iter",
                        f"copying unordered container '{comp}' into an ordered sink "
                        "preserves hash-table order")
+
+    # --- mask-order -----------------------------------------------------------
+    for m in MASK_ORDER_RE.finditer(text):
+        report(m.start(), "mask-order",
+               "ForEachMaskBit decodes bits in registry intern order (traffic "
+               "first-touch order), not RelationId order — iterate the schema "
+               "or a RelationSet and test bits instead of feeding decoded bit "
+               "order into a sink")
 
     # --- float-parallel-accum -------------------------------------------------
     float_decls = {}  # name -> list of decl offsets

@@ -13,7 +13,7 @@ CertifyResult Certifier::Certify(Writeset ws, ReplicaId replica, Version applied
     result.committed = true;
     result.commit_version = ws.commit_version;
     ++certified_;
-    log_.Append(std::move(ws), arena_);
+    log_.Append(std::move(ws), arena_, &table_registry_);
   } else {
     ++aborted_;
   }

@@ -24,6 +24,7 @@
 #include "src/common/units.h"
 #include "src/engine/txn_type.h"
 #include "src/storage/relation.h"
+#include "src/storage/table_mask.h"
 
 namespace tashkent {
 
@@ -86,6 +87,24 @@ struct Writeset {
       }
     }
     return false;
+  }
+
+  // The writeset's TableMask over `registry`, interning touched tables on
+  // first sight. Called once per writeset at certifier append (the mask is
+  // stored alongside the log entry, not in the writeset — see the inline
+  // capacity note above: growing sizeof(Writeset) grows every callback that
+  // carries one by value). Inexact on registry overflow, never wrong.
+  TableMask BuildMask(TableBitRegistry& registry) const {
+    TableMask mask;
+    for (const TableWrite& tw : table_pages) {
+      const uint32_t bit = registry.Intern(tw.relation);
+      if (bit == TableBitRegistry::kNoBit) {
+        mask.exact = false;
+      } else {
+        mask.Set(bit);
+      }
+    }
+    return mask;
   }
 };
 

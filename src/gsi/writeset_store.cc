@@ -58,7 +58,8 @@ void WritesetArena::PruneBelow(Version floor) {
 
 // --- WritesetLog -------------------------------------------------------------
 
-const Writeset& WritesetLog::Append(Writeset ws, WritesetArena& arena) {
+const Writeset& WritesetLog::Append(Writeset ws, WritesetArena& arena,
+                                    TableBitRegistry* registry) {
   const uint64_t index = head_ - chunk_base_;  // global slot for version head_+1
   if (index / kChunkEntries >= chunks_.size()) {
     if (!spares_.empty()) {
@@ -70,7 +71,8 @@ const Writeset& WritesetLog::Append(Writeset ws, WritesetArena& arena) {
   }
   ++head_;
   assert(ws.commit_version == head_ && "log entries must be appended in version order");
-  Writeset& slot = chunks_[index / kChunkEntries]->entries[index % kChunkEntries];
+  Chunk& chunk = *chunks_[index / kChunkEntries];
+  Writeset& slot = chunk.entries[index % kChunkEntries];
   slot = std::move(ws);
   // Long-lived copies keep their spill in the arena, not the heap, so the
   // log's memory is reclaimed wholesale on prune.
@@ -80,7 +82,40 @@ const Writeset& WritesetLog::Append(Writeset ws, WritesetArena& arena) {
   if (slot.table_pages.spilled()) {
     slot.table_pages.MoveSpillTo(arena.Allocate(slot.table_pages.spill_bytes(), head_));
   }
+  // Interest mask: interned exactly once, here, so every later wanted-probe
+  // is a word-wise AND. A null registry yields an inexact mask and the chunk
+  // union goes inexact with it — probes fall back to TouchesAny.
+  TableMask& mask = chunk.masks[index % kChunkEntries];
+  if (registry != nullptr) {
+    mask = slot.BuildMask(*registry);
+  } else {
+    mask = TableMask{};
+    mask.exact = false;
+  }
+  chunk.union_mask.OrWith(mask);
   return slot;
+}
+
+Version WritesetLog::SkipUnwanted(Version from, Version hi,
+                                  const TableMask& sub) const {
+  assert(from > pruned_below_ && "skip-scan start already pruned");
+  assert(hi <= head_ && "skip-scan end not yet appended");
+  if (!sub.exact) {
+    return from;  // an inexact subscription mask proves nothing
+  }
+  Version v = from;
+  while (v <= hi) {
+    const uint64_t index = v - 1 - chunk_base_;
+    const Chunk& chunk = *chunks_[index / kChunkEntries];
+    if (!chunk.union_mask.exact || Intersects(chunk.union_mask, sub)) {
+      return v;  // chunk may hold a wanted entry; caller probes per version
+    }
+    // Whole chunk provably unwanted: hop to the first version of the next
+    // chunk (clamped by the caller's range).
+    const uint64_t chunk_start = (index / kChunkEntries) * kChunkEntries;
+    v = chunk_base_ + chunk_start + kChunkEntries + 1;
+  }
+  return hi + 1;
 }
 
 void WritesetLog::PruneBelow(Version floor, WritesetArena& arena) {
@@ -100,10 +135,13 @@ void WritesetLog::PruneBelow(Version floor, WritesetArena& arena) {
   }
   for (size_t i = 0; i < dead; ++i) {
     // Reset entries so spilled SmallVecs drop their (arena-external) views
-    // and any stale payload before the chunk is reused.
-    for (Writeset& entry : chunks_[i]->entries) {
-      entry = Writeset{};
+    // and any stale payload before the chunk is reused; clear the masks and
+    // union with them so a recycled chunk starts with an empty-exact union.
+    for (size_t e = 0; e < kChunkEntries; ++e) {
+      chunks_[i]->entries[e] = Writeset{};
+      chunks_[i]->masks[e].Reset();
     }
+    chunks_[i]->union_mask.Reset();
     spares_.push_back(std::move(chunks_[i]));
   }
   chunks_.erase(chunks_.begin(), chunks_.begin() + static_cast<ptrdiff_t>(dead));

@@ -90,7 +90,14 @@ class WritesetLog {
 
   // Appends the writeset as version head()+1 (ws.commit_version must already
   // say so); heap spills are re-homed into `arena`. Returns the stored entry.
-  const Writeset& Append(Writeset ws, WritesetArena& arena);
+  //
+  // When `registry` is non-null the entry's TableMask is interned and stored
+  // alongside it (and OR-ed into the chunk's union mask) for the
+  // update-filtering fast path; with a null registry the entry gets an
+  // inexact empty mask, which makes every mask probe fall back to the exact
+  // TouchesAny decision — slower, never wrong.
+  const Writeset& Append(Writeset ws, WritesetArena& arena,
+                         TableBitRegistry* registry = nullptr);
 
   // The entry with commit version `v`; v must be in (pruned_below, head].
   const Writeset& Get(Version v) const {
@@ -98,6 +105,24 @@ class WritesetLog {
     const uint64_t index = v - 1 - chunk_base_;
     return chunks_[index / kChunkEntries]->entries[index % kChunkEntries];
   }
+
+  // The TableMask stored with entry `v` (same domain as Get).
+  const TableMask& MaskOf(Version v) const {
+    assert(v > pruned_below_ && v <= head_ && "version pruned or not yet appended");
+    const uint64_t index = v - 1 - chunk_base_;
+    return chunks_[index / kChunkEntries]->masks[index % kChunkEntries];
+  }
+
+  // Chunk skip-scan for the apply pump: starting at `from`, returns the
+  // first version in [from, hi] whose chunk's union mask intersects `sub`
+  // (or hi+1 if every remaining chunk provably misses). Skipping is only
+  // taken on whole-chunk proofs — a chunk whose union mask is exact and
+  // disjoint from an exact `sub` contains no wanted entry, because every
+  // entry mask's bits are in the union. Versions within a partially-missed
+  // chunk are NOT filtered here; the caller still probes them one by one.
+  // Requires from > pruned_below and hi <= head; returns `from` unchanged
+  // when sub is inexact (no proof possible).
+  Version SkipUnwanted(Version from, Version hi, const TableMask& sub) const;
 
   Version head() const { return head_; }
   Version pruned_below() const { return pruned_below_; }
@@ -113,6 +138,13 @@ class WritesetLog {
  private:
   struct Chunk {
     Writeset entries[kChunkEntries];
+    // Per-entry interest masks plus their running OR over every entry
+    // appended to this chunk since it was (re)issued. The union is
+    // conservative by construction: it may keep bits of entries already
+    // pruned/applied (it is never narrowed in place), so it can only
+    // suppress a skip, never cause a wrong one.
+    TableMask masks[kChunkEntries];
+    TableMask union_mask;
   };
 
   std::vector<std::unique_ptr<Chunk>> chunks_;  // front chunk starts at chunk_base_

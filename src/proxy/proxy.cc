@@ -194,13 +194,40 @@ void Proxy::PumpApplier() {
     return;
   }
   pump_active_ = true;
+  const bool mask_fast = config_.mask_filtering && subscription_.has_value();
+  // Chunk skip-scan is legal here only while no waiter is parked: skipping
+  // coalesces a run of per-version AdvanceApplied calls into one, which is
+  // invisible when AdvanceApplied is pure bookkeeping but would re-order
+  // waiter firings (and with them commit completions) otherwise. The batched
+  // recovery pump has no such gate — it already defers AdvanceApplied.
+  bool try_skip = mask_fast && waiters_.empty();
   while (!ApplyQueueEmpty()) {
     if (apply_next_ <= applied_version_) {
       ++apply_next_;  // already covered (e.g. own commit)
       continue;
     }
+    if (try_skip || (mask_fast && waiters_.empty() &&
+                     (apply_next_ - 1) % WritesetLog::kChunkEntries == 0)) {
+      try_skip = false;
+      const Version hop = certifier_->SkipUnwanted(apply_next_, apply_hi_, sub_mask_);
+      if (hop > apply_next_) {
+        // Every version in [apply_next_, hop) is provably unwanted; identical
+        // to the per-entry filter branch below run hop - apply_next_ times.
+        const uint64_t skipped = hop - apply_next_;
+        stats_.writesets_filtered += skipped;
+        stats_.mask_skipped += skipped;
+        if (lifecycle_ == ReplicaLifecycle::kRecovering) {
+          stats_.replay_filtered += skipped;
+        }
+        apply_next_ = hop;
+        AdvanceApplied(hop - 1);
+        continue;
+      }
+    }
     const Writeset& ws = certifier_->LogEntry(apply_next_);
-    const bool wanted = !subscription_.has_value() || ws.TouchesAny(*subscription_);
+    const bool wanted = !subscription_.has_value() ||
+                        (config_.mask_filtering ? WantedByMask(ws)
+                                                : ws.TouchesAny(*subscription_));
     if (!wanted) {
       ++apply_next_;
       ++stats_.writesets_filtered;
@@ -237,14 +264,33 @@ void Proxy::PumpApplierBatched() {
   pump_active_ = true;
   Replica::ApplyBatch batch;
   Version last = applied_version_;
+  const bool mask_fast = config_.mask_filtering && subscription_.has_value();
+  bool try_skip = mask_fast;  // AdvanceApplied is already deferred: no waiter gate
   while (!ApplyQueueEmpty()) {
     if (apply_next_ <= applied_version_) {
       ++apply_next_;  // already covered (e.g. the checkpoint image)
       continue;
     }
+    if (try_skip || (mask_fast && (apply_next_ - 1) % WritesetLog::kChunkEntries == 0)) {
+      try_skip = false;
+      const Version hop = certifier_->SkipUnwanted(apply_next_, apply_hi_, sub_mask_);
+      if (hop > apply_next_) {
+        // Recovery replay of a narrow subscription drops to O(chunks): whole
+        // chunks of unwanted history advance the cursor without being read.
+        const uint64_t skipped = hop - apply_next_;
+        stats_.writesets_filtered += skipped;
+        stats_.replay_filtered += skipped;
+        stats_.mask_skipped += skipped;
+        last = hop - 1;
+        apply_next_ = hop;
+        continue;
+      }
+    }
     const Writeset& ws = certifier_->LogEntry(apply_next_);
     ++apply_next_;
-    const bool wanted = !subscription_.has_value() || ws.TouchesAny(*subscription_);
+    const bool wanted = !subscription_.has_value() ||
+                        (config_.mask_filtering ? WantedByMask(ws)
+                                                : ws.TouchesAny(*subscription_));
     if (!wanted) {
       ++stats_.writesets_filtered;
       ++stats_.replay_filtered;
@@ -384,6 +430,12 @@ void Proxy::PullUpdates() {
 
 void Proxy::SetSubscription(std::optional<RelationSet> tables) {
   subscription_ = std::move(tables);
+  // The one rebuild point of the cached mask (lazy-evaluation contract). The
+  // build interns new tables into the certifier's registry, so writeset
+  // masks appended before OR after this call stay comparable.
+  sub_mask_ = subscription_.has_value()
+                  ? BuildMask(*subscription_, certifier_->table_registry())
+                  : TableMask{};
 }
 
 }  // namespace tashkent

@@ -50,6 +50,14 @@ struct ProxyConfig {
   // identical; only the replay's wall time shrinks. Off = the pre-checkpoint
   // per-writeset replay, kept for differential tests.
   bool batched_recovery_apply = true;
+  // Update-filtering fast path (src/storage/table_mask.h): decide "wanted"
+  // with the log entry's interned TableMask against the cached subscription
+  // mask, and skip whole certifier-log chunks whose union mask provably
+  // misses the subscription. Filtering DECISIONS are identical either way —
+  // the mask probe falls back to TouchesAny whenever a mask is inexact — so
+  // this knob only freezes the TouchesAny cost model for differential tests
+  // and the filter-storm perf baseline.
+  bool mask_filtering = true;
 };
 
 // Replica lifecycle as the proxy tracks it (docs/OPERATIONS.md diagrams it):
@@ -71,6 +79,9 @@ struct ProxyStats {
   uint64_t read_only = 0;
   uint64_t writesets_applied = 0;
   uint64_t writesets_filtered = 0;
+  // Of writesets_filtered: decided by whole-chunk skip-scan without touching
+  // the entry (mask fast path engagement gauge; not a results metric).
+  uint64_t mask_skipped = 0;
   uint64_t pulls = 0;
   uint64_t prods = 0;
   // --- churn -----------------------------------------------------------------
@@ -111,11 +122,20 @@ class Proxy {
   void OnProd();
 
   // Installs (or clears) the update-filtering subscription. An empty optional
-  // means "apply everything" (filtering off).
+  // means "apply everything" (filtering off). Rebuilds the cached
+  // subscription mask (interning the tables into the certifier's registry) —
+  // the ONLY place the mask is rebuilt, which is why the wanted-probe can be
+  // a bare word-wise AND.
   void SetSubscription(std::optional<RelationSet> tables);
   const std::optional<RelationSet>& subscription() const {
     return subscription_;
   }
+  // The cached mask of subscription() (empty-exact when unsubscribed); the
+  // balancer diffs old vs new masks to find changed tables cheaply.
+  const TableMask& subscription_mask() const { return sub_mask_; }
+  // The certifier's table-id -> bit registry, for callers (the balancer)
+  // building comparable masks of their own table sets.
+  TableBitRegistry& table_registry() { return certifier_->table_registry(); }
 
   // --- Failure injection / lifecycle ----------------------------------------
   // Crash: fail-stop — the replica stops serving and in-flight work is
@@ -200,6 +220,21 @@ class Proxy {
   // log (responses only ever extend the high end).
   void EnqueueRemotes(WritesetRange remotes);
   void PumpApplier();
+  // The mask-probe wanted-decision for log entry `ws` (provably ≡
+  // `ws.TouchesAny(*subscription_)`, see src/storage/table_mask.h): a set-bit
+  // intersection is a true positive; a miss decides only when both masks are
+  // exact; anything inexact falls back to the ordered-set probe. Requires
+  // subscription_ to be engaged.
+  bool WantedByMask(const Writeset& ws) const {
+    const TableMask& mask = certifier_->LogMask(ws.commit_version);
+    if (Intersects(mask, sub_mask_)) {
+      return true;
+    }
+    if (mask.exact && sub_mask_.exact) {
+      return false;
+    }
+    return ws.TouchesAny(*subscription_);
+  }
   bool ApplyQueueEmpty() const { return apply_next_ > apply_hi_; }
   // Recovery exit check: once the replay queue has drained, either pull the
   // delta that committed meanwhile or, if caught up with the log head, flip
@@ -231,6 +266,10 @@ class Proxy {
   SimTime last_certifier_contact_ = 0;
   bool pull_in_progress_ = false;
   std::optional<RelationSet> subscription_;
+  // Cache of subscription_'s TableMask over the certifier's registry;
+  // rebuilt only in SetSubscription (lazy-evaluation contract: probes read
+  // it at pump time, so it always reflects the CURRENT subscription).
+  TableMask sub_mask_;
   ProxyStats stats_;
 
   Version apply_next_ = 1;  // next log version the applier will look at

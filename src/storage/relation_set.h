@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/storage/relation.h"
+#include "src/storage/table_mask.h"
 
 namespace tashkent {
 
@@ -67,6 +68,23 @@ class RelationSet {
  private:
   std::vector<RelationId> ids_;  // sorted, unique
 };
+
+// Builds the set's TableMask against `registry`, interning each member on
+// first sight (update-filtering fast path; see src/storage/table_mask.h).
+// The mask comes back inexact if any member overflowed the registry —
+// callers must then keep the exact set probe as the decision of record.
+inline TableMask BuildMask(const RelationSet& set, TableBitRegistry& registry) {
+  TableMask mask;
+  for (RelationId id : set) {
+    const uint32_t bit = registry.Intern(id);
+    if (bit == TableBitRegistry::kNoBit) {
+      mask.exact = false;
+    } else {
+      mask.Set(bit);
+    }
+  }
+  return mask;
+}
 
 }  // namespace tashkent
 

@@ -2,6 +2,10 @@
 // ordered writeset application, update filtering, pulls and prods.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "src/common/alloc_guard.h"
 #include "src/proxy/gatekeeper.h"
 #include "src/proxy/proxy.h"
@@ -195,6 +199,222 @@ TEST_F(ProxyTest, GatekeeperLimitsConcurrency) {
   sim_.RunAll();
   EXPECT_EQ(proxies_[0]->outstanding(), 0u);
   EXPECT_EQ(proxies_[0]->stats().read_only, 20u);
+}
+
+// --- interest-mask update filtering ------------------------------------------
+
+// Runs one churn scenario — three replicas, eight tables, scripted update
+// traffic from replica 0, randomized subscription churn on replicas 1/2
+// (including mid-run SetSubscription while writesets are in flight), and a
+// crash/recover arc on replica 2 so the batched recovery replay runs — and
+// returns a digest of everything user-visible. The mask fast path must make
+// this digest bit-identical to the frozen TouchesAny baseline.
+std::vector<uint64_t> RunChurnScenario(bool mask_filtering) {
+  Simulator sim;
+  Schema schema;
+  std::vector<RelationId> tables;
+  for (int t = 0; t < 8; ++t) {
+    tables.push_back(schema.AddTable("t" + std::to_string(t), MiB(4)));
+  }
+  Certifier cert;
+  ReplicaConfig rc;
+  rc.memory = 64 * kMiB;
+  rc.reserved = 0;
+  ProxyConfig pc;
+  pc.mask_filtering = mask_filtering;
+  std::vector<std::unique_ptr<Replica>> replicas;
+  std::vector<std::unique_ptr<Proxy>> proxies;
+  for (ReplicaId r = 0; r < 3; ++r) {
+    replicas.push_back(std::make_unique<Replica>(&sim, &schema, r, rc, Rng(r + 1)));
+    proxies.push_back(std::make_unique<Proxy>(&sim, replicas.back().get(), &cert, pc));
+  }
+  cert.SetProdCallback([&proxies](ReplicaId r) { proxies[r]->OnProd(); });
+
+  std::vector<TxnType> updates;
+  for (int t = 0; t < 8; ++t) {
+    TxnType ty;
+    ty.name = "upd" + std::to_string(t);
+    ty.id = static_cast<TxnTypeId>(t);
+    ty.base_cpu = Millis(1);
+    ty.writeset_bytes = 275;
+    ty.plan.steps = {Write(tables[static_cast<size_t>(t)], 1, 2)};
+    updates.push_back(ty);
+  }
+
+  // Precompute every random choice so both runs see byte-identical scripts
+  // (the Rng is consumed here, before any scheduling).
+  Rng rng(42);
+  std::vector<size_t> table_of;  // table written by update i
+  for (int i = 0; i < 300; ++i) {
+    table_of.push_back(rng.NextBelow(8));
+  }
+  // Six churn events: (time ms, proxy 1 or 2, new subscription).
+  struct Churn {
+    int at_ms;
+    size_t proxy;
+    RelationSet sub;
+  };
+  std::vector<Churn> churns;
+  for (int c = 0; c < 6; ++c) {
+    Churn ch;
+    ch.at_ms = 30 + c * 45;
+    ch.proxy = 1 + rng.NextBelow(2);
+    const uint64_t width = 1 + rng.NextBelow(4);
+    for (uint64_t w = 0; w < width; ++w) {
+      ch.sub.insert(tables[rng.NextBelow(8)]);
+    }
+    churns.push_back(std::move(ch));
+  }
+
+  // Initial narrow subscriptions; the bootstrap prod registers each
+  // subscriber with the certifier so real prods reach it (no daemons here).
+  proxies[1]->SetSubscription(RelationSet{tables[0], tables[1]});
+  proxies[2]->SetSubscription(RelationSet{tables[2], tables[3]});
+  proxies[1]->OnProd();
+  proxies[2]->OnProd();
+
+  for (int i = 0; i < 300; ++i) {
+    sim.ScheduleAt(Millis(i + 1), [&proxies, &updates, &table_of, i]() {
+      proxies[0]->SubmitTransaction(updates[table_of[static_cast<size_t>(i)]],
+                                    [](bool) {});
+    });
+  }
+  for (const Churn& ch : churns) {
+    sim.ScheduleAt(Millis(ch.at_ms), [&proxies, &ch]() {
+      proxies[ch.proxy]->SetSubscription(ch.sub);
+    });
+  }
+  // Crash replica 2 mid-stream and recover it with most of the log pending,
+  // so the batched replay (and its chunk skip-scan) does real work.
+  sim.ScheduleAt(Millis(80), [&proxies]() { proxies[2]->Crash(); });
+  sim.ScheduleAt(Millis(320), [&proxies]() { proxies[2]->Recover(); });
+  sim.RunAll();
+  // One final explicit prod per subscriber drains any sub-threshold lag.
+  proxies[1]->OnProd();
+  proxies[2]->OnProd();
+  sim.RunAll();
+
+  std::vector<uint64_t> digest;
+  for (ReplicaId r = 0; r < 3; ++r) {
+    const ProxyStats& s = proxies[r]->stats();
+    // Everything user-visible — deliberately NOT mask_skipped, which is the
+    // one counter allowed to differ between the two modes.
+    digest.insert(digest.end(),
+                  {proxies[r]->applied_version(), s.committed, s.aborted,
+                   s.writesets_applied, s.writesets_filtered, s.replay_applied,
+                   s.replay_filtered, s.recoveries, s.pulls, s.prods,
+                   replicas[r]->stats().writesets_applied});
+  }
+  return digest;
+}
+
+TEST(ProxyMaskDifferential, ChurnScenarioMatchesTouchesAnyBaseline) {
+  const std::vector<uint64_t> mask = RunChurnScenario(true);
+  const std::vector<uint64_t> legacy = RunChurnScenario(false);
+  EXPECT_EQ(mask, legacy)
+      << "mask-filtered run diverged from the frozen TouchesAny baseline";
+  // The scenario actually exercised filtering and recovery replay: committed
+  // updates, filtered writesets, and a completed recovery all present.
+  uint64_t filtered = 0, recoveries = 0;
+  for (size_t r = 0; r < 3; ++r) {
+    filtered += mask[r * 11 + 4];
+    recoveries += mask[r * 11 + 7];
+  }
+  EXPECT_GT(filtered, 0u);
+  EXPECT_EQ(recoveries, 1u);
+}
+
+TEST_F(ProxyTest, MaskSkipEngagesOnNarrowSubscription) {
+  // 600 updates to table a against a {b}-only subscriber: once the log holds
+  // whole chunks of unwanted writesets, the pump must hop them chunk-at-a-time
+  // (mask_skipped > 0) while the user-visible outcome stays exactly what the
+  // per-entry probe would produce.
+  proxies_[1]->SetSubscription(RelationSet{table_b_});
+  certifier_.Pull(1, 0);  // register replica 1 so prods reach it
+  for (int i = 0; i < 600; ++i) {
+    proxies_[0]->SubmitTransaction(update_a_, [](bool) {});
+  }
+  sim_.RunAll();
+  proxies_[1]->OnProd();  // drain any sub-threshold tail
+  sim_.RunAll();
+  EXPECT_EQ(proxies_[1]->applied_version(), 600u);
+  EXPECT_EQ(proxies_[1]->stats().writesets_filtered, 600u);
+  EXPECT_EQ(proxies_[1]->stats().writesets_applied, 0u);
+  EXPECT_GT(proxies_[1]->stats().mask_skipped, 0u) << "chunk skip-scan never engaged";
+  EXPECT_EQ(replicas_[1]->stats().writesets_applied, 0u);
+}
+
+TEST(ProxyMaskOverflow, OverflowedRegistryFallsBackAndNeverMisfilters) {
+  // More tables than TableMask::kBits: tables interned after the registry
+  // fills get no bit, subscriptions touching them build inexact masks, and
+  // every wanted-decision involving them must fall back to TouchesAny —
+  // filtering stays correct, only the fast path degrades.
+  Simulator sim;
+  Schema schema;
+  const int kTables = static_cast<int>(TableMask::kBits) + 24;
+  std::vector<RelationId> tables;
+  for (int t = 0; t < kTables; ++t) {
+    tables.push_back(schema.AddTable("t" + std::to_string(t), PagesToBytes(4)));
+  }
+  Certifier cert;
+  ReplicaConfig rc;
+  rc.memory = 64 * kMiB;
+  rc.reserved = 0;
+  Replica r0(&sim, &schema, 0, rc, Rng(1));
+  Replica r1(&sim, &schema, 1, rc, Rng(2));
+  Proxy p0(&sim, &r0, &cert);
+  Proxy p1(&sim, &r1, &cert);
+  cert.SetProdCallback([&](ReplicaId r) { (r == 0 ? p0 : p1).OnProd(); });
+
+  // Long-lived types: SubmitTransaction holds the TxnType by reference until
+  // the gatekeeper admits it.
+  std::vector<TxnType> update_on;
+  for (int t = 0; t < kTables; ++t) {
+    TxnType ty;
+    ty.name = "u";
+    ty.id = 0;
+    ty.base_cpu = Millis(1);
+    ty.writeset_bytes = 100;
+    ty.plan.steps = {Write(tables[static_cast<size_t>(t)], 0, 1)};
+    update_on.push_back(ty);
+  }
+
+  // One update per table from replica 0 overflows the registry: bits are
+  // assigned in commit order, so the high-numbered tables get none.
+  for (int t = 0; t < kTables; ++t) {
+    p0.SubmitTransaction(update_on[static_cast<size_t>(t)], [](bool) {});
+    sim.RunAll();
+  }
+  ASSERT_TRUE(cert.table_registry().full());
+  const RelationId wanted = tables[static_cast<size_t>(kTables - 1)];  // no bit
+  ASSERT_EQ(cert.table_registry().BitOf(wanted), TableBitRegistry::kNoBit);
+
+  // Subscribe replica 1 to an overflowed table: its mask is inexact by
+  // construction, so zero mask intersections prove nothing for it.
+  p1.SetSubscription(RelationSet{wanted});
+  ASSERT_FALSE(p1.subscription_mask().exact);
+  p1.OnProd();  // registers replica 1 and replays the backlog
+  sim.RunAll();
+  const uint64_t applied_after_backlog = p1.stats().writesets_applied;
+  EXPECT_EQ(applied_after_backlog, 1u);  // exactly the subscribed table's update
+  EXPECT_EQ(p1.stats().writesets_filtered, static_cast<uint64_t>(kTables) - 1);
+
+  // New traffic: updates to another bitless table must be filtered (no false
+  // positives from the shared "no bit" state), updates to the subscribed
+  // bitless table must be applied (no false negatives — the acceptance bar).
+  for (int i = 0; i < 10; ++i) {
+    p0.SubmitTransaction(update_on[static_cast<size_t>(kTables - 2)], [](bool) {});
+    sim.RunAll();
+  }
+  for (int i = 0; i < 5; ++i) {
+    p0.SubmitTransaction(update_on[static_cast<size_t>(kTables - 1)], [](bool) {});
+    sim.RunAll();
+  }
+  p1.OnProd();
+  sim.RunAll();
+  EXPECT_EQ(p1.applied_version(), static_cast<uint64_t>(kTables) + 15);
+  EXPECT_EQ(p1.stats().writesets_applied, applied_after_backlog + 5);
+  EXPECT_EQ(p1.stats().writesets_filtered, static_cast<uint64_t>(kTables) - 1 + 10);
 }
 
 // --- allocation guard: the end-to-end transaction hot path -------------------

@@ -1,0 +1,196 @@
+// Unit tests for the update-filtering fast path's bit layer
+// (src/storage/table_mask.h): mask algebra, the table-id -> bit registry,
+// overflow degradation, and — the load-bearing one — a randomized
+// differential proving the mask wanted-decision is exactly
+// Writeset::TouchesAny on every subscription the registry can represent, and
+// never a false negative on the ones it cannot.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/gsi/writeset.h"
+#include "src/storage/relation_set.h"
+#include "src/storage/table_mask.h"
+
+namespace tashkent {
+namespace {
+
+TEST(TableMask, SetTestOrAndIntersect) {
+  TableMask a;
+  EXPECT_FALSE(a.any());
+  EXPECT_TRUE(a.exact);
+  a.Set(0);
+  a.Set(63);
+  a.Set(64);   // word boundary
+  a.Set(255);  // last bit
+  EXPECT_TRUE(a.any());
+  EXPECT_TRUE(a.Test(0));
+  EXPECT_TRUE(a.Test(63));
+  EXPECT_TRUE(a.Test(64));
+  EXPECT_TRUE(a.Test(255));
+  EXPECT_FALSE(a.Test(1));
+  EXPECT_FALSE(a.Test(65));
+
+  TableMask b;
+  b.Set(64);
+  EXPECT_TRUE(Intersects(a, b));
+  TableMask c;
+  c.Set(65);
+  EXPECT_FALSE(Intersects(a, c));
+
+  TableMask u;
+  u.OrWith(a);
+  u.OrWith(c);
+  EXPECT_TRUE(u.Test(255));
+  EXPECT_TRUE(u.Test(65));
+  EXPECT_TRUE(u.exact);
+  TableMask inexact;
+  inexact.exact = false;
+  u.OrWith(inexact);
+  EXPECT_FALSE(u.exact);  // inexactness is contagious through unions
+
+  u.Reset();
+  EXPECT_FALSE(u.any());
+  EXPECT_TRUE(u.exact);
+}
+
+TEST(TableMask, CoversAndXor) {
+  TableMask outer;
+  outer.Set(3);
+  outer.Set(70);
+  TableMask inner;
+  inner.Set(70);
+  EXPECT_TRUE(Covers(outer, inner));
+  EXPECT_FALSE(Covers(inner, outer));
+  inner.Set(200);
+  EXPECT_FALSE(Covers(outer, inner));
+
+  const TableMask diff = MaskXor(outer, inner);
+  EXPECT_TRUE(diff.Test(3));
+  EXPECT_TRUE(diff.Test(200));
+  EXPECT_FALSE(diff.Test(70));
+  EXPECT_TRUE(diff.exact);
+  TableMask inexact = inner;
+  inexact.exact = false;
+  EXPECT_FALSE(MaskXor(outer, inexact).exact);
+}
+
+TEST(TableBitRegistry, InternIsStableAndOrdered) {
+  TableBitRegistry reg;
+  EXPECT_EQ(reg.Intern(40), 0u);
+  EXPECT_EQ(reg.Intern(7), 1u);
+  EXPECT_EQ(reg.Intern(40), 0u);  // bits never move once assigned
+  EXPECT_EQ(reg.BitOf(7), 1u);
+  EXPECT_EQ(reg.BitOf(999), TableBitRegistry::kNoBit);
+  EXPECT_EQ(reg.interned(), 2u);
+  EXPECT_FALSE(reg.full());
+}
+
+TEST(TableBitRegistry, OverflowYieldsNoBitAndInexactMasks) {
+  TableBitRegistry reg;
+  for (uint32_t id = 0; id < TableMask::kBits; ++id) {
+    EXPECT_NE(reg.Intern(id), TableBitRegistry::kNoBit);
+  }
+  EXPECT_TRUE(reg.full());
+  // The 257th table gets no bit — and never will, even on re-intern.
+  EXPECT_EQ(reg.Intern(TableMask::kBits), TableBitRegistry::kNoBit);
+  EXPECT_EQ(reg.Intern(TableMask::kBits), TableBitRegistry::kNoBit);
+  EXPECT_EQ(reg.interned(), TableMask::kBits);
+
+  // A set containing the overflowed table builds an INEXACT mask: its set
+  // bits remain true positives but a zero intersection proves nothing.
+  RelationSet with_overflow{0, TableMask::kBits};
+  const TableMask m = BuildMask(with_overflow, reg);
+  EXPECT_FALSE(m.exact);
+  EXPECT_TRUE(m.Test(reg.BitOf(0)));
+
+  // A set of fully-interned tables still builds exact.
+  RelationSet clean{1, 2};
+  EXPECT_TRUE(BuildMask(clean, reg).exact);
+}
+
+TEST(TableMask, WritesetBuildMaskMatchesTablePages) {
+  TableBitRegistry reg;
+  Writeset ws;
+  ws.table_pages = {{11, 2}, {4, 1}};
+  const TableMask m = ws.BuildMask(reg);
+  EXPECT_TRUE(m.exact);
+  EXPECT_TRUE(m.Test(reg.BitOf(11)));
+  EXPECT_TRUE(m.Test(reg.BitOf(4)));
+  EXPECT_EQ(reg.interned(), 2u);
+}
+
+TEST(TableMask, ForEachMaskBitVisitsAscendingBits) {
+  TableMask m;
+  m.Set(5);
+  m.Set(64);
+  m.Set(250);
+  std::vector<uint32_t> seen;
+  // lint: allow(mask-order) asserting the decode order itself, not feeding a sink
+  ForEachMaskBit(m, [&seen](uint32_t bit) { seen.push_back(bit); });
+  EXPECT_EQ(seen, (std::vector<uint32_t>{5, 64, 250}));
+}
+
+// The equivalence contract, brute-forced: over random table universes
+// (including ones bigger than the mask), random writesets, and random
+// subscriptions — with interleaved intern orders, so subscription bits are
+// assigned before, between, and after writeset bits —
+//   * both masks exact  => Intersects(ws, sub) == ws.TouchesAny(sub);
+//   * any mask inexact  => Intersects(ws, sub) implies ws.TouchesAny(sub)
+//     (true positives only; the decision falls back to TouchesAny).
+TEST(TableMaskDifferential, MaskWantedEquivalentToTouchesAny) {
+  Rng rng(20260807);
+  for (int round = 0; round < 200; ++round) {
+    // Universe sometimes exceeds kBits so overflow paths are exercised.
+    const uint32_t universe =
+        16 + static_cast<uint32_t>(rng.NextBelow(2 * TableMask::kBits));
+    TableBitRegistry reg;
+    // Pre-intern a random prefix, like a cluster whose certifier already saw
+    // traffic before this subscription was installed.
+    const uint32_t preload = static_cast<uint32_t>(rng.NextBelow(universe));
+    for (uint32_t i = 0; i < preload; ++i) {
+      reg.Intern(static_cast<RelationId>(rng.NextBelow(universe)));
+    }
+    for (int probe = 0; probe < 50; ++probe) {
+      Writeset ws;
+      const uint64_t touches = 1 + rng.NextBelow(5);
+      for (uint64_t t = 0; t < touches; ++t) {
+        ws.table_pages.push_back(
+            TableWrite{static_cast<RelationId>(rng.NextBelow(universe)), 1});
+      }
+      RelationSet sub;
+      const uint64_t width = rng.NextBelow(24);
+      for (uint64_t t = 0; t < width; ++t) {
+        sub.insert(static_cast<RelationId>(rng.NextBelow(universe)));
+      }
+      // Half the time the subscription interns first (SetSubscription before
+      // the writeset commits), half after (subscription change mid-stream).
+      TableMask sub_mask, ws_mask;
+      if (rng.NextBelow(2) == 0) {
+        sub_mask = BuildMask(sub, reg);
+        ws_mask = ws.BuildMask(reg);
+      } else {
+        ws_mask = ws.BuildMask(reg);
+        sub_mask = BuildMask(sub, reg);
+      }
+      const bool truth = ws.TouchesAny(sub);
+      const bool hit = Intersects(ws_mask, sub_mask);
+      if (hit) {
+        EXPECT_TRUE(truth) << "mask probe invented a touch (round " << round << ")";
+      }
+      if (ws_mask.exact && sub_mask.exact) {
+        EXPECT_EQ(hit, truth) << "exact masks must decide identically (round "
+                              << round << ")";
+      }
+      // The production decision: intersect, else trust exactness, else fall
+      // back. Must ALWAYS equal TouchesAny.
+      const bool decision =
+          hit || ((ws_mask.exact && sub_mask.exact) ? false : truth);
+      EXPECT_EQ(decision, truth);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tashkent

@@ -297,6 +297,113 @@ TEST(WritesetLogChurnModel, RandomizedPruneNeverLosesANeededVersion) {
                 WritesetLog::kChunkEntries);
 }
 
+// --- per-chunk interest masks and skip-scan ----------------------------------
+
+Writeset MakeWsOn(Version version, RelationId relation) {
+  Writeset ws = MakeWs(version, 1);
+  ws.table_pages = {{relation, 2}};
+  return ws;
+}
+
+TEST(WritesetLogMasks, ChunkMasksTrackAppendsAndSkip) {
+  WritesetLog log;
+  WritesetArena arena;
+  TableBitRegistry registry;
+  const RelationId kTableA = 11;
+  const RelationId kTableB = 22;
+  // Chunk 1 is pure A, chunk 2 pure B, then a short mixed tail.
+  for (Version v = 1; v <= WritesetLog::kChunkEntries; ++v) {
+    log.Append(MakeWsOn(v, kTableA), arena, &registry);
+  }
+  for (Version v = WritesetLog::kChunkEntries + 1; v <= 2 * WritesetLog::kChunkEntries; ++v) {
+    log.Append(MakeWsOn(v, kTableB), arena, &registry);
+  }
+  const Version head = 2 * WritesetLog::kChunkEntries + 8;
+  for (Version v = 2 * WritesetLog::kChunkEntries + 1; v <= head; ++v) {
+    log.Append(MakeWsOn(v, v % 2 ? kTableA : kTableB), arena, &registry);
+  }
+
+  // Per-entry masks are exact and carry exactly the touched table's bit.
+  const TableMask& m1 = log.MaskOf(1);
+  EXPECT_TRUE(m1.exact);
+  EXPECT_TRUE(m1.Test(registry.BitOf(kTableA)));
+  EXPECT_FALSE(m1.Test(registry.BitOf(kTableB)));
+  EXPECT_TRUE(log.MaskOf(WritesetLog::kChunkEntries + 1).Test(registry.BitOf(kTableB)));
+
+  const TableMask sub_a = BuildMask(RelationSet{kTableA}, registry);
+  const TableMask sub_b = BuildMask(RelationSet{kTableB}, registry);
+
+  // A-subscriber finds work immediately; B-subscriber hops the pure-A chunk
+  // whether it starts at the chunk boundary or mid-chunk.
+  EXPECT_EQ(log.SkipUnwanted(1, head, sub_a), 1u);
+  EXPECT_EQ(log.SkipUnwanted(1, head, sub_b), WritesetLog::kChunkEntries + 1);
+  EXPECT_EQ(log.SkipUnwanted(100, head, sub_b), WritesetLog::kChunkEntries + 1);
+  // Starting inside a wanted chunk is a no-op hop.
+  EXPECT_EQ(log.SkipUnwanted(WritesetLog::kChunkEntries + 9, head, sub_b),
+            WritesetLog::kChunkEntries + 9);
+
+  // A subscription to a table the log never saw skips everything, including
+  // the partially-filled tail chunk (its union is exact too).
+  const TableMask sub_unseen = BuildMask(RelationSet{99}, registry);
+  EXPECT_EQ(log.SkipUnwanted(1, head, sub_unseen), head + 1);
+
+  // An inexact subscription proves nothing: the scan must not move.
+  TableMask inexact = sub_b;
+  inexact.exact = false;
+  EXPECT_EQ(log.SkipUnwanted(1, head, inexact), 1u);
+
+  // The skip window is clamped by `hi`, not the log head: a B-subscriber
+  // bounded inside the pure-A chunk walks off the end of its window.
+  EXPECT_EQ(log.SkipUnwanted(1, WritesetLog::kChunkEntries / 2, sub_b),
+            WritesetLog::kChunkEntries / 2 + 1);
+}
+
+TEST(WritesetLogMasks, PruneResetsRecycledChunkMasks) {
+  WritesetLog log;
+  WritesetArena arena;
+  TableBitRegistry registry;
+  const RelationId kTableA = 11;
+  const RelationId kTableB = 22;
+  const Version two_chunks = 2 * WritesetLog::kChunkEntries;
+  for (Version v = 1; v <= two_chunks; ++v) {
+    log.Append(MakeWsOn(v, kTableA), arena, &registry);
+  }
+  // Recycle the first (wholly-dead) chunk, then refill it with pure-B
+  // traffic: versions two_chunks+1 .. three_chunks land in the recycled chunk.
+  log.PruneBelow(WritesetLog::kChunkEntries, arena);
+  EXPECT_EQ(log.chunk_count(), 1u);
+  for (Version v = two_chunks + 1; v <= two_chunks + WritesetLog::kChunkEntries; ++v) {
+    log.Append(MakeWsOn(v, kTableB), arena, &registry);
+  }
+
+  const TableMask sub_a = BuildMask(RelationSet{kTableA}, registry);
+  // If recycling failed to reset the chunk's union mask, the stale A bit
+  // would pin an A-subscriber inside the now-pure-B chunk.
+  EXPECT_EQ(log.SkipUnwanted(two_chunks + 1, log.head(), sub_a), log.head() + 1);
+  // And the recycled slots' per-entry masks must describe the NEW entries.
+  const TableMask& recycled = log.MaskOf(two_chunks + 1);
+  EXPECT_TRUE(recycled.exact);
+  EXPECT_TRUE(recycled.Test(registry.BitOf(kTableB)));
+  EXPECT_FALSE(recycled.Test(registry.BitOf(kTableA)));
+}
+
+TEST(WritesetLogMasks, NullRegistryMasksAreInexactAndNeverSkip) {
+  // Old call sites (no registry) still compile and still filter correctly:
+  // their masks are inexact, so the probe layer falls back to TouchesAny and
+  // the skip-scan refuses to hop.
+  WritesetLog log;
+  WritesetArena arena;
+  for (Version v = 1; v <= WritesetLog::kChunkEntries + 4; ++v) {
+    log.Append(MakeWs(v, 1), arena);
+  }
+  EXPECT_FALSE(log.MaskOf(1).exact);
+  EXPECT_FALSE(log.MaskOf(1).any());
+  TableBitRegistry registry;
+  const TableMask sub = BuildMask(RelationSet{99}, registry);
+  ASSERT_TRUE(sub.exact);
+  EXPECT_EQ(log.SkipUnwanted(1, log.head(), sub), 1u);
+}
+
 // --- allocation guard: the zero-alloc writeset claim, machine-checked --------
 
 TEST(AllocGuard, WorkloadSizedWritesetLifecycleIsAllocationFree) {
