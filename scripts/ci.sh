@@ -41,23 +41,24 @@ if command -v python3 > /dev/null 2>&1; then
     || { echo "ci: perf_trajectory tool tests failed" >&2; exit 1; }
 fi
 
-# --- smoke + perf + marathon + skew campaigns --------------------------------
+# --- smoke + perf + marathon + skew + faults campaigns -----------------------
 # A short parallel run through the real binary: grid expansion, worker pool,
 # JSON sinks, and the merged manifest all have to work; the perf campaign's
 # old-vs-new hot-path comparison (legacy baselines, checksum cross-checks,
 # representative cells) must run end to end; the marathon campaign's bounded
 # certifier log must actually be bounded; the skew campaign's fluid-client
-# inert pair must stay byte-identical. ONE invocation, so the manifest
-# covers all four campaigns and the perf_diff step below can compare them
-# against the baseline (each invocation rewrites BENCH_campaign.json from
-# scratch).
+# inert pair must stay byte-identical; the faults campaign's zero-loss
+# ledger must hold on every cell. ONE invocation, so the manifest covers all
+# five campaigns and the perf_diff step below can compare them against the
+# baseline (each invocation rewrites BENCH_campaign.json from scratch).
 rm -rf build/bench-out
 mkdir -p build/bench-out
-./build/tashkent_bench run smoke perf marathon skew --jobs 2 --json build/bench-out
+./build/tashkent_bench run smoke perf marathon skew faults --jobs 2 --json build/bench-out
 test -s build/bench-out/BENCH_smoke.json
 test -s build/bench-out/BENCH_perf.json
 test -s build/bench-out/BENCH_marathon.json
 test -s build/bench-out/BENCH_skew.json
+test -s build/bench-out/BENCH_faults.json
 test -s build/bench-out/BENCH_campaign.json
 if grep -q "checksums diverge" build/bench-out/BENCH_perf.json; then
   echo "ci: perf campaign checksum mismatch — old/new hot paths diverged" >&2
@@ -107,6 +108,59 @@ runs['armed'].pop('label'); runs['plain'].pop('label')
 a = json.dumps(runs['armed'], sort_keys=True)
 p = json.dumps(runs['plain'], sort_keys=True)
 print(f"skew inert gate: armed == plain ({len(a)} bytes compared)")
+sys.exit(0 if a == p else 1)
+EOF
+fi
+
+# --- faults zero-loss + inert-pair gates -------------------------------------
+# The faults campaign's cells already throw in-bench if the zero-loss ledger
+# is violated; this re-derives both bounds from the emitted scalars so a
+# silently-softened in-bench check can't pass CI: for every fault cell,
+# acknowledged commits <= certified commits <= commits + summed in-flight
+# bound, every per-cell "invariant ok" scalar is 1, and the armed-vs-plain
+# inert pair is byte-identical (modulo label) including executed events.
+if command -v python3 > /dev/null 2>&1; then
+  python3 - <<'EOF' || { echo "ci: faults zero-loss gate failed" >&2; exit 1; }
+import json, sys
+doc = json.load(open('build/bench-out/BENCH_faults.json'))
+s = doc['scalars']
+cells = sorted(k[:-len(' invariant ok')] for k in s if k.endswith(' invariant ok'))
+if not cells:
+    sys.exit("no '<cell> invariant ok' scalars in BENCH_faults.json")
+bad = []
+for c in cells:
+    if s[c + ' invariant ok'] != 1:
+        bad.append(f"{c}: invariant scalar != 1")
+        continue
+    committed = s[c + ' lifetime committed']
+    certified = s[c + ' lifetime certified']
+    bound = s[c + ' inflight bound']
+    if not (committed <= certified <= committed + bound):
+        bad.append(f"{c}: ledger violated ({committed} / {certified} / bound {bound})")
+if s.get('inert pair identical') != 1:
+    bad.append("inert pair identical scalar != 1")
+if s.get('armed executed events') != s.get('plain executed events'):
+    bad.append("inert pair executed-event counts differ")
+for b in bad:
+    print(f"faults gate: {b}", file=sys.stderr)
+print(f"faults gate: zero-loss ledger holds on {len(cells)} cells")
+sys.exit(1 if bad else 0)
+EOF
+  python3 - <<'EOF' || { echo "ci: faults inert-pair byte gate failed" >&2; exit 1; }
+import json, sys
+doc = json.load(open('build/bench-out/BENCH_faults.json'))
+runs = {}
+for r in doc['runs']:
+    if r['label'].startswith('inert armed'):
+        runs['armed'] = dict(r)
+    elif r['label'].startswith('inert plain'):
+        runs['plain'] = dict(r)
+if set(runs) != {'armed', 'plain'}:
+    sys.exit("inert pair runs not found in BENCH_faults.json")
+runs['armed'].pop('label'); runs['plain'].pop('label')
+a = json.dumps(runs['armed'], sort_keys=True)
+p = json.dumps(runs['plain'], sort_keys=True)
+print(f"faults inert gate: armed == plain ({len(a)} bytes compared)")
 sys.exit(0 if a == p else 1)
 EOF
 fi

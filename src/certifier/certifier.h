@@ -48,7 +48,15 @@ struct CertifierConfig {
   // pins it — so this is on by default; the flag exists for differential
   // testing and A/B event accounting.
   bool group_commit_batching = true;
+  // Per-replica dedup ring size (power of two). Must exceed the deepest
+  // retry/duplicate pile-up a proxy can have outstanding — with the default
+  // gatekeeper bound of 8 in-flight writes, 128 leaves a wide margin.
+  uint32_t dedup_window = 128;
 };
+
+// Sentinel txn_seq for callers that predate the retry protocol: no dedup
+// lookup or record happens, preserving the pre-fault Certify behavior.
+inline constexpr uint64_t kNoTxnSeq = UINT64_MAX;
 
 struct CertifyResult {
   bool committed = false;
@@ -73,11 +81,51 @@ class Certifier {
   // Certifies `ws` from a replica whose last applied version is
   // `applied_version`. On success the writeset is appended to the log with the
   // next commit version. Either way, pending remote writesets are returned.
-  CertifyResult Certify(Writeset ws, ReplicaId replica, Version applied_version);
+  //
+  // Idempotence: when `txn_seq` is given (a per-proxy monotonically increasing
+  // transaction sequence), a repeat of an already-decided (replica, txn_seq)
+  // re-serves the recorded verdict from the dedup window instead of
+  // re-certifying — a retried or duplicated request can never double-commit.
+  // The default sentinel skips the window entirely (pre-fault behavior).
+  CertifyResult Certify(Writeset ws, ReplicaId replica, Version applied_version,
+                        uint64_t txn_seq = kNoTxnSeq);
+
+  // A duplicate whose original response the proxy already consumed: the
+  // request still reached the certifier, which re-serves (and here merely
+  // accounts) the recorded verdict. Returns false when the window holds no
+  // record for (replica, txn_seq).
+  bool ResolveDuplicate(ReplicaId replica, uint64_t txn_seq);
 
   // A pull request (periodic, or in response to a prod): returns the range of
   // writesets the replica has not applied yet.
   WritesetRange Pull(ReplicaId replica, Version applied_version);
+
+  // --- Warm-standby failover with epoch fencing ------------------------------
+  // The paper runs the certifier as a leader with two synchronous backups;
+  // the simulation keeps one state object and models the failure protocol
+  // around it: Crash() stops the primary serving (requests go unanswered and
+  // sender timeouts drive retries), Failover() promotes the warm standby —
+  // restoring the shipped image (version counter, log head, dedup window
+  // footprint) and FENCING the old epoch, so any request addressed to the
+  // deposed primary's epoch is refused and resent against the new one.
+  // StandbyImage mirrors every committed state change O(1) at commit time;
+  // Failover asserts the image matches, which is the warm-standby contract.
+  struct StandbyImage {
+    uint64_t epoch = 1;
+    Version next_version = 1;
+    Version log_head = 0;
+    uint64_t certified = 0;
+    uint64_t aborted = 0;
+    uint64_t dedup_records = 0;
+  };
+  void Crash();
+  void Failover();
+  bool serving() const { return serving_; }
+  uint64_t epoch() const { return epoch_; }
+  uint64_t crashes() const { return crashes_; }
+  uint64_t failovers() const { return failovers_; }
+  uint64_t dedup_hits() const { return dedup_hits_; }
+  const StandbyImage& standby_image() const { return standby_; }
 
   // Registers the prod callback: invoked with the replica id when it falls
   // more than prod_threshold commits behind the log head.
@@ -122,11 +170,26 @@ class Certifier {
   const WritesetArena& arena() const { return arena_; }
 
  private:
+  // One decided (replica, txn_seq) verdict, parked in a direct-mapped ring
+  // indexed by txn_seq & (window - 1). Sequences are per-proxy monotonic and
+  // live retries span far less than the window, so an occupied slot whose seq
+  // differs is always an expired record, never a collision of live requests.
+  struct DedupEntry {
+    uint64_t seq = kNoTxnSeq;
+    bool committed = false;
+    Version commit_version = 0;
+  };
+
   WritesetRange CollectSince(Version applied_version) const {
     return WritesetRange{applied_version + 1, head_version()};
   }
   void NoteReplicaVersion(ReplicaId replica, Version applied_version);
   void MaybeProdLaggards();
+  const DedupEntry* DedupLookup(ReplicaId replica, uint64_t txn_seq) const;
+  void DedupRecord(ReplicaId replica, uint64_t txn_seq, const CertifyResult& result);
+  // O(1) synchronous mirror of the committed state into the standby image
+  // (the log itself is synchronously replicated in the paper's deployment).
+  void ShipToStandby();
 
   CertifierConfig config_;
   ConflictChecker checker_;
@@ -139,6 +202,16 @@ class Certifier {
   std::vector<Version> replica_version_;  // last reported applied version
   std::vector<bool> prod_outstanding_;
   ProdCallback prod_cb_;
+  // Per-replica dedup rings, sized lazily on first sequenced request.
+  std::vector<std::vector<DedupEntry>> dedup_;
+  uint64_t dedup_hits_ = 0;
+  uint64_t dedup_records_ = 0;
+  // Failover state.
+  bool serving_ = true;
+  uint64_t epoch_ = 1;
+  uint64_t crashes_ = 0;
+  uint64_t failovers_ = 0;
+  StandbyImage standby_;
 };
 
 }  // namespace tashkent

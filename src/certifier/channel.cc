@@ -5,7 +5,89 @@
 
 namespace tashkent {
 
-void CertifierChannel::ScheduleArrival(SimDuration delay, Arrival fn) {
+void CertifierChannel::ScheduleArrival(SimDuration delay, Arrival fn, uint32_t sender) {
+  if (faulty_) {
+    InjectFaults(delay, std::move(fn), sender);
+    return;
+  }
+  Deliver(delay, std::move(fn));
+}
+
+void CertifierChannel::ArmFaults(FaultPlan plan, Rng rng) {
+  if (!plan.armed()) {
+    return;  // stay on the byte-inert pre-fault path
+  }
+  plan_ = std::move(plan);
+  fault_rng_ = rng;
+  faulty_ = true;
+}
+
+void CertifierChannel::AddPartition(uint32_t sender, SimTime from, SimTime to) {
+  plan_.partitions.push_back(FaultPlan::PartitionWindow{sender, from, to});
+  faulty_ = true;
+}
+
+bool CertifierChannel::InPartition(uint32_t sender, SimTime now) const {
+  for (const FaultPlan::PartitionWindow& w : plan_.partitions) {
+    if (w.sender == sender && w.from <= now && now < w.to) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SimDuration CertifierChannel::MaybeExtraDelay() {
+  if (plan_.delay_probability <= 0.0 || plan_.delay_mean <= 0 ||
+      !fault_rng_.NextBool(plan_.delay_probability)) {
+    return 0;
+  }
+  ++fault_stats_.delayed;
+  // At least one microsecond so a "delayed" message never lands on its
+  // original tick (and never batches with undelayed same-tick arrivals).
+  return 1 + static_cast<SimDuration>(
+                 fault_rng_.NextExponential(static_cast<double>(plan_.delay_mean)));
+}
+
+void CertifierChannel::InjectFaults(SimDuration delay, Arrival fn, uint32_t sender) {
+  // Partition windows are checked first and spend no draws, so scripting a
+  // partition mid-run never shifts the drop/delay/duplicate schedule of
+  // messages outside it... for senders outside the window. Draw order after
+  // that is fixed (drop, delay, duplicate, duplicate's delay) so one seed
+  // fully determines the fault sequence.
+  if (sender != kNoSender && !plan_.partitions.empty() && InPartition(sender, sim_->Now())) {
+    ++fault_stats_.partition_dropped;
+    return;
+  }
+  if (plan_.drop > 0.0 && fault_rng_.NextBool(plan_.drop)) {
+    ++fault_stats_.dropped;
+    return;
+  }
+  const SimDuration d = delay + MaybeExtraDelay();
+  if (plan_.duplicate > 0.0 && fault_rng_.NextBool(plan_.duplicate)) {
+    ++fault_stats_.duplicated;
+    const SimDuration d2 = delay + MaybeExtraDelay();
+    // Arrival is move-only; park the handler once and deliver it through a
+    // refcounted slot (invocation is non-destructive), second delivery frees.
+    const uint32_t slot = dup_slab_.Alloc();
+    dup_slab_[slot].fn = std::move(fn);
+    dup_slab_[slot].remaining = 2;
+    Deliver(d, Arrival([this, slot]() { FireDup(slot); }));
+    Deliver(d2, Arrival([this, slot]() { FireDup(slot); }));
+    return;
+  }
+  Deliver(d, std::move(fn));
+}
+
+void CertifierChannel::FireDup(uint32_t slot) {
+  DupSlot& dup = dup_slab_[slot];
+  dup.fn();
+  if (--dup.remaining == 0) {
+    dup.fn = Arrival();
+    dup_slab_.Free(slot);
+  }
+}
+
+void CertifierChannel::Deliver(SimDuration delay, Arrival fn) {
   ++arrivals_;
   if (!batch_) {
     ++events_;

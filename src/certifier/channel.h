@@ -32,6 +32,14 @@
 // batch was already detached — which again matches the unbatched order (a
 // same-tick event scheduled mid-tick fires after the events already queued).
 //
+// Fault injection: ArmFaults installs a FaultPlan — per-message drop /
+// extra-delay / duplication probabilities and scheduled per-proxy link
+// partitions — whose draws come from a seeded per-cell stream (never wall
+// clock), so a fault schedule is a pure function of the cell's grid
+// coordinates. An unarmed plan is byte-inert: ScheduleArrival takes exactly
+// the pre-fault code path, performs zero RNG draws, and schedules the same
+// events, so fault-capable builds reproduce the golden digest bit-for-bit.
+//
 // One channel is shared by every proxy of a cluster (Cluster owns it), so
 // concurrent certifications from different replicas batch together; a Proxy
 // constructed without a cluster (unit tests) owns a private one.
@@ -42,14 +50,61 @@
 #include <vector>
 
 #include "src/common/inline_callback.h"
+#include "src/common/rng.h"
+#include "src/common/slab_list.h"
 #include "src/sim/simulator.h"
 
 namespace tashkent {
 
+// Deterministic message-fault schedule for a CertifierChannel. Probabilities
+// apply per message, drawn in a fixed order (partition check, drop, delay,
+// duplicate, duplicate's delay) from the channel's seeded fault stream, so a
+// seed fully determines which messages are lost, late, or doubled.
+struct FaultPlan {
+  // P(message silently lost). The sender's timeout/retry machinery is the
+  // only recovery — arm ProxyConfig::retry alongside any nonzero drop.
+  double drop = 0.0;
+  // P(message delivered twice). Both copies are real deliveries (each may
+  // additionally be delayed); the certifier's dedup window absorbs them.
+  double duplicate = 0.0;
+  // P(extra delay added) and the mean of the exponential extra delay.
+  double delay_probability = 0.0;
+  SimDuration delay_mean = 0;
+  // Scheduled link partitions: a message submitted by `sender` (a replica
+  // index) inside [from, to) is dropped deterministically, no draw spent.
+  // Senders that never identify themselves (kNoSender) are never partitioned.
+  struct PartitionWindow {
+    uint32_t sender = 0;
+    SimTime from = 0;
+    SimTime to = 0;
+  };
+  std::vector<PartitionWindow> partitions;
+
+  bool armed() const {
+    return drop > 0.0 || duplicate > 0.0 ||
+           (delay_probability > 0.0 && delay_mean > 0) || !partitions.empty();
+  }
+};
+
+// Message-level fault accounting (cumulative; Cluster window-scopes with
+// snapshots).
+struct ChannelFaultStats {
+  uint64_t dropped = 0;            // lost to the drop probability
+  uint64_t partition_dropped = 0;  // lost to a partition window
+  uint64_t duplicated = 0;         // messages delivered twice
+  uint64_t delayed = 0;            // deliveries that drew extra delay
+};
+
 class CertifierChannel {
  public:
-  // Arrival handler; captures {proxy, pending-slot} — see Proxy.
+  // Arrival handler; captures {proxy, pending-slot} — see Proxy. The
+  // fault-aware proxy packs {proxy, txn_seq, slot, generation} into the same
+  // 24 bytes.
   using Arrival = InlineCallback<void(), 24>;
+
+  // ScheduleArrival sender id for messages that opt out of partition
+  // targeting (the legacy call shape).
+  static constexpr uint32_t kNoSender = UINT32_MAX;
 
   CertifierChannel(Simulator* sim, bool batch_arrivals)
       : sim_(sim), batch_(batch_arrivals) {}
@@ -59,12 +114,24 @@ class CertifierChannel {
 
   // Schedules `fn` to run `delay` from now. With batching on, arrivals for
   // the same tick share one simulator event; with it off, every arrival is
-  // its own event (the pre-batching behavior).
-  void ScheduleArrival(SimDuration delay, Arrival fn);
+  // its own event (the pre-batching behavior). With faults armed, the message
+  // may be dropped, delayed, or duplicated first; `sender` identifies the
+  // submitting replica for partition windows.
+  void ScheduleArrival(SimDuration delay, Arrival fn, uint32_t sender = kNoSender);
+
+  // Installs the fault plan and its seeded draw stream. A plan that is not
+  // armed() leaves the channel in the byte-inert pre-fault mode.
+  void ArmFaults(FaultPlan plan, Rng rng);
+  // Adds one partition window (arming the channel if needed). No draws are
+  // ever spent on partitions, so this is usable on any cluster mid-run.
+  void AddPartition(uint32_t sender, SimTime from, SimTime to);
+  bool faults_armed() const { return faulty_; }
+  const ChannelFaultStats& fault_stats() const { return fault_stats_; }
 
   bool batching() const { return batch_; }
   // Events actually scheduled vs arrivals submitted; the difference is the
-  // group-commit saving.
+  // group-commit saving. Dropped messages count as neither; a duplicate
+  // counts as a second arrival.
   uint64_t arrivals() const { return arrivals_; }
   uint64_t events_scheduled() const { return events_; }
 
@@ -73,7 +140,20 @@ class CertifierChannel {
     SimTime when = 0;
     std::vector<Arrival> fns;
   };
+  // A duplicated message parks its (move-only) handler here; two scheduled
+  // deliveries invoke it through the slot, the second one frees it.
+  struct DupSlot {
+    Arrival fn;
+    int remaining = 0;
+  };
 
+  // The pre-fault delivery path (batching or per-arrival event).
+  void Deliver(SimDuration delay, Arrival fn);
+  // Applies the armed plan to one message, then Delivers the survivors.
+  void InjectFaults(SimDuration delay, Arrival fn, uint32_t sender);
+  bool InPartition(uint32_t sender, SimTime now) const;
+  SimDuration MaybeExtraDelay();
+  void FireDup(uint32_t slot);
   void Fire();
 
   Simulator* sim_;
@@ -85,6 +165,12 @@ class CertifierChannel {
   std::vector<std::vector<Arrival>> spare_;  // recycled capture vectors
   uint64_t arrivals_ = 0;
   uint64_t events_ = 0;
+
+  bool faulty_ = false;
+  FaultPlan plan_;
+  Rng fault_rng_{0};
+  Slab<DupSlot> dup_slab_;
+  ChannelFaultStats fault_stats_;
 };
 
 }  // namespace tashkent

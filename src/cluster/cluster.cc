@@ -91,6 +91,12 @@ Cluster::Cluster(const Workload& workload, std::string mix_name, std::string pol
     ++committed_;
     response_s_.Add(ToSeconds(response));
     timeline_.Record(sim_.Now(), 1.0);
+    if (awaiting_failover_commit_) {
+      // First commit after a certifier failover: the client-visible takeover
+      // latency ends here.
+      awaiting_failover_commit_ = false;
+      failover_recovery_accum_s_ += ToSeconds(sim_.Now() - failover_at_);
+    }
   });
   clients_->SetOnAbort([this](const TxnType& type) {
     (void)type;
@@ -98,6 +104,26 @@ Cluster::Cluster(const Workload& workload, std::string mix_name, std::string pol
   });
 
   topology_rng_ = root.Fork();
+
+  // Fault wiring comes LAST and forks from the root only when armed, so a
+  // fault-capable build with the knobs off replays every pre-fault seed
+  // stream (replicas, clients, topology) bit for bit.
+  if (config_.faults.armed() && !config_.proxy.retry.enabled) {
+    // A lossy/partitioned channel without retries silently loses
+    // transactions; arming a plan implies the retry protocol.
+    config_.proxy.retry.enabled = true;
+  }
+  if (config_.faults.armed() || config_.proxy.retry.enabled) {
+    faults_rng_ = root.Fork();
+    if (config_.faults.armed()) {
+      certifier_channel_.ArmFaults(config_.faults, faults_rng_.Fork());
+    }
+    if (config_.proxy.retry.enabled) {
+      for (auto& p : proxies_) {
+        p->ArmRetry(config_.proxy.retry, faults_rng_.Fork());
+      }
+    }
+  }
 }
 
 void Cluster::Advance(SimDuration d) {
@@ -162,8 +188,37 @@ size_t Cluster::AddReplica(Bytes memory) {
   if (config_.checkpoint.checkpoint_join) {
     proxy->SetCheckpointSource([this]() { return BuildCheckpointImage(); });
   }
+  if (config_.proxy.retry.enabled) {
+    proxy->ArmRetry(config_.proxy.retry, faults_rng_.Fork());
+  }
   proxy->JoinAsNew();
   return proxies_.size() - 1;
+}
+
+void Cluster::CrashCertifier() {
+  if (!certifier_.serving()) {
+    return;
+  }
+  certifier_.Crash();
+  cert_down_mark_ = sim_.Now();
+  ++cert_crashes_win_;
+}
+
+void Cluster::FailoverCertifier() {
+  const bool was_down = !certifier_.serving();
+  certifier_.Failover();
+  if (was_down) {
+    cert_downtime_accum_s_ += ToSeconds(sim_.Now() - cert_down_mark_);
+  }
+  ++cert_failovers_win_;
+  awaiting_failover_commit_ = true;
+  failover_at_ = sim_.Now();
+}
+
+void Cluster::PartitionProxy(size_t index, SimDuration duration) {
+  (void)proxies_.at(index);  // bounds check; the window keys on the replica id
+  certifier_channel_.AddPartition(static_cast<uint32_t>(index), sim_.Now(),
+                                  sim_.Now() + duration);
 }
 
 ClusterCheckpoint Cluster::BuildCheckpointImage() const {
@@ -240,6 +295,16 @@ void Cluster::ResetMetrics() {
     pool_misses_snap_ += r->pool().stats().misses;
   }
   malb_moves_snap_ = malb_ != nullptr ? malb_->replica_moves() : 0;
+  // Window-scope the fault/failover accounting.
+  channel_snap_ = certifier_channel_.fault_stats();
+  dedup_hits_snap_ = certifier_.dedup_hits();
+  cert_crashes_win_ = 0;
+  cert_failovers_win_ = 0;
+  cert_downtime_accum_s_ = 0.0;
+  failover_recovery_accum_s_ = 0.0;
+  if (!certifier_.serving()) {
+    cert_down_mark_ = sim_.Now();  // an outage spanning the window boundary
+  }
 }
 
 ExperimentResult Cluster::Measure(SimDuration measure) {
@@ -280,7 +345,24 @@ ExperimentResult Cluster::Collect(SimDuration measure_window) const {
     out.replay_filtered += p->stats().replay_filtered;
     out.joins += p->stats().joins;
     join_time_s += p->stats().join_time_s;
+    out.cert_timeouts += p->stats().cert_timeouts + p->stats().pull_timeouts;
+    out.cert_retries += p->stats().cert_retries;
+    out.pull_retries += p->stats().pull_retries;
+    out.fenced += p->stats().fenced;
+    out.stale_responses += p->stats().stale_responses;
+    out.write_queue_hwm = std::max(out.write_queue_hwm, p->stats().write_queue_hwm);
   }
+  const ChannelFaultStats& ch = certifier_channel_.fault_stats();
+  out.msgs_dropped =
+      (ch.dropped + ch.partition_dropped) - (channel_snap_.dropped + channel_snap_.partition_dropped);
+  out.msgs_duplicated = ch.duplicated - channel_snap_.duplicated;
+  out.msgs_delayed = ch.delayed - channel_snap_.delayed;
+  out.dedup_hits = certifier_.dedup_hits() - dedup_hits_snap_;
+  out.cert_crashes = cert_crashes_win_;
+  out.cert_failovers = cert_failovers_win_;
+  out.cert_downtime_s = cert_downtime_accum_s_ +
+                        (certifier_.serving() ? 0.0 : ToSeconds(sim_.Now() - cert_down_mark_));
+  out.failover_recovery_s = failover_recovery_accum_s_;
   out.join_latency_s = out.joins > 0 ? join_time_s / static_cast<double>(out.joins) : 0.0;
   out.log_chunks_hwm =
       std::max(log_chunks_hwm_, static_cast<uint64_t>(certifier_.log_chunk_count()));

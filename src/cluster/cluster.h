@@ -69,6 +69,11 @@ struct ClusterConfig {
   // Law-identical but not bit-identical to the per-client model; required
   // for O(100k-1M) populations.
   bool fluid_clients = false;
+  // Message faults on the proxy<->certifier channel (drop/delay/duplicate/
+  // partition; src/certifier/channel.h). An unarmed plan is byte-inert. An
+  // armed plan implies proxy.retry.enabled — a lossy channel without retries
+  // would silently lose transactions.
+  FaultPlan faults;
   uint64_t seed = 42;
   // Width of the throughput timeline buckets (Figure 6 uses 30 s).
   SimDuration timeline_bucket = Seconds(30.0);
@@ -137,6 +142,32 @@ struct ExperimentResult {
   // True when the fluid aggregate client model generated the load.
   bool fluid = false;
 
+  // --- fault-injection / failover metrics (not rendered into run records —
+  // the JSON run schema is frozen; the faults campaign reports these as
+  // campaign scalars through ResultSink) -----------------------------------
+  // Messages lost on the channel (drop probability + partition windows) and
+  // duplicated/delayed deliveries, over the window.
+  uint64_t msgs_dropped = 0;
+  uint64_t msgs_duplicated = 0;
+  uint64_t msgs_delayed = 0;
+  // Proxy retry-protocol activity over the window.
+  uint64_t cert_timeouts = 0;
+  uint64_t cert_retries = 0;
+  uint64_t pull_retries = 0;
+  uint64_t fenced = 0;
+  uint64_t stale_responses = 0;
+  uint64_t dedup_hits = 0;
+  // Peak certifications parked (in flight or backing off) on any one proxy —
+  // the degraded-mode write queue, bounded by the gatekeeper admission limit.
+  uint64_t write_queue_hwm = 0;
+  // Certifier failover accounting: crashes/failovers in the window, total
+  // time the certifier was unserving, and the time from failover until the
+  // first client commit (the client-visible takeover latency).
+  uint64_t cert_crashes = 0;
+  uint64_t cert_failovers = 0;
+  double cert_downtime_s = 0.0;
+  double failover_recovery_s = 0.0;
+
   // --- host-side accounting (not rendered into run records) ----------------
   // Simulator events executed over the cluster's whole life up to the moment
   // this result was collected. Kernel-throughput bookkeeping for the campaign
@@ -194,6 +225,19 @@ class Cluster {
   // when memory <= the configured reservation.
   void ResizeMemory(size_t index, Bytes memory);
 
+  // --- Certifier failover / partition verbs (ClusterMutator schedules) -----
+  // Fail-stop the certifier primary: requests go unanswered (sender timeouts
+  // drive retries), reads keep serving locally, writes queue behind the
+  // gatekeeper bound until FailoverCertifier promotes the warm standby.
+  void CrashCertifier();
+  // Promote the warm standby (works as a planned handover while the primary
+  // still serves): bumps the epoch so stale requests are fenced, and starts
+  // the failover-recovery clock (stopped by the first client commit).
+  void FailoverCertifier();
+  // Drop every message from replica `index`'s proxy for `duration` from now
+  // (a one-way link partition; responses to earlier requests still arrive).
+  void PartitionProxy(size_t index, SimDuration duration);
+
   // Deprecated aliases (pre-churn verb names).
   void CrashReplica(size_t index) { KillReplica(index); }
   void RestartReplica(size_t index) { RecoverReplica(index); }
@@ -249,6 +293,22 @@ class Cluster {
   // Seed stream for replicas added at runtime; forked from the root LAST so
   // pre-churn seed streams (replicas, clients) are unchanged.
   Rng topology_rng_{0};
+  // Fault/retry seed stream, forked from the root AFTER topology_rng_ and
+  // ONLY when faults or retries are armed, so fault-capable builds with the
+  // knobs off replay the pre-fault seed streams bit for bit.
+  Rng faults_rng_{0};
+
+  // --- Certifier failover bookkeeping --------------------------------------
+  SimTime cert_down_mark_ = 0;        // crash instant (or window start while down)
+  double cert_downtime_accum_s_ = 0.0;
+  bool awaiting_failover_commit_ = false;
+  SimTime failover_at_ = 0;
+  double failover_recovery_accum_s_ = 0.0;
+  uint64_t cert_crashes_win_ = 0;
+  uint64_t cert_failovers_win_ = 0;
+  // Window snapshots of cumulative channel/certifier fault counters.
+  ChannelFaultStats channel_snap_;
+  uint64_t dedup_hits_snap_ = 0;
 
   // Measurement state.
   uint64_t committed_ = 0;

@@ -1,12 +1,12 @@
 #include "src/cluster/mutator.h"
 
-#include <functional>
 #include <utility>
 
 namespace tashkent {
 
-void ClusterMutator::Record(const std::string& verb, size_t replica, Bytes memory) {
-  log_.push_back(MutationRecord{cluster_->sim().Now(), verb, replica, memory});
+void ClusterMutator::Record(const std::string& verb, size_t replica, Bytes memory,
+                            SimDuration duration) {
+  log_.push_back(MutationRecord{cluster_->sim().Now(), verb, replica, memory, duration});
 }
 
 void ClusterMutator::KillReplica(size_t index) {
@@ -30,7 +30,22 @@ void ClusterMutator::ResizeMemory(size_t index, Bytes memory) {
   Record("ResizeMemory", index, memory);
 }
 
-void ClusterMutator::ScheduleGuarded(SimDuration delay, std::function<void()> fn) {
+void ClusterMutator::CrashCertifier() {
+  cluster_->CrashCertifier();
+  Record("CrashCertifier", 0, 0);
+}
+
+void ClusterMutator::FailoverCertifier() {
+  cluster_->FailoverCertifier();
+  Record("FailoverCertifier", 0, 0);
+}
+
+void ClusterMutator::PartitionProxy(size_t index, SimDuration duration) {
+  cluster_->PartitionProxy(index, duration);
+  Record("PartitionProxy", index, 0, duration);
+}
+
+void ClusterMutator::ScheduleGuarded(SimDuration delay, GuardedVerb fn) {
   // The weak token makes a destroyed mutator's pending events no-ops instead
   // of use-after-free: the cluster (and its simulator) outlive the event, the
   // mutator may not.
@@ -56,6 +71,18 @@ void ClusterMutator::AddReplicaAt(SimDuration delay, Bytes memory) {
 
 void ClusterMutator::ResizeMemoryAt(SimDuration delay, size_t index, Bytes memory) {
   ScheduleGuarded(delay, [this, index, memory]() { ResizeMemory(index, memory); });
+}
+
+void ClusterMutator::CrashCertifierAt(SimDuration delay) {
+  ScheduleGuarded(delay, [this]() { CrashCertifier(); });
+}
+
+void ClusterMutator::FailoverAt(SimDuration delay) {
+  ScheduleGuarded(delay, [this]() { FailoverCertifier(); });
+}
+
+void ClusterMutator::PartitionAt(SimDuration delay, size_t index, SimDuration duration) {
+  ScheduleGuarded(delay, [this, index, duration]() { PartitionProxy(index, duration); });
 }
 
 }  // namespace tashkent

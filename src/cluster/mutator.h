@@ -8,7 +8,7 @@
 // and (b) a mutation log, so reports can line mutations up against the
 // throughput timeline.
 //
-// Four verbs (docs/OPERATIONS.md is the operator-facing cookbook; the
+// Seven verbs (docs/OPERATIONS.md is the operator-facing cookbook; the
 // `verb:` tags below are machine-read by scripts/ci.sh to keep that handbook
 // complete):
 //   * KillReplica(i)      — fail-stop: the replica rejects new work.
@@ -23,20 +23,28 @@
 //                           checkpoint_join off, replays the whole log).
 //   * ResizeMemory(i, mem)— elastic resize: shrink evicts cache; the
 //                           balancer re-packs against the new capacities.
+//   * CrashCertifier()    — fail-stop the certifier primary: requests go
+//                           unanswered, proxy timeouts drive retries, writes
+//                           queue behind the gatekeeper bound.
+//   * FailoverCertifier() — promote the warm standby; stale-epoch requests
+//                           are fenced and resent against the new primary.
+//   * PartitionProxy(i,d) — drop every message from replica i's proxy for
+//                           duration d (a one-way link partition).
 //
 // Immediate forms apply now; *At forms schedule the verb `delay` after the
 // current simulated instant and return immediately — interleave them with
 // Cluster::Advance/Measure (or ScenarioBuilder phases, which wrap exactly
-// this) to drop mutations into the middle of a window.
+// this) to drop mutations into the middle of a window. The certifier forms
+// are named CrashCertifierAt/FailoverAt/PartitionAt.
 #ifndef SRC_CLUSTER_MUTATOR_H_
 #define SRC_CLUSTER_MUTATOR_H_
 
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/cluster/cluster.h"
+#include "src/common/inline_callback.h"
 
 namespace tashkent {
 
@@ -47,6 +55,7 @@ struct MutationRecord {
   std::string verb;      // "KillReplica", "RecoverReplica", ...
   size_t replica = 0;    // target (for AddReplica: the index it received)
   Bytes memory = 0;      // AddReplica / ResizeMemory argument (0 = default)
+  SimDuration duration = 0;  // PartitionProxy window length
 };
 
 class ClusterMutator {
@@ -61,6 +70,9 @@ class ClusterMutator {
   void RecoverReplica(size_t index);                   // verb: RecoverReplica
   size_t AddReplica(Bytes memory = 0);                 // verb: AddReplica
   void ResizeMemory(size_t index, Bytes memory);       // verb: ResizeMemory
+  void CrashCertifier();                               // verb: CrashCertifier
+  void FailoverCertifier();                            // verb: FailoverCertifier
+  void PartitionProxy(size_t index, SimDuration duration);  // verb: PartitionProxy
 
   // --- Scheduled verbs (fire `delay` from now as simulator events) ----------
   // Scheduled events are tied to this mutator's lifetime: destroying the
@@ -71,6 +83,9 @@ class ClusterMutator {
   void RecoverReplicaAt(SimDuration delay, size_t index);
   void AddReplicaAt(SimDuration delay, Bytes memory = 0);
   void ResizeMemoryAt(SimDuration delay, size_t index, Bytes memory);
+  void CrashCertifierAt(SimDuration delay);
+  void FailoverAt(SimDuration delay);
+  void PartitionAt(SimDuration delay, size_t index, SimDuration duration);
 
   // Applied mutations in execution order. Scheduled verbs appear only once
   // they have fired.
@@ -79,9 +94,17 @@ class ClusterMutator {
   Cluster& cluster() { return *cluster_; }
 
  private:
-  void Record(const std::string& verb, size_t replica, Bytes memory);
+  // Scheduled-verb closure: {this + up to two word-sized arguments}. An
+  // InlineCallback, not std::function — scheduling a verb must not allocate
+  // (the alloc-guard case in tests/churn_test.cc pins it). Together with the
+  // weak liveness token the guarded wrapper is the simulator's largest event
+  // capture (see Simulator::Callback).
+  using GuardedVerb = InlineCallback<void(), 48>;
+
+  void Record(const std::string& verb, size_t replica, Bytes memory,
+              SimDuration duration = 0);
   // Schedules `fn` after `delay`, guarded by the liveness token.
-  void ScheduleGuarded(SimDuration delay, std::function<void()> fn);
+  void ScheduleGuarded(SimDuration delay, GuardedVerb fn);
 
   Cluster* cluster_;
   std::vector<MutationRecord> log_;

@@ -106,6 +106,37 @@ ScenarioBuilder& ScenarioBuilder::ResizeMemoryAt(SimDuration delay, size_t index
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::CrashCertifier() { return CrashCertifierAt(Seconds(0.0)); }
+
+ScenarioBuilder& ScenarioBuilder::CrashCertifierAt(SimDuration delay) {
+  ScenarioPhase phase{ScenarioPhase::Kind::kCrashCertifier, Seconds(0.0), {}, 0};
+  phase.delay = delay;
+  phases_.push_back(std::move(phase));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::FailoverCertifier() { return FailoverAt(Seconds(0.0)); }
+
+ScenarioBuilder& ScenarioBuilder::FailoverAt(SimDuration delay) {
+  ScenarioPhase phase{ScenarioPhase::Kind::kFailoverCertifier, Seconds(0.0), {}, 0};
+  phase.delay = delay;
+  phases_.push_back(std::move(phase));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::PartitionProxy(size_t index, SimDuration duration) {
+  return PartitionAt(Seconds(0.0), index, duration);
+}
+
+ScenarioBuilder& ScenarioBuilder::PartitionAt(SimDuration delay, size_t index,
+                                              SimDuration duration) {
+  ScenarioPhase phase{ScenarioPhase::Kind::kPartitionProxy, Seconds(0.0), {}, index};
+  phase.delay = delay;
+  phase.extent = duration;
+  phases_.push_back(std::move(phase));
+  return *this;
+}
+
 ScenarioResult ScenarioBuilder::RunOn(Cluster& cluster) const {
   ScenarioResult out;
   ClusterMutator mutator(&cluster);
@@ -173,6 +204,27 @@ ScenarioResult ScenarioBuilder::RunOn(Cluster& cluster) const {
         break;
       case ScenarioPhase::Kind::kFreezeAllocation:
         cluster.FreezeAllocation();
+        break;
+      case ScenarioPhase::Kind::kCrashCertifier:
+        if (phase.delay > 0) {
+          mutator.CrashCertifierAt(phase.delay);
+        } else {
+          mutator.CrashCertifier();
+        }
+        break;
+      case ScenarioPhase::Kind::kFailoverCertifier:
+        if (phase.delay > 0) {
+          mutator.FailoverAt(phase.delay);
+        } else {
+          mutator.FailoverCertifier();
+        }
+        break;
+      case ScenarioPhase::Kind::kPartitionProxy:
+        if (phase.delay > 0) {
+          mutator.PartitionAt(phase.delay, phase.replica, phase.extent);
+        } else {
+          mutator.PartitionProxy(phase.replica, phase.extent);
+        }
         break;
     }
   }

@@ -81,6 +81,9 @@ struct ScenarioPhase {
     kAddReplica,       // the instant the phase executes (fires inside the
     kResizeMemory,     // following Advance/Measure phases)
     kFreezeAllocation,
+    kCrashCertifier,   // certifier fault verbs (delay semantics idem)
+    kFailoverCertifier,
+    kPartitionProxy,
   };
   Kind kind;
   SimDuration duration = Seconds(0.0);  // kWarmup / kAdvance / kMeasure
@@ -89,6 +92,7 @@ struct ScenarioPhase {
   SimDuration delay = Seconds(0.0);     // mutation schedule offset (0 = now)
   Bytes memory = 0;                     // kAddReplica / kResizeMemory (0 = default)
   size_t population = 0;                // kSetPopulation target
+  SimDuration extent = Seconds(0.0);    // kPartitionProxy window length
 };
 
 struct MeasureRecord {
@@ -141,6 +145,15 @@ class ScenarioBuilder {
   ScenarioBuilder& RecoverReplicaAt(SimDuration delay, size_t index);
   ScenarioBuilder& AddReplicaAt(SimDuration delay, Bytes memory = 0);
   ScenarioBuilder& ResizeMemoryAt(SimDuration delay, size_t index, Bytes memory);
+
+  // --- certifier fault verbs (crash/failover/partition; delay semantics as
+  // above: the *At forms fire inside the following Advance/Measure phase) ---
+  ScenarioBuilder& CrashCertifier();
+  ScenarioBuilder& CrashCertifierAt(SimDuration delay);
+  ScenarioBuilder& FailoverCertifier();
+  ScenarioBuilder& FailoverAt(SimDuration delay);
+  ScenarioBuilder& PartitionProxy(size_t index, SimDuration duration);
+  ScenarioBuilder& PartitionAt(SimDuration delay, size_t index, SimDuration duration);
 
   // Deprecated aliases (pre-churn verb names).
   ScenarioBuilder& CrashReplica(size_t index) { return KillReplica(index); }

@@ -132,6 +132,12 @@ SimDuration Proxy::CertificationRtt() const {
   return 2 * cc.network_one_way + cc.certify_cost;
 }
 
+void Proxy::ArmRetry(const RetryPolicy& policy, Rng rng) {
+  retry_ = policy;
+  retry_armed_ = policy.enabled;
+  retry_rng_ = rng;
+}
+
 void Proxy::CertifyAndCommit(ExecOutcome outcome, TxnDone done) {
   // One round trip to the certifier: the request carries the writeset and the
   // replica's applied version; the response carries the verdict plus remote
@@ -142,7 +148,131 @@ void Proxy::CertifyAndCommit(ExecOutcome outcome, TxnDone done) {
   pending.ws = std::move(outcome.writeset);
   pending.ws.snapshot_version = applied_version_;
   pending.done = std::move(done);
-  channel_->ScheduleArrival(CertificationRtt(), [this, slot]() { OnCertifyArrive(slot); });
+  if (!retry_armed_) {
+    channel_->ScheduleArrival(CertificationRtt(), [this, slot]() { OnCertifyArrive(slot); });
+    return;
+  }
+  pending.txn_seq = next_txn_seq_++;
+  pending.attempts = 0;
+  if (slot >= cert_gen_.size()) {
+    cert_gen_.resize(slot + 1, 0);
+  }
+  ++live_certs_;
+  if (live_certs_ > stats_.write_queue_hwm) {
+    stats_.write_queue_hwm = live_certs_;
+  }
+  SendCert(slot);
+}
+
+void Proxy::SendCert(uint32_t slot) {
+  PendingCert& pending = pending_certs_[slot];
+  ++pending.attempts;
+  pending.sent_epoch = known_epoch_;
+  const uint32_t gen = cert_gen_[slot];
+  const uint64_t seq = pending.txn_seq;
+  channel_->ScheduleArrival(
+      CertificationRtt(),
+      [this, seq, slot, gen]() { OnCertifyArriveGuarded(slot, gen, seq); },
+      static_cast<uint32_t>(replica_->id()));
+  pending.timeout =
+      sim_->ScheduleAfter(retry_.timeout, [this, slot, gen]() { OnCertTimeout(slot, gen); });
+}
+
+void Proxy::OnCertifyArriveGuarded(uint32_t slot, uint32_t gen, uint64_t txn_seq) {
+  if (gen != cert_gen_[slot]) {
+    // This transaction was already decided through another copy or attempt.
+    // The REQUEST still reached the certifier (the round trip models both
+    // directions): it re-serves the recorded verdict from its dedup window;
+    // the proxy discards the stale response.
+    if (certifier_->serving()) {
+      certifier_->ResolveDuplicate(replica_->id(), txn_seq);
+    }
+    ++stats_.stale_responses;
+    return;
+  }
+  PendingCert& pending = pending_certs_[slot];
+  if (!certifier_->serving()) {
+    // Primary is down: the request goes unanswered. This attempt's timeout
+    // drives the retry; nothing to consume here.
+    return;
+  }
+  if (pending.sent_epoch != certifier_->epoch()) {
+    // Fenced: the request was addressed to a deposed primary's epoch. Learn
+    // the new epoch and resubmit immediately — the failover already
+    // happened, so there is nothing to back off from.
+    ++stats_.fenced;
+    known_epoch_ = certifier_->epoch();
+    if (pending.timeout != Simulator::kInvalidEvent) {
+      sim_->Cancel(pending.timeout);
+      pending.timeout = Simulator::kInvalidEvent;
+    }
+    SendCert(slot);
+    return;
+  }
+  // First surviving response: accept it and invalidate every other copy.
+  ++cert_gen_[slot];
+  if (pending.timeout != Simulator::kInvalidEvent) {
+    sim_->Cancel(pending.timeout);
+    pending.timeout = Simulator::kInvalidEvent;
+  }
+  last_certifier_contact_ = sim_->Now();
+  CertifyResult result = certifier_->Certify(std::move(pending.ws), replica_->id(),
+                                             applied_version_, txn_seq);
+  TxnDone done = std::move(pending.done);
+  pending.ws = Writeset{};
+  --live_certs_;
+  pending_certs_.Free(slot);
+  HandleCertifyResult(result, std::move(done));
+}
+
+void Proxy::OnCertTimeout(uint32_t slot, uint32_t gen) {
+  if (gen != cert_gen_[slot]) {
+    return;  // the response landed before this event was cancelled; done
+  }
+  PendingCert& pending = pending_certs_[slot];
+  pending.timeout = Simulator::kInvalidEvent;
+  ++stats_.cert_timeouts;
+  if (lifecycle_ == ReplicaLifecycle::kDown ||
+      (retry_.max_attempts > 0 && pending.attempts >= retry_.max_attempts)) {
+    // Give up: the client sees an abort and retries elsewhere. (A copy still
+    // in flight may yet commit at the certifier — only max_attempts > 0
+    // opens that window, which is why the invariant-gated campaigns run with
+    // retry-forever.)
+    if (retry_.max_attempts > 0 && pending.attempts >= retry_.max_attempts) {
+      ++stats_.gave_up;
+    }
+    ++cert_gen_[slot];
+    TxnDone done = std::move(pending.done);
+    pending.ws = Writeset{};
+    --live_certs_;
+    pending_certs_.Free(slot);
+    FinishTransaction(false, done);
+    return;
+  }
+  ++stats_.cert_retries;
+  const int attempt = pending.attempts;
+  sim_->ScheduleAfter(BackoffDelay(attempt), [this, slot, gen]() {
+    if (gen != cert_gen_[slot]) {
+      return;  // a late copy completed the transaction while backing off
+    }
+    SendCert(slot);
+  });
+}
+
+SimDuration Proxy::BackoffDelay(int attempt) {
+  double backoff = static_cast<double>(retry_.backoff_base);
+  const double cap = static_cast<double>(retry_.backoff_max);
+  for (int i = 1; i < attempt && backoff < cap; ++i) {
+    backoff *= retry_.backoff_factor;
+  }
+  if (backoff > cap) {
+    backoff = cap;
+  }
+  if (retry_.jitter > 0.0) {
+    backoff *= 1.0 + retry_.jitter * (2.0 * retry_rng_.NextDouble() - 1.0);
+  }
+  const auto d = static_cast<SimDuration>(backoff);
+  return d > 0 ? d : 1;
 }
 
 void Proxy::OnCertifyArrive(uint32_t slot) {
@@ -153,6 +283,10 @@ void Proxy::OnCertifyArrive(uint32_t slot) {
   TxnDone done = std::move(pending.done);
   pending.ws = Writeset{};
   pending_certs_.Free(slot);
+  HandleCertifyResult(result, std::move(done));
+}
+
+void Proxy::HandleCertifyResult(const CertifyResult& result, TxnDone done) {
   EnqueueRemotes(result.remote);
   PumpApplier();
   if (result.committed) {
@@ -161,6 +295,7 @@ void Proxy::OnCertifyArrive(uint32_t slot) {
     // is applied; no fsync (durability lives in the certifier log).
     WaitApplied(commit_version - 1, [this, commit_version, done = std::move(done)]() {
       AdvanceApplied(commit_version);
+      ++lifetime_update_commits_;
       FinishTransaction(true, done);
     });
   } else {
@@ -418,6 +553,11 @@ void Proxy::PullUpdates() {
   }
   pull_in_progress_ = true;
   ++stats_.pulls;
+  if (retry_armed_) {
+    pull_attempts_ = 0;
+    SendPull();
+    return;
+  }
   channel_->ScheduleArrival(CertificationRtt(), [this]() {
     last_certifier_contact_ = sim_->Now();
     EnqueueRemotes(certifier_->Pull(replica_->id(), applied_version_));
@@ -425,6 +565,56 @@ void Proxy::PullUpdates() {
     // synchronously must be able to issue the follow-up pull for the delta.
     pull_in_progress_ = false;
     PumpApplier();
+  });
+}
+
+void Proxy::SendPull() {
+  ++pull_attempts_;
+  const uint64_t gen = pull_gen_;
+  channel_->ScheduleArrival(CertificationRtt(), [this, gen]() { OnPullArrive(gen); },
+                            static_cast<uint32_t>(replica_->id()));
+  pull_timeout_ =
+      sim_->ScheduleAfter(retry_.timeout, [this, gen]() { OnPullTimeout(gen); });
+}
+
+void Proxy::OnPullArrive(uint64_t pull_gen) {
+  if (pull_gen != pull_gen_ || !pull_in_progress_) {
+    ++stats_.stale_responses;  // a duplicate or superseded copy; pulls are idempotent reads
+    return;
+  }
+  if (!certifier_->serving()) {
+    return;  // unanswered; the timeout retries (no fencing: reads carry no epoch)
+  }
+  ++pull_gen_;  // accept this copy; invalidate the others
+  if (pull_timeout_ != Simulator::kInvalidEvent) {
+    sim_->Cancel(pull_timeout_);
+    pull_timeout_ = Simulator::kInvalidEvent;
+  }
+  last_certifier_contact_ = sim_->Now();
+  EnqueueRemotes(certifier_->Pull(replica_->id(), applied_version_));
+  pull_in_progress_ = false;
+  PumpApplier();
+}
+
+void Proxy::OnPullTimeout(uint64_t pull_gen) {
+  if (pull_gen != pull_gen_ || !pull_in_progress_) {
+    return;
+  }
+  pull_timeout_ = Simulator::kInvalidEvent;
+  ++stats_.pull_timeouts;
+  if (lifecycle_ == ReplicaLifecycle::kDown) {
+    // Crashed while the pull was out; drop it (recovery pulls afresh).
+    ++pull_gen_;
+    pull_in_progress_ = false;
+    return;
+  }
+  ++stats_.pull_retries;
+  sim_->ScheduleAfter(BackoffDelay(pull_attempts_), [this, pull_gen]() {
+    if (pull_gen != pull_gen_ || !pull_in_progress_ ||
+        lifecycle_ == ReplicaLifecycle::kDown) {
+      return;
+    }
+    SendPull();
   });
 }
 

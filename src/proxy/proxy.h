@@ -33,6 +33,7 @@
 #include "src/certifier/certifier.h"
 #include "src/certifier/channel.h"
 #include "src/common/inline_callback.h"
+#include "src/common/rng.h"
 #include "src/common/slab_list.h"
 #include "src/proxy/gatekeeper.h"
 #include "src/replica/replica.h"
@@ -41,9 +42,36 @@
 
 namespace tashkent {
 
+// Retry/timeout/backoff policy for the certifier round trips. Disabled by
+// default: the proxy then assumes delivery (the pre-fault protocol, byte-
+// identical — no timeout events, no RNG draws). The cluster arms it whenever
+// a FaultPlan or certifier failover is in play.
+struct RetryPolicy {
+  bool enabled = false;
+  // Response deadline per attempt; must exceed the certification RTT
+  // (440 us at the default latencies) or every attempt times out.
+  SimDuration timeout = Millis(2);
+  // Exponential backoff between attempts: base * factor^(attempt-1), capped
+  // at `max`, then scaled by a uniform jitter in [1-jitter, 1+jitter] drawn
+  // from the proxy's seeded retry stream (never wall clock —
+  // scripts/lint_determinism.py and its self-test pin that).
+  SimDuration backoff_base = Micros(500);
+  double backoff_factor = 2.0;
+  SimDuration backoff_max = Millis(50);
+  double jitter = 0.2;
+  // Attempts before reporting the transaction aborted to its client. 0 =
+  // retry forever: writes queue behind the gatekeeper's admission bound,
+  // which is the degraded-mode backpressure (at most max_in_flight
+  // certifications can pile up per proxy while the certifier is away).
+  int max_attempts = 0;
+};
+
 struct ProxyConfig {
   // Gatekeeper limit on transactions concurrently inside the database.
   int max_in_flight = 8;
+  // Certifier-path retry protocol (see RetryPolicy). The Cluster forks the
+  // jitter stream from its fault stream and calls ArmRetry when enabled.
+  RetryPolicy retry;
   // Recovery replay drains each contiguous pending log run as ONE batched
   // disk/CPU submission (Replica::SubmitApplyBatch) instead of one
   // round trip per writeset. Cache trajectory and replay volume are
@@ -94,6 +122,15 @@ struct ProxyStats {
   uint64_t joins = 0;              // JoinAsNew lifecycles completed (subset of recoveries)
   double join_time_s = 0.0;        // summed join durations (the join-latency metric)
   uint64_t checkpoint_installs = 0;  // checkpoint images installed (join or backfill)
+  // --- faults / retry / failover (all zero while RetryPolicy is off) ---------
+  uint64_t cert_timeouts = 0;    // certification attempts that hit the deadline
+  uint64_t cert_retries = 0;     // certification resubmissions sent
+  uint64_t pull_timeouts = 0;    // pull attempts that hit the deadline
+  uint64_t pull_retries = 0;     // pull resubmissions sent
+  uint64_t fenced = 0;           // stale-epoch responses refused; resent to the new primary
+  uint64_t stale_responses = 0;  // duplicate/late responses discarded (txn already decided)
+  uint64_t gave_up = 0;          // transactions failed at RetryPolicy::max_attempts
+  uint64_t write_queue_hwm = 0;  // peak certifications parked awaiting response/retry
 };
 
 class Proxy {
@@ -117,6 +154,22 @@ class Proxy {
 
   // Starts the periodic 500 ms update pull.
   void StartDaemons();
+
+  // Arms the retry/timeout/backoff protocol with `policy` and a seeded
+  // jitter stream (the cluster forks it from its fault stream). Certifier
+  // round trips then carry a per-proxy transaction sequence (the certifier's
+  // dedup key), a response generation guard, a timeout event, and the
+  // sending epoch for failover fencing. Never called => the pre-fault
+  // protocol, bit for bit.
+  void ArmRetry(const RetryPolicy& policy, Rng rng);
+  bool retry_armed() const { return retry_armed_; }
+  // The newest certifier epoch this proxy has learned (via fenced responses).
+  uint64_t known_epoch() const { return known_epoch_; }
+  // Update transactions committed to clients over the proxy's whole life
+  // (never reset): the invariant `certified == client-committed exactly
+  // once` that the faults campaign gates on compares this against the
+  // certifier's certified_count.
+  uint64_t lifetime_update_commits() const { return lifetime_update_commits_; }
 
   // Certifier prod: the replica is behind; schedule an immediate pull.
   void OnProd();
@@ -194,7 +247,12 @@ class Proxy {
   Replica& replica() { return *replica_; }
   const Replica& replica() const { return *replica_; }
   const ProxyStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ProxyStats{}; }
+  void ResetStats() {
+    stats_ = ProxyStats{};
+    // The write-queue HWM is a gauge: re-seed from what is live right now so
+    // a window opening mid-outage still sees the standing queue.
+    stats_.write_queue_hwm = live_certs_;
+  }
 
  private:
   void RunAdmitted(const TxnType& type, TxnDone done);
@@ -209,8 +267,29 @@ class Proxy {
   // Arrival of a certification response (one RTT after submission); `slot`
   // indexes the parked payload in pending_certs_.
   void OnCertifyArrive(uint32_t slot);
+  // The post-certification completion shared by the assume-delivery and
+  // retry paths: enqueue remotes, pump, wait for the predecessor prefix,
+  // finish the transaction.
+  void HandleCertifyResult(const CertifyResult& result, TxnDone done);
   void PullUpdates();
   SimDuration CertificationRtt() const;
+
+  // --- Retry protocol (RetryPolicy armed) -----------------------------------
+  // One attempt: a channel round trip carrying (slot, generation, txn_seq)
+  // plus a timeout event. The GENERATION guard makes every outcome
+  // idempotent: the slot's generation is bumped exactly once, when the first
+  // surviving response is accepted — any later copy (a duplicate, a late
+  // arrival after its timeout fired, a response racing a backoff resend)
+  // observes a stale generation and is discarded. Slot reuse is safe for the
+  // same reason: a freed slot's generation never matches in-flight captures.
+  void SendCert(uint32_t slot);
+  void OnCertifyArriveGuarded(uint32_t slot, uint32_t gen, uint64_t txn_seq);
+  void OnCertTimeout(uint32_t slot, uint32_t gen);
+  void SendPull();
+  void OnPullArrive(uint64_t pull_gen);
+  void OnPullTimeout(uint64_t pull_gen);
+  // base * factor^(attempt-1), capped, jittered from the seeded stream.
+  SimDuration BackoffDelay(int attempt);
 
   // --- Serial writeset applier --------------------------------------------
   // Remote writesets apply strictly in commit order through one queue, so
@@ -248,10 +327,16 @@ class Proxy {
   void AdvanceApplied(Version v);
 
   // Payload of an in-flight certification round trip, parked so the
-  // simulator event captures only {this, slot}.
+  // simulator event captures only {this, slot} (retry-armed: {this, txn_seq,
+  // slot, generation} — still inside the Arrival's 24 bytes).
   struct PendingCert {
     Writeset ws;
     TxnDone done;
+    // Retry-armed bookkeeping (untouched on the assume-delivery path).
+    uint64_t txn_seq = 0;              // certifier dedup key, per-proxy monotonic
+    uint64_t sent_epoch = 0;           // certifier epoch the last attempt targeted
+    int attempts = 0;
+    Simulator::EventId timeout = Simulator::kInvalidEvent;
   };
 
   Simulator* sim_;
@@ -265,6 +350,22 @@ class Proxy {
   Version applied_version_ = 0;
   SimTime last_certifier_contact_ = 0;
   bool pull_in_progress_ = false;
+  // --- Retry protocol state (inert until ArmRetry) --------------------------
+  bool retry_armed_ = false;
+  RetryPolicy retry_;
+  Rng retry_rng_{0};
+  uint64_t next_txn_seq_ = 1;
+  uint64_t known_epoch_ = 1;
+  // Per-slot response generation; parallel to pending_certs_ and never
+  // shrunk, so stale captures of recycled slots always mismatch.
+  std::vector<uint32_t> cert_gen_;
+  uint32_t live_certs_ = 0;  // certifications parked (in flight or backing off)
+  uint64_t lifetime_update_commits_ = 0;
+  // Pull retry: one pull outstanding at a time, guarded by its own
+  // generation counter (pulls are idempotent reads — no fencing needed).
+  uint64_t pull_gen_ = 0;
+  int pull_attempts_ = 0;
+  Simulator::EventId pull_timeout_ = Simulator::kInvalidEvent;
   std::optional<RelationSet> subscription_;
   // Cache of subscription_'s TableMask over the certifier's registry;
   // rebuilt only in SetSubscription (lazy-evaluation contract: probes read

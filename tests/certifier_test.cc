@@ -1,5 +1,6 @@
 // Unit tests for the certifier: ordering, piggybacked propagation, pulls,
-// prods, log pruning + arena lifetime, and group-commit channel batching.
+// prods, log pruning + arena lifetime, group-commit channel batching, the
+// per-proxy dedup window, and warm-standby crash/failover with epoch fencing.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -257,6 +258,149 @@ TEST(Certifier, SteadyStateCertifyIsAllocationFree) {
   }
 }
 
+// --- dedup window: idempotent certification ---------------------------------
+
+// A retried certification carrying the same (replica, txn_seq) re-serves the
+// recorded verdict: no second commit version, no double count.
+TEST(Certifier, DuplicateCertifyReServesVerdict) {
+  Certifier c;
+  const auto first = c.Certify(MakeWs({{1, 1}}), 0, 0, /*txn_seq=*/1);
+  ASSERT_TRUE(first.committed);
+  EXPECT_EQ(c.certified_count(), 1u);
+  EXPECT_EQ(c.dedup_hits(), 0u);
+
+  const auto dup = c.Certify(MakeWs({{1, 1}}), 0, 0, /*txn_seq=*/1);
+  EXPECT_TRUE(dup.committed);
+  EXPECT_EQ(dup.commit_version, first.commit_version);
+  EXPECT_EQ(c.certified_count(), 1u);  // not certified twice
+  EXPECT_EQ(c.head_version(), 1u);     // not appended twice
+  EXPECT_EQ(c.dedup_hits(), 1u);
+}
+
+// Abort verdicts are recorded too: a retry of an aborted transaction must not
+// get a second (possibly different) answer.
+TEST(Certifier, DuplicateCertifyReServesAbort) {
+  Certifier c;
+  ASSERT_TRUE(c.Certify(MakeWs({{5, 9}}), 0, 0, 1).committed);
+  Writeset conflicting = MakeWs({{5, 9}});
+  conflicting.snapshot_version = 0;
+  const auto aborted = c.Certify(std::move(conflicting), 1, 0, 7);
+  ASSERT_FALSE(aborted.committed);
+
+  Writeset retry = MakeWs({{5, 9}});
+  retry.snapshot_version = 0;
+  const auto again = c.Certify(std::move(retry), 1, 0, 7);
+  EXPECT_FALSE(again.committed);
+  EXPECT_EQ(c.aborted_count(), 1u);  // counted once
+  EXPECT_EQ(c.dedup_hits(), 1u);
+}
+
+// The window is per replica: the same txn_seq from different proxies are
+// distinct transactions.
+TEST(Certifier, DedupWindowIsPerReplica) {
+  Certifier c;
+  ASSERT_TRUE(c.Certify(MakeWs({{1, 1}}), 0, 0, 1).committed);
+  const auto other = c.Certify(MakeWs({{2, 1}}), 1, 1, 1);
+  EXPECT_TRUE(other.committed);
+  EXPECT_EQ(c.certified_count(), 2u);
+  EXPECT_EQ(c.dedup_hits(), 0u);
+}
+
+// Sequence numbers past the window size evict older records (direct-mapped
+// ring); a duplicate inside the window still hits after unrelated traffic.
+TEST(Certifier, DedupRingEvictsByWindow) {
+  CertifierConfig config;
+  config.dedup_window = 4;
+  Certifier c(config);
+  Version applied = 0;
+  const auto first = c.Certify(MakeWs({{1, 100}}), 0, applied, 1);
+  ASSERT_TRUE(first.committed);
+  applied = first.commit_version;
+  // seq 5 maps to the same ring slot as seq 1 (5 & 3 == 1) and evicts it.
+  for (uint64_t seq = 2; seq <= 5; ++seq) {
+    const auto r = c.Certify(MakeWs({{1, 100 + seq}}), 0, applied, seq);
+    ASSERT_TRUE(r.committed);
+    applied = r.commit_version;
+  }
+  EXPECT_EQ(c.Certify(MakeWs({{1, 105}}), 0, applied, 5).commit_version,
+            applied);               // seq 5 still in the window: re-served
+  EXPECT_EQ(c.dedup_hits(), 1u);
+  // seq 1 was evicted: a (pathologically late) duplicate re-certifies fresh
+  // instead of hitting the window. The proxy's generation guard makes this
+  // unreachable in practice — the slot only retires after an accepted
+  // response — but the ring's eviction behavior is still pinned.
+  Writeset late_ws = MakeWs({{1, 999}});
+  late_ws.snapshot_version = applied;
+  const auto late = c.Certify(std::move(late_ws), 0, applied, 1);
+  EXPECT_TRUE(late.committed);
+  EXPECT_EQ(c.dedup_hits(), 1u);  // unchanged: it was a miss, not a hit
+}
+
+// ResolveDuplicate: the bookkeeping path for a response whose original was
+// already consumed by the proxy (stale generation) — counts a hit without
+// re-certifying anything.
+TEST(Certifier, ResolveDuplicateCountsWithoutCertifying) {
+  Certifier c;
+  ASSERT_TRUE(c.Certify(MakeWs({{1, 1}}), 0, 0, 3).committed);
+  EXPECT_TRUE(c.ResolveDuplicate(0, 3));
+  EXPECT_FALSE(c.ResolveDuplicate(0, 99));  // unknown seq: no record
+  EXPECT_FALSE(c.ResolveDuplicate(5, 3));   // unknown replica
+  EXPECT_EQ(c.certified_count(), 1u);
+  EXPECT_EQ(c.dedup_hits(), 1u);
+}
+
+// --- warm standby: crash, failover, epoch fencing ---------------------------
+
+TEST(Certifier, CrashStopsServingFailoverResumesWithNewEpoch) {
+  Certifier c;
+  Version applied = 0;
+  for (uint64_t seq = 1; seq <= 5; ++seq) {
+    const auto r = c.Certify(MakeWs({{1, seq}}), 0, applied, seq);
+    ASSERT_TRUE(r.committed);
+    applied = r.commit_version;
+  }
+  EXPECT_TRUE(c.serving());
+  EXPECT_EQ(c.epoch(), 1u);
+
+  c.Crash();
+  EXPECT_FALSE(c.serving());
+  EXPECT_EQ(c.crashes(), 1u);
+
+  c.Failover();
+  EXPECT_TRUE(c.serving());
+  EXPECT_EQ(c.epoch(), 2u);
+  EXPECT_EQ(c.failovers(), 1u);
+  // The promoted standby has the full state: versions continue, the log is
+  // intact, and the dedup window survives (a retry straddling the failover
+  // still re-serves its verdict instead of committing twice).
+  EXPECT_EQ(c.head_version(), 5u);
+  const auto dup = c.Certify(MakeWs({{1, 5}}), 0, applied, 5);
+  EXPECT_TRUE(dup.committed);
+  EXPECT_EQ(c.certified_count(), 5u);
+  EXPECT_EQ(c.dedup_hits(), 1u);
+
+  const auto fresh = c.Certify(MakeWs({{1, 6}}), 0, applied, 6);
+  EXPECT_TRUE(fresh.committed);
+  EXPECT_EQ(fresh.commit_version, 6u);
+}
+
+// The standby image is shipped synchronously at every sequenced decide, so a
+// crash at ANY point finds it consistent with the primary's public counters.
+TEST(Certifier, StandbyImageTracksEveryDecide) {
+  Certifier c;
+  Version applied = 0;
+  for (uint64_t seq = 1; seq <= 3; ++seq) {
+    const auto r = c.Certify(MakeWs({{2, seq}}), 0, applied, seq);
+    ASSERT_TRUE(r.committed);
+    applied = r.commit_version;
+    const auto& image = c.standby_image();
+    EXPECT_EQ(image.next_version, c.head_version() + 1);
+    EXPECT_EQ(image.log_head, c.head_version());
+    EXPECT_EQ(image.certified, c.certified_count());
+    EXPECT_EQ(image.aborted, c.aborted_count());
+  }
+}
+
 // --- group-commit channel batching ------------------------------------------
 
 // Same-tick arrivals share one simulator event but run in submission order:
@@ -368,6 +512,36 @@ TEST(CertifierChannel, BatchingIsResultIdenticalDifferentially) {
     EXPECT_EQ(unbatched[i].remote_to, batched[i].remote_to) << i;
     EXPECT_EQ(unbatched[i].at, batched[i].at) << i;
   }
+}
+
+// Structural pin of the header's "equivalence caveat": a NON-channel event
+// scheduled for an arrival tick BETWEEN two submissions for that tick runs
+// between them unbatched, but after the whole batch when batching is on (the
+// shared event carries the first submission's sequence number). This is the
+// one schedule shape where batching is observable; the test keeps it
+// documented-by-execution so a future scenario that hits it (and breaks the
+// golden digest) has a named, understood cause instead of a mystery.
+TEST(CertifierChannel, ForeignSameTickEventOrdersAfterBatch) {
+  auto run = [](bool batch) {
+    Simulator sim;
+    CertifierChannel channel(&sim, batch);
+    std::vector<int> order;
+    channel.ScheduleArrival(100, [&order]() { order.push_back(1); });
+    // The foreign event: same tick, scheduled after the first submission.
+    sim.ScheduleAt(100, [&order]() { order.push_back(99); });
+    channel.ScheduleArrival(100, [&order]() { order.push_back(2); });
+    sim.RunAll();
+    return order;
+  };
+  // Unbatched, schedule order is execution order: the foreign event fires
+  // between the two arrivals.
+  EXPECT_EQ(run(false), (std::vector<int>{1, 99, 2}));
+  // Batched, the second arrival joins the already-scheduled batch event and
+  // jumps the foreign event. No production component schedules this shape
+  // (arrivals land an RTT after submission; a foreign event would need the
+  // exact microsecond), which is why batching stays result-identical on the
+  // full grid — but the property is empirical, and this is the witness.
+  EXPECT_EQ(run(true), (std::vector<int>{1, 2, 99}));
 }
 
 // Flash-crowd burst: hundreds of arrivals land on one tick (the fluid client

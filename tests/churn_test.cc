@@ -14,6 +14,7 @@
 
 #include "bench/bench_common.h"
 #include "src/cluster/campaign.h"
+#include "src/common/alloc_guard.h"
 #include "src/cluster/cluster.h"
 #include "src/cluster/mutator.h"
 #include "src/cluster/scenario.h"
@@ -218,6 +219,63 @@ TEST(ChurnScenario, ScheduledVerbsFireInsideWindowsAndAreLogged) {
   EXPECT_EQ(churn.recoveries, 1u);
   EXPECT_LE(churn.availability, 1.0);
   EXPECT_GT(churn.availability, 0.5);
+}
+
+// --- scheduling verbs is allocation-free -------------------------------------
+
+// ClusterMutator::ScheduleGuarded takes an InlineCallback (not a
+// std::function): scheduling any of the seven verbs — the weak liveness
+// token, the verb closure, and the simulator event — performs zero heap
+// allocations. A campaign can script hundreds of timeline mutations without
+// perturbing the hot path it is about to measure.
+TEST(ChurnScheduling, ScheduledVerbsDoNotAllocate) {
+  const Workload w = BuildTpcw(kTpcwSmallEbs);
+  ClusterConfig config = Config(3);
+  config.proxy.retry.enabled = true;  // CrashCertifier needs guarded proxies
+  Cluster cluster(w, kTpcwOrdering, "LeastConnections", config);
+  cluster.Advance(Seconds(30.0));
+
+  // Warm round: grow the simulator's event storage past what the guarded
+  // round will need, through a mutator destroyed before anything fires (its
+  // events no-op on the expired liveness token).
+  {
+    ClusterMutator warm(&cluster);
+    for (int i = 0; i < 4; ++i) {
+      warm.KillReplicaAt(Seconds(1000.0), 1);
+      warm.RecoverReplicaAt(Seconds(1001.0), 1);
+      warm.AddReplicaAt(Seconds(1002.0));
+      warm.ResizeMemoryAt(Seconds(1003.0), 0, 512 * kMiB);
+      warm.CrashCertifierAt(Seconds(1004.0));
+      warm.FailoverAt(Seconds(1005.0));
+      warm.PartitionAt(Seconds(1006.0), 0, Seconds(1.0));
+    }
+  }
+
+  ClusterMutator mutator(&cluster);
+  {
+    AllocGuard::Forbid forbid;
+    mutator.KillReplicaAt(Seconds(10.0), 1);
+    mutator.RecoverReplicaAt(Seconds(20.0), 1);
+    mutator.ResizeMemoryAt(Seconds(30.0), 0, 512 * kMiB);
+    mutator.CrashCertifierAt(Seconds(40.0));
+    mutator.FailoverAt(Seconds(45.0));
+    mutator.PartitionAt(Seconds(50.0), 0, Seconds(2.0));
+    mutator.AddReplicaAt(Seconds(60.0));
+    EXPECT_EQ(forbid.seen(), 0u) << "scheduling a churn verb allocated";
+  }
+
+  // The scheduled verbs really fire (allocating freely at execution time —
+  // the guard covers scheduling only) and land in the log in timeline order.
+  cluster.Advance(Seconds(90.0));
+  ASSERT_EQ(mutator.log().size(), 7u);
+  EXPECT_EQ(mutator.log()[0].verb, "KillReplica");
+  EXPECT_EQ(mutator.log()[1].verb, "RecoverReplica");
+  EXPECT_EQ(mutator.log()[2].verb, "ResizeMemory");
+  EXPECT_EQ(mutator.log()[3].verb, "CrashCertifier");
+  EXPECT_EQ(mutator.log()[4].verb, "FailoverCertifier");
+  EXPECT_EQ(mutator.log()[5].verb, "PartitionProxy");
+  EXPECT_EQ(mutator.log()[5].duration, Seconds(2.0));
+  EXPECT_EQ(mutator.log()[6].verb, "AddReplica");
 }
 
 // --- campaign determinism ----------------------------------------------------

@@ -108,6 +108,35 @@ class LintFixtureTest(unittest.TestCase):
         self.assertIn("time(nullptr)", r.stdout)
         self.assertIn("::now()", r.stdout)
 
+    def test_backoff_jitter_from_random_device_is_flagged(self):
+        # The retry protocol's one tempting shortcut: seeding per-proxy
+        # backoff jitter from ambient entropy. Same-seed runs would then
+        # disagree on every resend time — the lint must catch it.
+        r = self.lint_source("""
+            #include <random>
+            double JitteredBackoff(double backoff, double jitter) {
+              std::random_device rd;
+              std::mt19937_64 gen(rd());
+              std::uniform_real_distribution<double> u(0.0, 1.0);
+              return backoff * (1.0 + jitter * (2.0 * u(gen) - 1.0));
+            }
+        """)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("std::random_device", r.stdout)
+
+    def test_backoff_jitter_from_seeded_stream_is_clean(self):
+        # The pattern the proxy actually uses (src/proxy/proxy.cc): a
+        # seeded Rng handed down by the cluster. No ambient entropy, no
+        # findings.
+        r = self.lint_source("""
+            #include "src/common/rng.h"
+            double JitteredBackoff(tashkent::Rng& retry_rng, double backoff,
+                                   double jitter) {
+              return backoff * (1.0 + jitter * (2.0 * retry_rng.NextDouble() - 1.0));
+            }
+        """)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
     def test_wall_clock_in_comment_or_string_is_ignored(self):
         r = self.lint_source("""
             // rand() and std::random_device are discussed here only.

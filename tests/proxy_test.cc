@@ -54,7 +54,7 @@ class ProxyTest : public ::testing::Test {
     for (ReplicaId r = 0; r < 2; ++r) {
       replicas_.push_back(std::make_unique<Replica>(&sim_, &schema_, r, rc, Rng(r + 1)));
       proxies_.push_back(
-          std::make_unique<Proxy>(&sim_, replicas_.back().get(), &certifier_, ProxyConfig{4}));
+          std::make_unique<Proxy>(&sim_, replicas_.back().get(), &certifier_, ProxyConfig{4, {}}));
     }
     certifier_.SetProdCallback([this](ReplicaId r) { proxies_[r]->OnProd(); });
 
